@@ -1,0 +1,222 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// plus the DESIGN.md ablations. Each benchmark runs the corresponding
+// experiment end to end on the simulated substrate and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full paper-versus-measured picture (see EXPERIMENTS.md for
+// the recorded comparison).
+package occusim_test
+
+import (
+	"testing"
+
+	"occusim/internal/experiments"
+)
+
+// BenchmarkFig04ScanPeriod2s regenerates Figure 4: raw per-cycle
+// distance estimates at a 2 s scan period, 2 m from the transmitter.
+// The paper shows large variability; sd_m is the measured spread.
+func BenchmarkFig04ScanPeriod2s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary.StdDev, "sd_m")
+		b.ReportMetric(res.Summary.Mean, "mean_m")
+	}
+}
+
+// BenchmarkFig05StaticFilter regenerates Figure 5: the same stream
+// through the history filter with the paper's coefficient 0.65.
+func BenchmarkFig05StaticFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary.StdDev, "sd_m")
+		b.ReportMetric(res.RawSummary.StdDev/res.Summary.StdDev, "smoothing_x")
+	}
+}
+
+// BenchmarkFig06ScanPeriod5s regenerates Figure 6: a 5 s scan period
+// aggregates more advertisements per estimate and shrinks the variance.
+func BenchmarkFig06ScanPeriod5s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary.StdDev, "sd_m")
+		b.ReportMetric(res.Summary.Mean, "mean_m")
+	}
+}
+
+// BenchmarkFig07CoeffSweep regenerates Figure 7: the
+// stability-versus-responsiveness sweep that selects c = 0.65.
+func BenchmarkFig07CoeffSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Best.Coeff, "best_coeff")
+	}
+}
+
+// BenchmarkFig08DynamicFilter regenerates Figure 8: tracking the
+// transmitter hand-off during a 1.25 m/s walk with c = 0.65.
+func BenchmarkFig08DynamicFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.CrossoverAt - res.PhysicalCrossover).Seconds(), "crossover_lag_s")
+		b.ReportMetric(res.FinalErrorB, "final_err_m")
+	}
+}
+
+// BenchmarkFig09Classification regenerates Figure 9: scene-analysis SVM
+// accuracy versus the proximity technique (paper: ~94% vs ~84%), with
+// the room-level false-positive/false-negative balance.
+func BenchmarkFig09Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9([]uint64{uint64(i)*3 + 11, uint64(i)*3 + 22, uint64(i)*3 + 33})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SVMAccuracy, "svm_pct")
+		b.ReportMetric(100*res.ProximityAccuracy, "proximity_pct")
+		b.ReportMetric(100*res.KNNAccuracy, "knn_pct")
+		b.ReportMetric(float64(res.FalsePositives), "fp")
+		b.ReportMetric(float64(res.FalseNegatives), "fn")
+	}
+}
+
+// BenchmarkFig10Energy regenerates Figure 10: battery drain with the
+// Wi-Fi versus Bluetooth uplink (paper: ≈15% saving, ≈10 h lifetime).
+// Three runs per uplink keep the bench fast; cmd/experiments uses the
+// paper's ten.
+func BenchmarkFig10Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(3, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SavingFraction, "bt_saving_pct")
+		b.ReportMetric(res.WiFiLifetime.Hours(), "wifi_life_h")
+		b.ReportMetric(res.BTLifetime.Hours(), "bt_life_h")
+	}
+}
+
+// BenchmarkFig11DeviceVariability regenerates Figure 11: the systematic
+// RSSI gap between a Nexus 5 and a Galaxy S3 Mini at the same distance.
+func BenchmarkFig11DeviceVariability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanGapDB, "gap_db")
+	}
+}
+
+// BenchmarkSec5SampleCounts regenerates the Section V example: five
+// Android samples versus ~300 iOS packets in 10 s at a 2 s scan period.
+func BenchmarkSec5SampleCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec5SampleCounts(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AndroidDelivered), "android_samples")
+		b.ReportMetric(float64(res.IOSDelivered), "ios_samples")
+	}
+}
+
+// BenchmarkAblationLossHold measures the two-consecutive-loss rule
+// against one- and three-loss variants on a lossy stack.
+func BenchmarkAblationLossHold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationLossHold(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Points[0].TrackedFraction, "hold1_tracked_pct")
+		b.ReportMetric(100*res.Points[1].TrackedFraction, "hold2_tracked_pct")
+	}
+}
+
+// BenchmarkAblationDistanceModel compares the log-distance inversion
+// with the AltBeacon ratio curve.
+func BenchmarkAblationDistanceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDistanceModel(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the 2 m row, the paper's reference distance.
+		for _, p := range res.Points {
+			if p.TrueDistance == 2.0 {
+				b.ReportMetric(p.LogRMSE, "log_rmse_m")
+				b.ReportMetric(p.RatioRMSE, "ratio_rmse_m")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationScanPeriod sweeps the scan period (the Fig4↔Fig6
+// trade-off as one table).
+func BenchmarkAblationScanPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationScanPeriod(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(first.EstimateStdDev/last.EstimateStdDev, "sd_gain_x")
+	}
+}
+
+// BenchmarkAblationMotionGating measures the Section VIII accelerometer
+// proposal on a mostly stationary worker.
+func BenchmarkAblationMotionGating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMotionGating(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SavingFraction, "saving_pct")
+	}
+}
+
+// BenchmarkModelSelection cross-validates the (C, γ) grid that selects
+// the Figure 9 hyperparameters.
+func BenchmarkModelSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ModelSelection(uint64(i) + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Best.Accuracy, "best_cv_pct")
+		b.ReportMetric(res.Best.Gamma, "best_gamma")
+	}
+}
+
+// BenchmarkCounting measures per-room head-count accuracy with a crowd,
+// the introduction's "number of users in a room" goal.
+func BenchmarkCounting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Counting(4, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.ExactFraction, "exact_pct")
+		b.ReportMetric(res.MAE, "count_mae")
+		b.ReportMetric(100*res.DeviceAccuracy, "placement_pct")
+	}
+}

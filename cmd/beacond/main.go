@@ -1,0 +1,79 @@
+// Command beacond simulates the physical deployment — beacon boards plus
+// phones carried by occupants — and posts the phones' ranging reports to
+// a running bmsd over real HTTP, exercising the full networked path:
+//
+//	go run ./cmd/bmsd  -addr :8080 -plan paper-house &
+//	go run ./cmd/beacond -server http://127.0.0.1:8080 -phones 3 -duration 2m
+//
+// After the run it queries the server's occupancy endpoint and prints the
+// result.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/core"
+	"occusim/internal/geom"
+	"occusim/internal/mobility"
+	"occusim/internal/rng"
+	"occusim/internal/transport"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://127.0.0.1:8080", "bmsd base URL")
+	phones := flag.Int("phones", 3, "number of simulated occupants")
+	duration := flag.Duration("duration", 2*time.Minute, "simulated duration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	b := building.PaperHouse()
+	scn, err := core.NewScenario(core.ScenarioConfig{Building: b, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uplink := &transport.HTTPUplink{BaseURL: *serverURL}
+
+	src := rng.New(*seed)
+	for i := 0; i < *phones; i++ {
+		tour, err := mobility.NewTour(roomRects(b), mobility.DefaultWalk(), *duration, src.Split(uint64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("phone-%d", i+1)
+		if _, err := scn.AddPhone(name, tour, core.PhoneConfig{Uplink: uplink}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("beacond: %d beacons advertising, %d phones walking for %v, reporting to %s",
+		len(b.Beacons), *phones, *duration, *serverURL)
+	scn.Run(*duration)
+
+	resp, err := http.Get(*serverURL + "/api/v1/occupancy")
+	if err != nil {
+		log.Fatalf("beacond: occupancy query: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatalf("beacond: decode occupancy: %v", err)
+	}
+	out, _ := json.MarshalIndent(snap, "", "  ")
+	fmt.Fprintln(os.Stdout, string(out))
+}
+
+// roomRects lists the walkable areas of the plan.
+func roomRects(b *building.Building) []geom.Rect {
+	out := make([]geom.Rect, 0, len(b.Rooms))
+	for _, r := range b.Rooms {
+		out = append(out, r.Bounds)
+	}
+	return out
+}

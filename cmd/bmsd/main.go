@@ -1,0 +1,155 @@
+// Command bmsd runs the Building Management Server as a standalone HTTP
+// service — the role the paper gives to the Flask/Tornado process on the
+// Raspberry Pi. It serves the REST API over a chosen floor plan:
+//
+//	go run ./cmd/bmsd -addr :8080 -plan paper-house -snapshot bms.json
+//
+// Endpoints:
+//
+//	GET  /api/v1/health
+//	POST /api/v1/observations   device ranging reports
+//	POST /api/v1/fingerprints   labelled collection samples
+//	POST /api/v1/train          fit the scene-analysis SVM
+//	GET  /api/v1/occupancy      per-room head counts
+//	GET  /api/v1/events         committed enter/exit events
+//	GET  /api/v1/rooms          floor-plan inventory
+//	GET  /api/v1/energy         demand-response comparison
+//	GET  /api/v1/model          current serialised model
+//	GET  /api/v1/devices/{id}   latest report and room of one device
+//
+// With -snapshot, training state (fingerprints and the fitted model) is
+// restored at boot and persisted on SIGINT/SIGTERM, so a restarted
+// server keeps classifying without a fresh collection walk.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/building"
+	"occusim/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	plan := flag.String("plan", "paper-house", "floor plan: paper-house, office-floor, single-room, corridor")
+	debounce := flag.Int("debounce", 2, "occupancy tracker debounce (consecutive classifications)")
+	retain := flag.Int("retain", 1000, "observations retained per device")
+	snapshot := flag.String("snapshot", "", "path for persisted training state (load at boot, save on shutdown)")
+	flag.Parse()
+
+	b, err := planByName(*plan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	st, err := store.New(*retain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		if err := loadSnapshot(st, *snapshot); err != nil {
+			log.Fatal(err)
+		}
+	}
+	server, err := bms.NewServer(b, st, *debounce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A restored model blob needs retraining into the live classifier;
+	// retrain from restored fingerprints when present.
+	if st.FingerprintCount() > 0 {
+		if res, err := server.Train(0, 0, 0); err != nil {
+			log.Printf("bmsd: could not retrain from snapshot: %v", err)
+		} else {
+			log.Printf("bmsd: retrained from snapshot: %d fingerprints, %d support vectors",
+				res.Samples, res.SupportVectors)
+		}
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("bmsd: shutting down")
+		if *snapshot != "" {
+			if err := saveSnapshot(st, *snapshot); err != nil {
+				log.Printf("bmsd: snapshot save failed: %v", err)
+			} else {
+				log.Printf("bmsd: training state saved to %s", *snapshot)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(ctx)
+	}()
+
+	log.Printf("bmsd: serving %q (%d rooms, %d beacons) on %s", b.Name, len(b.Rooms), len(b.Beacons), *addr)
+	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// loadSnapshot restores training state when the file exists; a missing
+// file is a fresh start, not an error.
+func loadSnapshot(st *store.Store, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("bmsd: no snapshot at %s, starting fresh", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := st.ReadSnapshot(f); err != nil {
+		return err
+	}
+	log.Printf("bmsd: restored %d fingerprints from %s", st.FingerprintCount(), path)
+	return nil
+}
+
+// saveSnapshot writes training state atomically (temp file + rename).
+func saveSnapshot(st *store.Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func planByName(name string) (*building.Building, error) {
+	switch name {
+	case "paper-house":
+		return building.PaperHouse(), nil
+	case "office-floor":
+		return building.OfficeFloor(), nil
+	case "single-room":
+		return building.SingleRoom(), nil
+	case "corridor":
+		return building.TwoBeaconCorridor(), nil
+	default:
+		return nil, fmt.Errorf("bmsd: unknown plan %q", name)
+	}
+}

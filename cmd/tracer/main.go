@@ -1,0 +1,160 @@
+// Command tracer records and replays scan-cycle traces — the offline
+// workflow of the paper's signal analysis. Record mode runs a phone at a
+// fixed distance (or on a corridor walk) and writes the per-cycle
+// samples; replay mode re-runs a recorded trace through a chosen
+// distance filter and prints the estimates.
+//
+//	go run ./cmd/tracer -mode record -out trace.json -distance 2 -duration 2m
+//	go run ./cmd/tracer -mode replay -in trace.json -filter history -coeff 0.65
+//	go run ./cmd/tracer -mode record -walk -out walk.csv -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/core"
+	"occusim/internal/device"
+	"occusim/internal/filter"
+	"occusim/internal/geom"
+	"occusim/internal/ibeacon"
+	"occusim/internal/mobility"
+	"occusim/internal/rng"
+	"occusim/internal/scanner"
+	"occusim/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "record", "record or replay")
+	out := flag.String("out", "trace.json", "output path (record mode)")
+	in := flag.String("in", "trace.json", "input path (replay mode)")
+	format := flag.String("format", "json", "trace encoding: json or csv")
+	distance := flag.Float64("distance", 2, "static distance from the beacon in metres (record mode)")
+	walk := flag.Bool("walk", false, "record a corridor walk instead of a static placement")
+	duration := flag.Duration("duration", 2*time.Minute, "recording length")
+	period := flag.Duration("period", 2*time.Second, "scan period")
+	filterName := flag.String("filter", "history", "replay filter: history, median, kalman, raw")
+	coeff := flag.Float64("coeff", 0.65, "history filter coefficient")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *mode {
+	case "record":
+		if err := record(*out, *format, *distance, *walk, *duration, *period, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case "replay":
+		if err := replay(*in, *format, *filterName, *coeff); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("tracer: unknown mode %q", *mode)
+	}
+}
+
+func record(path, format string, distance float64, walk bool, duration, period time.Duration, seed uint64) error {
+	var b *building.Building
+	var model mobility.Model
+	if walk {
+		b = building.TwoBeaconCorridor()
+		w, err := mobility.NewStops([]mobility.Stop{
+			{P: geom.Pt(1.5, 1.2), Dwell: duration / 3},
+			{P: geom.Pt(12.5, 1.2), Dwell: duration / 3},
+		}, 1.25)
+		if err != nil {
+			return err
+		}
+		model = w
+	} else {
+		b = building.SingleRoom()
+		pos := b.Beacons[0].Pos
+		model = mobility.Static{P: geom.Pt(pos.X+distance, pos.Y)}
+	}
+	scn, err := core.NewScenario(core.ScenarioConfig{Building: b, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(device.GalaxyS3Mini().Model, period)
+	_, err = scanner.Attach(scn.World(), "tracer", model, scanner.Config{
+		Period:  period,
+		Profile: device.GalaxyS3Mini(),
+		Region:  ibeacon.NewRegion(b.Beacons[0].ID.UUID),
+		OnCycle: rec.Observe,
+	}, rng.New(seed^0x7124CE))
+	if err != nil {
+		return err
+	}
+	scn.Run(duration)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := rec.Trace()
+	switch format {
+	case "json":
+		err = tr.WriteJSON(f)
+	case "csv":
+		err = tr.WriteCSV(f)
+	default:
+		err = fmt.Errorf("tracer: unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("tracer: wrote %d cycles to %s (%s)", len(tr.Cycles), path, format)
+	return nil
+}
+
+func replay(path, format, filterName string, coeff float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	switch format {
+	case "json":
+		tr, err = trace.ReadJSON(f)
+	case "csv":
+		tr, err = trace.ReadCSV(f)
+	default:
+		err = fmt.Errorf("tracer: unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+
+	var df filter.DistanceFilter
+	switch filterName {
+	case "history":
+		df, err = filter.NewHistory(filter.Config{Coeff: coeff, MaxMisses: 2})
+	case "raw":
+		df, err = filter.NewHistory(filter.Config{Coeff: 0, MaxMisses: 2})
+	case "median":
+		df, err = filter.NewMedian(5, 2, nil)
+	case "kalman":
+		df, err = filter.NewKalman(0.05, 1.0, 2, nil)
+	default:
+		err = fmt.Errorf("tracer: unknown filter %q", filterName)
+	}
+	if err != nil {
+		return err
+	}
+
+	states := tr.Replay(df)
+	fmt.Printf("# replay of %s through %s\n", path, df.Name())
+	fmt.Printf("# time_s beacon distance_m misses\n")
+	for i, estimates := range states {
+		at := tr.Cycles[i].End.Seconds()
+		for _, e := range estimates {
+			fmt.Printf("%8.1f %s %6.2f %d\n", at, e.Beacon, e.Distance, e.Misses)
+		}
+	}
+	return nil
+}

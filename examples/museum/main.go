@@ -1,0 +1,93 @@
+// Museum proximity tour: the original iBeacon use case Section III cites
+// ("as soon as you approach to a painting, the smartphone will show you
+// the most interesting information"). A visitor walks past four
+// exhibits, and the app's ranging pipeline fires content triggers when
+// the filtered distance to an exhibit beacon drops under the engagement
+// threshold.
+//
+//	go run ./examples/museum
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"occusim"
+)
+
+// exhibit pairs a beacon minor number with its label.
+var exhibits = map[uint16]string{
+	1: "Sunflowers",
+	2: "The Night Watch",
+	3: "Girl with a Pearl Earring",
+	4: "The Garden of Earthly Delights",
+}
+
+func main() {
+	// A gallery: one long room with an exhibit beacon on each wall
+	// segment.
+	gallery := &occusim.Building{
+		Name: "gallery",
+		Rooms: []occusim.Room{
+			{Name: "gallery", Bounds: occusim.NewRect(occusim.Pt(0, 0), occusim.Pt(24, 6))},
+		},
+	}
+	uuid, err := occusim.ParseUUID("C0FFEE00-BEEF-4A11-8000-000000000001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for minor, pos := range map[uint16]occusim.Point{
+		1: occusim.Pt(3, 5.6), 2: occusim.Pt(9, 5.6), 3: occusim.Pt(15, 5.6), 4: occusim.Pt(21, 5.6),
+	} {
+		gallery.Beacons = append(gallery.Beacons, occusim.Beacon{
+			ID:            occusim.BeaconID{UUID: uuid, Major: 7, Minor: minor},
+			MeasuredPower: -59,
+			TxPowerDBm:    -59,
+			Pos:           pos,
+			Room:          "gallery",
+		})
+	}
+
+	scn, err := occusim.NewScenario(occusim.ScenarioConfig{Building: gallery, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The visitor strolls along the exhibits, pausing at each.
+	stops := []occusim.Stop{
+		{P: occusim.Pt(1, 2), Dwell: 10 * time.Second},
+		{P: occusim.Pt(3, 4.5), Dwell: 30 * time.Second},
+		{P: occusim.Pt(9, 4.5), Dwell: 30 * time.Second},
+		{P: occusim.Pt(15, 4.5), Dwell: 30 * time.Second},
+		{P: occusim.Pt(21, 4.5), Dwell: 30 * time.Second},
+		{P: occusim.Pt(23, 2), Dwell: 10 * time.Second},
+	}
+	walk, err := occusim.NewStops(stops, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	visitor, err := scn.AddPhone("visitor", walk, occusim.PhoneConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Poll the ranging estimates as the tour progresses and fire content
+	// when an exhibit comes within 2 m.
+	const engageAt = 2.0
+	triggered := map[uint16]bool{}
+	step := 2 * time.Second
+	for t := time.Duration(0); t < walk.End(); t += step {
+		scn.Run(step)
+		for _, e := range visitor.Estimates() {
+			name, known := exhibits[e.Beacon.Minor]
+			if !known || triggered[e.Beacon.Minor] || e.Distance > engageAt {
+				continue
+			}
+			triggered[e.Beacon.Minor] = true
+			fmt.Printf("%6.0fs  within %.1f m of beacon %d → showing \"%s\"\n",
+				scn.Now().Seconds(), e.Distance, e.Beacon.Minor, name)
+		}
+	}
+	fmt.Printf("tour complete: %d/%d exhibits engaged\n", len(triggered), len(exhibits))
+}

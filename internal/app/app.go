@@ -1,0 +1,347 @@
+// Package app models the Android client application of Section IV.C
+// (Figure 3): a boot handler starts a background service, which turns on
+// Bluetooth and runs the monitoring service; when the device enters a
+// configured iBeacon region the ranging service runs, feeding the history
+// filter of Section V and reporting the ranged beacons to the building
+// server over the configured uplink. Every activity is charged to the
+// device's battery through the energy meter, reproducing the Section VII
+// measurements.
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"occusim/internal/ble"
+	"occusim/internal/device"
+	"occusim/internal/energy"
+	"occusim/internal/filter"
+	"occusim/internal/geom"
+	"occusim/internal/ibeacon"
+	"occusim/internal/mobility"
+	"occusim/internal/rng"
+	"occusim/internal/scanner"
+	"occusim/internal/transport"
+)
+
+// State is the application lifecycle state (Figure 3).
+type State int
+
+const (
+	// Booting: the boot handler has not yet started the background
+	// service.
+	Booting State = iota
+	// Monitoring: scanning for region entry, no beacons currently
+	// ranged.
+	Monitoring
+	// Ranging: inside a region, ranging beacons and reporting.
+	Ranging
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Booting:
+		return "booting"
+	case Monitoring:
+		return "monitoring"
+	case Ranging:
+		return "ranging"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// RegionEvent records a region enter/exit transition.
+type RegionEvent struct {
+	At      time.Duration
+	Entered bool
+}
+
+// Config parameterises one app instance.
+type Config struct {
+	// Profile is the handset model.
+	Profile device.Profile
+	// Power is the energy profile (DefaultAppProfile when zero-valued
+	// fields would fail validation, callers should fill it explicitly).
+	Power energy.AppProfile
+	// ScanPeriod is the scan cycle length.
+	ScanPeriod time.Duration
+	// Region is the monitored iBeacon region; the app and the beacon
+	// boards must be configured with the same UUID (Section IV.C).
+	Region ibeacon.Region
+	// Filter configures the history filter.
+	Filter filter.Config
+	// Uplink delivers reports to the BMS.
+	Uplink transport.Uplink
+	// UplinkKind selects the energy accounting of the channel.
+	UplinkKind energy.Uplink
+	// QueueLen and MaxAttempts bound the retry queue (defaults 16, 3).
+	QueueLen    int
+	MaxAttempts int
+	// MotionGate enables the Section VIII future-work optimisation: use
+	// the accelerometer to skip reporting (and duty-cycle sensing) while
+	// the user is stationary.
+	MotionGate bool
+	// MotionThreshold is the movement per cycle that counts as motion
+	// (default 0.5 m).
+	MotionThreshold float64
+	// BootDelay is the time from power-on to the background service
+	// starting (default 2 s).
+	BootDelay time.Duration
+	// BatteryLogPeriod is the measurement app's sampling period
+	// (default 1 min).
+	BatteryLogPeriod time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueLen == 0 {
+		c.QueueLen = 16
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MotionThreshold == 0 {
+		c.MotionThreshold = 0.5
+	}
+	if c.BootDelay == 0 {
+		c.BootDelay = 2 * time.Second
+	}
+	if c.BatteryLogPeriod == 0 {
+		c.BatteryLogPeriod = time.Minute
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.ScanPeriod <= 0 {
+		return fmt.Errorf("app: scan period must be positive, got %v", c.ScanPeriod)
+	}
+	if err := c.Filter.Validate(); err != nil {
+		return err
+	}
+	if c.Uplink == nil {
+		return fmt.Errorf("app: uplink is required")
+	}
+	return nil
+}
+
+// Stats summarise an app's activity.
+type Stats struct {
+	Cycles         int
+	ReportsSent    int
+	ReportsSkipped int
+	SendFailures   int
+	RegionEnters   int
+	RegionExits    int
+}
+
+// App is one running client instance.
+type App struct {
+	name string
+	cfg  Config
+
+	filt    *filter.History
+	queue   *transport.Queue
+	meter   *energy.Meter
+	logger  *energy.Logger
+	moving  mobility.Model
+	scn     *scanner.Scanner
+	state   State
+	lastPos geom.Point
+	events  []RegionEvent
+	stats   Stats
+}
+
+// Launch attaches an app to the BLE world. The app's scan cycles start
+// after the boot delay (the boot handler listening for the boot-complete
+// event).
+func Launch(w *ble.World, name string, m mobility.Model, cfg Config, src *rng.Source) (*App, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("app: %q needs a mobility model", name)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("app: %q needs an rng source", name)
+	}
+	filt, err := filter.NewHistory(cfg.Filter)
+	if err != nil {
+		return nil, err
+	}
+	meter := energy.NewMeter(cfg.Profile.Battery)
+	a := &App{
+		name:    name,
+		cfg:     cfg,
+		filt:    filt,
+		meter:   meter,
+		logger:  energy.NewLogger(meter),
+		moving:  m,
+		state:   Booting,
+		lastPos: m.Position(0),
+	}
+	// Reports pay their radio energy per send attempt — a failed BLE
+	// connection still costs its connection energy.
+	charged := transport.SendFunc{
+		Label: cfg.Uplink.Name(),
+		F: func(r transport.Report) error {
+			if err := meter.DrawEnergy("uplink", cfg.Power.ReportEnergyJ(cfg.UplinkKind)); err != nil {
+				return err
+			}
+			if err := cfg.Uplink.Send(r); err != nil {
+				a.stats.SendFailures++
+				return err
+			}
+			return nil
+		},
+	}
+	a.queue, err = transport.NewQueue(charged, cfg.QueueLen, cfg.MaxAttempts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The measurement app samples the battery level periodically.
+	w.Engine().Ticker(cfg.BatteryLogPeriod, func(now time.Duration) bool {
+		a.logger.Sample(now)
+		return !a.meter.Depleted()
+	})
+	return a, a.start(w, src)
+}
+
+// start wires the scanner. The scanner's cycle ticker begins at attach
+// time; cycles that complete before BootDelay are discarded in onCycle
+// (the boot handler has not yet started the background service), which
+// honours the boot sequence of Figure 3 without a second timer.
+func (a *App) start(w *ble.World, src *rng.Source) error {
+	scn, err := scanner.Attach(w, a.name, a.moving, scanner.Config{
+		Period:  a.cfg.ScanPeriod,
+		Profile: a.cfg.Profile,
+		Region:  a.cfg.Region,
+		OnCycle: a.onCycle,
+	}, src)
+	if err != nil {
+		return err
+	}
+	a.scn = scn
+	return nil
+}
+
+// onCycle processes one completed scan period.
+func (a *App) onCycle(c scanner.Cycle) {
+	if a.meter.Depleted() {
+		return // the phone is dead
+	}
+	if c.End <= a.cfg.BootDelay {
+		// Still booting: only the base phone load applies.
+		_ = a.meter.Draw("phone-base", a.cfg.Power.BasePhoneMW, c.End-c.Start)
+		return
+	}
+	if a.state == Booting {
+		a.state = Monitoring
+	}
+	a.stats.Cycles++
+
+	pos := a.moving.Position(c.End)
+	moved := pos.Dist(a.lastPos) >= a.cfg.MotionThreshold
+	a.lastPos = pos
+
+	// Continuous power for the cycle. With the motion gate active and
+	// the user still, sensing is duty-cycled to 20%.
+	period := c.End - c.Start
+	scanMW := a.cfg.Power.BLEScanMW
+	if a.cfg.MotionGate && !moved {
+		scanMW *= 0.2
+	}
+	base := a.cfg.Power.ContinuousPowerMW(a.cfg.UplinkKind) - a.cfg.Power.BLEScanMW
+	_ = a.meter.Draw("phone-base", base, period)
+	_ = a.meter.Draw("ble-scan", scanMW, period)
+	_ = a.meter.DrawEnergy("cpu", a.cfg.Power.CPUPerCycleJ)
+
+	// Ranging: feed the history filter.
+	obs := make([]filter.Observation, 0, len(c.Samples))
+	for _, s := range c.Samples {
+		obs = append(obs, filter.Observation{
+			Beacon:        s.Beacon,
+			RSSI:          s.RSSI,
+			MeasuredPower: s.MeasuredPower,
+		})
+	}
+	estimates := a.filt.Update(c.End, obs)
+
+	// Region transitions (the monitoring service callback).
+	inRegion := len(estimates) > 0
+	switch {
+	case inRegion && a.state != Ranging:
+		a.state = Ranging
+		a.stats.RegionEnters++
+		a.events = append(a.events, RegionEvent{At: c.End, Entered: true})
+	case !inRegion && a.state == Ranging:
+		a.state = Monitoring
+		a.stats.RegionExits++
+		a.events = append(a.events, RegionEvent{At: c.End, Entered: false})
+	}
+	if !inRegion {
+		return
+	}
+
+	// Motion gate: a stationary user generates no new occupancy
+	// information (Section VIII).
+	if a.cfg.MotionGate && !moved {
+		a.stats.ReportsSkipped++
+		return
+	}
+
+	report := transport.Report{Device: a.name, AtSeconds: c.End.Seconds()}
+	for _, e := range estimates {
+		report.Beacons = append(report.Beacons, transport.BeaconReport{
+			ID:       e.Beacon.String(),
+			Distance: e.Distance,
+			RSSI:     rssiOf(c.Samples, e.Beacon),
+		})
+	}
+	a.queue.Enqueue(report)
+	a.stats.ReportsSent += a.queue.Flush()
+}
+
+// rssiOf finds the cycle RSSI for a beacon (0 when the beacon was held
+// from a previous cycle).
+func rssiOf(samples []scanner.Sample, id ibeacon.BeaconID) float64 {
+	for _, s := range samples {
+		if s.Beacon == id {
+			return s.RSSI
+		}
+	}
+	return 0
+}
+
+// Name returns the app's device name.
+func (a *App) Name() string { return a.name }
+
+// State returns the current lifecycle state.
+func (a *App) State() State { return a.state }
+
+// Stats returns activity counters.
+func (a *App) Stats() Stats { return a.stats }
+
+// Meter exposes the battery meter.
+func (a *App) Meter() *energy.Meter { return a.meter }
+
+// BatteryLog exposes the measurement logger.
+func (a *App) BatteryLog() *energy.Logger { return a.logger }
+
+// Estimates returns the current ranging estimates.
+func (a *App) Estimates() []filter.Estimate { return a.filt.Snapshot() }
+
+// RegionEvents returns the region transitions seen so far.
+func (a *App) RegionEvents() []RegionEvent { return append([]RegionEvent(nil), a.events...) }
+
+// ScannerStats exposes the underlying scanner counters.
+func (a *App) ScannerStats() scanner.Stats { return a.scn.Stats() }

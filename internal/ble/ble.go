@@ -1,0 +1,276 @@
+// Package ble models the Bluetooth Low Energy advertising link between
+// the beacon boards and the phones: periodic advertising events with the
+// spec's pseudo-random advDelay jitter, per-packet channel draws from the
+// radio model, listener duty cycling (a scanner hears only a fraction of
+// the packets physically present), and an ALOHA-style collision model for
+// co-located advertisers.
+//
+// The package deliberately stops below the scanning semantics of any
+// particular OS: it delivers raw advertisement receptions. The scanner
+// package layers Android's one-report-per-cycle behaviour and iOS's
+// every-packet behaviour on top.
+package ble
+
+import (
+	"fmt"
+	"time"
+
+	"occusim/internal/geom"
+	"occusim/internal/mobility"
+	"occusim/internal/radio"
+	"occusim/internal/rng"
+	"occusim/internal/sim"
+)
+
+// AdvAirtime is the on-air duration of one iBeacon advertising PDU
+// (preamble + access address + 30-byte payload + CRC at 1 Mb/s ≈ 376 µs,
+// rounded up).
+const AdvAirtime = 400 * time.Microsecond
+
+// MaxAdvDelay is the specification's pseudo-random per-event advertising
+// delay bound (0–10 ms).
+const MaxAdvDelay = 10 * time.Millisecond
+
+// Advertiser is one beacon transmitter.
+type Advertiser struct {
+	// Name identifies the advertiser in reports; typically the beacon ID
+	// string.
+	Name string
+	// Payload is the advertising PDU payload (an encoded iBeacon packet).
+	Payload []byte
+	// LinkID feeds the per-link shadowing field of the radio model;
+	// typically ibeacon.BeaconID.Hash64().
+	LinkID uint64
+	// PowerAt1mDBm is the true received power 1 m from the antenna, the
+	// reference the channel model propagates from. After calibration this
+	// is close to the advertised measured-power field, but the two are
+	// independent knobs.
+	PowerAt1mDBm float64
+	// Interval is the advertising interval. The paper's transmitter
+	// advertises ~30 times per second (≈33 ms).
+	Interval time.Duration
+	// Pos is the mounting position (beacon boards do not move).
+	Pos geom.Point
+}
+
+// Validate reports the first invalid field, or nil.
+func (a *Advertiser) Validate() error {
+	switch {
+	case len(a.Payload) == 0:
+		return fmt.Errorf("ble: advertiser %q has empty payload", a.Name)
+	case a.Interval <= 0:
+		return fmt.Errorf("ble: advertiser %q has non-positive interval", a.Name)
+	}
+	return nil
+}
+
+// Reception is one successfully decoded advertisement at a listener.
+type Reception struct {
+	// At is the simulated reception time.
+	At time.Duration
+	// From names the advertiser.
+	From string
+	// Payload is the advertising payload as transmitted.
+	Payload []byte
+	// RSSI is the received signal strength indicator in dBm, including
+	// the listener's device offset and measurement noise.
+	RSSI float64
+}
+
+// Listener is one receiving radio attached to the world.
+type Listener struct {
+	// Name identifies the listener.
+	Name string
+	// Mobility yields the listener position over time.
+	Mobility mobility.Model
+	// OffsetDB is the handset's systematic RSSI offset (device.Profile).
+	OffsetDB float64
+	// NoiseSigmaDB is per-sample measurement noise added on top of the
+	// channel.
+	NoiseSigmaDB float64
+	// CaptureProb is the probability that the listener's radio is tuned
+	// and listening when a packet arrives (channel rotation × scan duty
+	// cycle). 0 means "use 1.0".
+	CaptureProb float64
+	// Handler receives every decoded advertisement.
+	Handler func(Reception)
+
+	src *rng.Source
+	idx int
+}
+
+func (l *Listener) captureProb() float64 {
+	if l.CaptureProb == 0 {
+		return 1
+	}
+	return l.CaptureProb
+}
+
+// Validate reports the first invalid field, or nil.
+func (l *Listener) Validate() error {
+	switch {
+	case l.Mobility == nil:
+		return fmt.Errorf("ble: listener %q has no mobility model", l.Name)
+	case l.Handler == nil:
+		return fmt.Errorf("ble: listener %q has no handler", l.Name)
+	case l.CaptureProb < 0 || l.CaptureProb > 1:
+		return fmt.Errorf("ble: listener %q capture probability %v outside [0,1]", l.Name, l.CaptureProb)
+	case l.NoiseSigmaDB < 0:
+		return fmt.Errorf("ble: listener %q negative noise sigma", l.Name)
+	}
+	return nil
+}
+
+// World wires advertisers, listeners, the radio channel and the event
+// engine together.
+type World struct {
+	engine      *sim.Engine
+	channel     *radio.Channel
+	advertisers []*Advertiser
+	listeners   []*Listener
+	src         *rng.Source
+
+	// collisionProb[i] is the per-packet probability that advertiser i's
+	// packet overlaps another advertiser's packet on the same channel at
+	// a listener (slotted-ALOHA approximation: Σ over other advertisers
+	// of 2·airtime/interval, divided by 3 channels).
+	collisionProb []float64
+
+	// slowFade holds the per-link Ornstein–Uhlenbeck fading state,
+	// keyed by (listener, advertiser).
+	slowFade map[linkKey]*fadeState
+}
+
+type linkKey struct {
+	listener, advertiser int
+}
+
+type fadeState struct {
+	v    float64
+	last time.Duration
+	init bool
+}
+
+// NewWorld creates a world over the given channel. seed drives all link
+// randomness (jitter, fading draws, capture, noise).
+func NewWorld(engine *sim.Engine, channel *radio.Channel, seed uint64) *World {
+	return &World{
+		engine:   engine,
+		channel:  channel,
+		src:      rng.New(seed),
+		slowFade: map[linkKey]*fadeState{},
+	}
+}
+
+// Engine returns the underlying event engine.
+func (w *World) Engine() *sim.Engine { return w.engine }
+
+// AddAdvertiser registers a beacon transmitter and schedules its
+// advertising train starting at a small random phase.
+func (w *World) AddAdvertiser(a *Advertiser) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	w.advertisers = append(w.advertisers, a)
+	w.recomputeCollisions()
+	advSrc := w.src.Split(uint64(len(w.advertisers)))
+	// Random initial phase avoids artificial synchronisation between
+	// transmitters.
+	phase := time.Duration(advSrc.Uniform(0, float64(a.Interval)))
+	idx := len(w.advertisers) - 1
+	w.engine.Schedule(phase, func(e *sim.Engine) { w.advertise(e, idx, advSrc) })
+	return nil
+}
+
+// AddListener registers a receiver.
+func (w *World) AddListener(l *Listener) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	l.src = w.src.Split(0x10000 + uint64(len(w.listeners)))
+	l.idx = len(w.listeners)
+	w.listeners = append(w.listeners, l)
+	return nil
+}
+
+func (w *World) recomputeCollisions() {
+	w.collisionProb = make([]float64, len(w.advertisers))
+	for i, a := range w.advertisers {
+		var p float64
+		for j, b := range w.advertisers {
+			if i == j {
+				continue
+			}
+			// A collision happens when the other transmitter starts
+			// within ±airtime of ours and picked the same channel.
+			p += 2 * AdvAirtime.Seconds() / b.Interval.Seconds() / 3
+		}
+		_ = a
+		if p > 1 {
+			p = 1
+		}
+		w.collisionProb[i] = p
+	}
+}
+
+// advertise emits one advertising event for advertiser idx and
+// reschedules the next one.
+func (w *World) advertise(e *sim.Engine, idx int, advSrc *rng.Source) {
+	a := w.advertisers[idx]
+	now := e.Now()
+	for _, l := range w.listeners {
+		w.deliver(now, idx, a, l)
+	}
+	next := a.Interval + time.Duration(advSrc.Uniform(0, float64(MaxAdvDelay)))
+	e.Schedule(next, func(e *sim.Engine) { w.advertise(e, idx, advSrc) })
+}
+
+// deliver decides whether listener l decodes this advertisement and
+// invokes its handler if so.
+func (w *World) deliver(now time.Duration, advIdx int, a *Advertiser, l *Listener) {
+	// Is the radio tuned to the right channel and listening?
+	if !l.src.Bool(l.captureProb()) {
+		return
+	}
+	// Did another transmitter collide on the same channel?
+	if l.src.Bool(w.collisionProb[advIdx]) {
+		return
+	}
+	rxPos := l.Mobility.Position(now)
+	rssi := w.channel.SampleRSSI(a.PowerAt1mDBm, a.LinkID, a.Pos, rxPos, l.src)
+	rssi += w.advanceSlowFade(linkKey{l.idx, advIdx}, now, l.src)
+	rssi += l.OffsetDB + l.src.Normal(0, l.NoiseSigmaDB)
+	// Sensitivity: can the radio decode at this level?
+	if !w.channel.Received(rssi-l.OffsetDB, l.src) {
+		return
+	}
+	l.Handler(Reception{At: now, From: a.Name, Payload: a.Payload, RSSI: rssi})
+}
+
+// advanceSlowFade steps the link's Ornstein–Uhlenbeck fading state to
+// now and returns its current value in dB.
+func (w *World) advanceSlowFade(key linkKey, now time.Duration, src *rng.Source) float64 {
+	gen := w.channel.SlowFade()
+	if gen.SigmaDB == 0 {
+		return 0
+	}
+	st := w.slowFade[key]
+	if st == nil {
+		st = &fadeState{}
+		w.slowFade[key] = st
+	}
+	if !st.init {
+		st.v = gen.Init(src)
+		st.init = true
+	} else {
+		st.v = gen.Next(st.v, (now - st.last).Seconds(), src)
+	}
+	st.last = now
+	return st.v
+}
+
+// Run advances the simulation until the given duration of simulated time
+// has elapsed.
+func (w *World) Run(duration time.Duration) {
+	w.engine.RunUntil(w.engine.Now() + duration)
+}

@@ -1,0 +1,395 @@
+// Package bms implements the Building Management Server of Section IV.B:
+// a REST service (the paper used Flask behind a Tornado WSGI container;
+// here net/http) that ingests device observations and fingerprints,
+// trains the scene-analysis SVM on demand, answers occupancy queries, and
+// feeds the demand-response HVAC/lighting controllers that motivate the
+// whole system.
+package bms
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/classify"
+	"occusim/internal/fingerprint"
+	"occusim/internal/ibeacon"
+	"occusim/internal/occupancy"
+	"occusim/internal/store"
+	"occusim/internal/svm"
+	"occusim/internal/transport"
+)
+
+// Server is the BMS application. Create with NewServer; serve via
+// Handler.
+type Server struct {
+	bld *building.Building
+	st  *store.Store
+
+	mu         sync.Mutex
+	tracker    *occupancy.Tracker
+	classifier classify.Classifier
+	sceneSVM   *classify.SceneSVM
+}
+
+// NewServer builds a BMS for the given building. Until a model is
+// trained, observations are classified with the proximity technique, as
+// in the authors' earlier system. debounce configures the occupancy
+// tracker.
+func NewServer(b *building.Building, st *store.Store, debounce int) (*Server, error) {
+	if b == nil || st == nil {
+		return nil, fmt.Errorf("bms: building and store are required")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("bms: %w", err)
+	}
+	tr, err := occupancy.NewTracker(debounce)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		bld:        b,
+		st:         st,
+		tracker:    tr,
+		classifier: classify.NewProximity(b, 0),
+	}, nil
+}
+
+// Classifier returns the name of the classifier currently in use.
+func (s *Server) Classifier() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classifier.Name()
+}
+
+// Ingest processes one report exactly as the POST /api/v1/observations
+// endpoint does: store, classify, update occupancy. It returns the
+// predicted room. Exposed for in-process (non-HTTP) wiring in the
+// simulator.
+func (s *Server) Ingest(r transport.Report) (string, error) {
+	if r.Device == "" {
+		return "", fmt.Errorf("bms: report without device")
+	}
+	at := time.Duration(r.AtSeconds * float64(time.Second))
+	obs := store.Observation{Device: r.Device, At: at}
+	sample := fingerprint.Sample{
+		Room:      "", // unknown; this is what we predict
+		At:        at,
+		Distances: map[ibeacon.BeaconID]float64{},
+	}
+	for _, b := range r.Beacons {
+		id, err := ibeacon.ParseBeaconID(b.ID)
+		if err != nil {
+			return "", fmt.Errorf("bms: %w", err)
+		}
+		obs.Beacons = append(obs.Beacons, store.BeaconDistance{ID: id, Distance: b.Distance, RSSI: b.RSSI})
+		sample.Distances[id] = b.Distance
+	}
+	if err := s.st.AddObservation(obs); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	room := s.classifier.Predict(sample)
+	s.tracker.Observe(at, r.Device, room)
+	return room, nil
+}
+
+// AddFingerprint stores one labelled sample (the collection phase).
+func (s *Server) AddFingerprint(sample fingerprint.Sample) error {
+	valid := sample.Room == building.Outside
+	if !valid {
+		if _, ok := s.bld.RoomByName(sample.Room); ok {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("bms: fingerprint labelled with unknown room %q", sample.Room)
+	}
+	return s.st.AddFingerprint(sample)
+}
+
+// TrainResult reports the outcome of a training run.
+type TrainResult struct {
+	Samples        int      `json:"samples"`
+	Classes        []string `json:"classes"`
+	SupportVectors int      `json:"supportVectors"`
+	ModelVersion   int      `json:"modelVersion"`
+}
+
+// Train fits the scene-analysis SVM on the stored fingerprints and
+// switches classification to it. C and gamma follow the paper's choice
+// of an RBF kernel; non-positive values select defaults.
+func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
+	ds := s.st.FingerprintDataset()
+	if ds.Len() == 0 {
+		return TrainResult{}, fmt.Errorf("bms: no fingerprints collected")
+	}
+	if c <= 0 {
+		c = 10
+	}
+	if gamma <= 0 {
+		gamma = 1 / float64(len(ds.Beacons)+1)
+	}
+	scene, err := classify.TrainSceneSVM(ds, svm.TrainConfig{
+		C:      c,
+		Kernel: svm.RBF{Gamma: gamma},
+		Seed:   seed,
+	})
+	if err != nil {
+		return TrainResult{}, err
+	}
+	blob, err := json.Marshal(scene.Model())
+	if err != nil {
+		return TrainResult{}, fmt.Errorf("bms: serialise model: %w", err)
+	}
+	version := s.st.SetModel(blob)
+
+	s.mu.Lock()
+	s.sceneSVM = scene
+	s.classifier = scene
+	s.mu.Unlock()
+
+	return TrainResult{
+		Samples:        ds.Len(),
+		Classes:        scene.Model().Classes(),
+		SupportVectors: scene.Model().NumSupportVectors(),
+		ModelVersion:   version,
+	}, nil
+}
+
+// OccupancySnapshot is the GET /api/v1/occupancy payload.
+type OccupancySnapshot struct {
+	Rooms   map[string]int    `json:"rooms"`
+	Devices map[string]string `json:"devices"`
+}
+
+// Occupancy returns the current per-room head counts and device rooms.
+func (s *Server) Occupancy() OccupancySnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := OccupancySnapshot{Rooms: s.tracker.Counts(), Devices: map[string]string{}}
+	for _, d := range s.tracker.Devices() {
+		snap.Devices[d] = s.tracker.RoomOf(d)
+	}
+	return snap
+}
+
+// Events returns all committed occupancy events so far.
+func (s *Server) Events() []occupancy.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracker.Events()
+}
+
+// Handler returns the REST API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "building": s.bld.Name})
+	})
+	mux.HandleFunc("POST /api/v1/observations", s.handleObservation)
+	mux.HandleFunc("POST /api/v1/fingerprints", s.handleFingerprint)
+	mux.HandleFunc("POST /api/v1/train", s.handleTrain)
+	mux.HandleFunc("GET /api/v1/occupancy", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Occupancy())
+	})
+	mux.HandleFunc("GET /api/v1/model", s.handleModel)
+	mux.HandleFunc("GET /api/v1/devices/{device}", s.handleDevice)
+	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/rooms", s.handleRooms)
+	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
+	return mux
+}
+
+// eventJSON is the wire form of an occupancy event.
+type eventJSON struct {
+	AtSeconds float64 `json:"atSeconds"`
+	Device    string  `json:"device"`
+	Kind      string  `json:"kind"`
+	Room      string  `json:"room"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events := s.Events()
+	out := make([]eventJSON, 0, len(events))
+	for _, e := range events {
+		out = append(out, eventJSON{
+			AtSeconds: e.At.Seconds(),
+			Device:    e.Device,
+			Kind:      e.Kind.String(),
+			Room:      e.Room,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": out})
+}
+
+func (s *Server) handleRooms(w http.ResponseWriter, r *http.Request) {
+	type roomJSON struct {
+		Name    string `json:"name"`
+		Beacons int    `json:"beacons"`
+	}
+	rooms := make([]roomJSON, 0, len(s.bld.Rooms))
+	for _, room := range s.bld.Rooms {
+		rooms = append(rooms, roomJSON{
+			Name:    room.Name,
+			Beacons: len(s.bld.BeaconsInRoom(room.Name)),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"building": s.bld.Name, "rooms": rooms})
+}
+
+// handleEnergy runs the demand-response comparison over the occupancy
+// history. Optional query parameter horizonSeconds overrides the default
+// (the latest event time).
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	events := s.Events()
+	horizon := time.Duration(0)
+	if v := r.URL.Query().Get("horizonSeconds"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil || secs <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad horizonSeconds %q", v))
+			return
+		}
+		horizon = time.Duration(secs * float64(time.Second))
+	} else if n := len(events); n > 0 {
+		horizon = events[n-1].At
+	}
+	if horizon <= 0 {
+		writeError(w, http.StatusConflict, fmt.Errorf("no occupancy history to compare"))
+		return
+	}
+	cmp, err := CompareEnergy(s.bld.RoomNames(), events, horizon, DefaultHVAC())
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"horizonSeconds": cmp.Horizon.Seconds(),
+		"baselineKWh":    cmp.BaselineKWh,
+		"demandKWh":      cmp.DemandKWh,
+		"savingFraction": cmp.SavingFraction,
+	})
+}
+
+func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
+	var rep transport.Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	room, err := s.Ingest(rep)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"room": room})
+}
+
+// fingerprintRequest is the POST /api/v1/fingerprints payload.
+type fingerprintRequest struct {
+	Room      string             `json:"room"`
+	AtSeconds float64            `json:"atSeconds"`
+	Distances map[string]float64 `json:"distances"`
+}
+
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	var req fingerprintRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	sample := fingerprint.Sample{
+		Room:      req.Room,
+		At:        time.Duration(req.AtSeconds * float64(time.Second)),
+		Distances: map[ibeacon.BeaconID]float64{},
+	}
+	for key, d := range req.Distances {
+		id, err := ibeacon.ParseBeaconID(key)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sample.Distances[id] = d
+	}
+	if err := s.AddFingerprint(sample); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"stored": s.st.FingerprintCount()})
+}
+
+// trainRequest is the POST /api/v1/train payload.
+type trainRequest struct {
+	C     float64 `json:"c"`
+	Gamma float64 `json:"gamma"`
+	Seed  uint64  `json:"seed"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+	}
+	res, err := s.Train(req.C, req.Gamma, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	blob, version := s.st.Model()
+	if blob == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no model trained"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": version,
+		"model":   json.RawMessage(blob),
+	})
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("device")
+	obs, ok := s.st.Latest(device)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", device))
+		return
+	}
+	s.mu.Lock()
+	room := s.tracker.RoomOf(device)
+	s.mu.Unlock()
+	beacons := make([]transport.BeaconReport, 0, len(obs.Beacons))
+	for _, b := range obs.Beacons {
+		beacons = append(beacons, transport.BeaconReport{
+			ID:       b.ID.String(),
+			Distance: b.Distance,
+			RSSI:     b.RSSI,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"device":    device,
+		"room":      room,
+		"atSeconds": obs.At.Seconds(),
+		"beacons":   beacons,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

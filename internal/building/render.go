@@ -1,0 +1,97 @@
+package building
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the floor plan as ASCII art at the given characters-per-
+// metre scale: room boundaries from the wall list, beacon positions as
+// '*', and room names inside their areas. It is used by cmd/occusim and
+// the documentation.
+func (b *Building) Render(scale float64) string {
+	if scale <= 0 {
+		scale = 2
+	}
+	bounds := b.Bounds()
+	if bounds.Area() == 0 {
+		return "(empty plan)\n"
+	}
+	// One extra metre of margin so outside beacons stay visible.
+	w := int((bounds.Width()+2)*scale) + 1
+	h := int((bounds.Height()+2)*scale/2) + 1 // terminal cells are ~2:1
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = make([]byte, w)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	// Map building coordinates to grid cells (y flipped: north up).
+	toCell := func(px, py float64) (int, int) {
+		gx := int((px - bounds.Min.X + 1) * scale)
+		gy := h - 1 - int((py-bounds.Min.Y+1)*scale/2)
+		if gx < 0 {
+			gx = 0
+		}
+		if gx >= w {
+			gx = w - 1
+		}
+		if gy < 0 {
+			gy = 0
+		}
+		if gy >= h {
+			gy = h - 1
+		}
+		return gx, gy
+	}
+	set := func(px, py float64, ch byte) {
+		gx, gy := toCell(px, py)
+		grid[gy][gx] = ch
+	}
+
+	// Walls: sample each segment densely.
+	for _, wall := range b.Walls {
+		length := wall.Length()
+		steps := int(length*scale) + 1
+		ch := byte('#')
+		if wall.A.X == wall.B.X {
+			ch = '|'
+		} else if wall.A.Y == wall.B.Y {
+			ch = '-'
+		}
+		for i := 0; i <= steps; i++ {
+			p := wall.A.Lerp(wall.B, float64(i)/float64(steps))
+			set(p.X, p.Y, ch)
+		}
+	}
+	// Room labels at centres.
+	for _, r := range b.Rooms {
+		c := r.Center()
+		gx, gy := toCell(c.X, c.Y)
+		label := r.Name
+		if max := w - gx - 1; len(label) > max {
+			label = label[:max]
+		}
+		start := gx - len(label)/2
+		if start < 0 {
+			start = 0
+		}
+		for i := 0; i < len(label) && start+i < w; i++ {
+			grid[gy][start+i] = label[i]
+		}
+	}
+	// Beacons.
+	for _, bc := range b.Beacons {
+		set(bc.Pos.X, bc.Pos.Y, '*')
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%.0f m x %.0f m, %d beacons marked *)\n",
+		b.Name, bounds.Width(), bounds.Height(), len(b.Beacons))
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,318 @@
+// Package classify hosts the indoor-occupancy classification algorithms
+// of Section VI and their evaluation machinery.
+//
+// Two families from the paper are implemented:
+//
+//   - Proximity (the authors' earlier iOS work, 84% accuracy): the user
+//     is placed in the room of the strongest/nearest transmitter.
+//   - Scene analysis (this paper, ~94%): a supervised model over the
+//     fingerprint feature vectors; the paper's SVM-RBF plus a k-NN
+//     alternative.
+//
+// The evaluation side provides the confusion matrix of Figure 9.c with
+// the paper's false-positive / false-negative reading (a false positive
+// detects the user inside a room while they were outside it; a false
+// negative detects them outside while they were inside).
+package classify
+
+import (
+	"fmt"
+	"strings"
+
+	"occusim/internal/building"
+	"occusim/internal/fingerprint"
+	"occusim/internal/ibeacon"
+	"occusim/internal/knn"
+	"occusim/internal/svm"
+)
+
+// Classifier predicts a room label from one fingerprint sample.
+type Classifier interface {
+	// Predict returns a room name or building.Outside.
+	Predict(s fingerprint.Sample) string
+	// Name identifies the classifier in reports.
+	Name() string
+}
+
+// Proximity implements the proximity technique: the room of the nearest
+// beacon wins; when no beacon is near enough (or none is heard) the user
+// is outside.
+type Proximity struct {
+	// BeaconRoom maps each transmitter to its room.
+	BeaconRoom map[ibeacon.BeaconID]string
+	// MaxDistance marks the user as outside when the nearest beacon is
+	// farther than this (metres). Zero means no cutoff.
+	MaxDistance float64
+}
+
+// NewProximity builds the baseline from a building's beacon placement.
+func NewProximity(b *building.Building, maxDistance float64) *Proximity {
+	m := make(map[ibeacon.BeaconID]string, len(b.Beacons))
+	for _, bc := range b.Beacons {
+		m[bc.ID] = bc.Room
+	}
+	return &Proximity{BeaconRoom: m, MaxDistance: maxDistance}
+}
+
+// Name implements Classifier.
+func (p *Proximity) Name() string { return "proximity" }
+
+// Predict implements Classifier.
+func (p *Proximity) Predict(s fingerprint.Sample) string {
+	bestRoom := building.Outside
+	bestDist := p.MaxDistance
+	if bestDist <= 0 {
+		bestDist = fingerprint.MissingDistance
+	}
+	for id, d := range s.Distances {
+		room, known := p.BeaconRoom[id]
+		if !known {
+			continue
+		}
+		if d < bestDist {
+			bestDist = d
+			bestRoom = room
+		}
+	}
+	return bestRoom
+}
+
+// SceneSVM is the paper's scene-analysis classifier: an SVM over the
+// fingerprint feature vectors.
+type SceneSVM struct {
+	beacons []ibeacon.BeaconID
+	model   *svm.Model
+}
+
+// TrainSceneSVM fits the SVM on a fingerprint dataset.
+func TrainSceneSVM(d *fingerprint.Dataset, cfg svm.TrainConfig) (*SceneSVM, error) {
+	X, y := d.Matrix()
+	m, err := svm.Train(X, y, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("classify: scene SVM: %w", err)
+	}
+	return &SceneSVM{beacons: append([]ibeacon.BeaconID(nil), d.Beacons...), model: m}, nil
+}
+
+// NewSceneSVM wraps an already-trained model (e.g. one reloaded from the
+// BMS store) with its feature layout.
+func NewSceneSVM(beacons []ibeacon.BeaconID, model *svm.Model) *SceneSVM {
+	return &SceneSVM{beacons: append([]ibeacon.BeaconID(nil), beacons...), model: model}
+}
+
+// Name implements Classifier.
+func (s *SceneSVM) Name() string { return "scene-svm" }
+
+// Model exposes the underlying SVM (for serialisation).
+func (s *SceneSVM) Model() *svm.Model { return s.model }
+
+// Predict implements Classifier.
+func (s *SceneSVM) Predict(sample fingerprint.Sample) string {
+	tmp := fingerprint.Dataset{Beacons: s.beacons}
+	return s.model.Predict(tmp.Features(sample))
+}
+
+// SceneKNN is the k-NN scene-analysis alternative.
+type SceneKNN struct {
+	beacons []ibeacon.BeaconID
+	model   *knn.Classifier
+}
+
+// TrainSceneKNN fits k-NN on a fingerprint dataset.
+func TrainSceneKNN(d *fingerprint.Dataset, k int) (*SceneKNN, error) {
+	X, y := d.Matrix()
+	m, err := knn.Train(X, y, k)
+	if err != nil {
+		return nil, fmt.Errorf("classify: scene kNN: %w", err)
+	}
+	return &SceneKNN{beacons: append([]ibeacon.BeaconID(nil), d.Beacons...), model: m}, nil
+}
+
+// Name implements Classifier.
+func (s *SceneKNN) Name() string { return fmt.Sprintf("scene-knn(k=%d)", s.model.K()) }
+
+// Predict implements Classifier.
+func (s *SceneKNN) Predict(sample fingerprint.Sample) string {
+	tmp := fingerprint.Dataset{Beacons: s.beacons}
+	return s.model.Predict(tmp.Features(sample))
+}
+
+// ConfusionMatrix counts predictions against ground truth over a fixed
+// label set.
+type ConfusionMatrix struct {
+	// Labels are the classes, in display order.
+	Labels []string
+	// Counts[i][j] is the number of samples with true label i predicted
+	// as label j.
+	Counts [][]int
+
+	index map[string]int
+}
+
+// NewConfusionMatrix builds an empty matrix over the label set.
+func NewConfusionMatrix(labels []string) *ConfusionMatrix {
+	m := &ConfusionMatrix{
+		Labels: append([]string(nil), labels...),
+		index:  map[string]int{},
+	}
+	m.Counts = make([][]int, len(labels))
+	for i, l := range labels {
+		m.Counts[i] = make([]int, len(labels))
+		m.index[l] = i
+	}
+	return m
+}
+
+// Add records one (truth, prediction) pair. Unknown labels error.
+func (m *ConfusionMatrix) Add(truth, pred string) error {
+	i, ok := m.index[truth]
+	if !ok {
+		return fmt.Errorf("classify: unknown truth label %q", truth)
+	}
+	j, ok := m.index[pred]
+	if !ok {
+		return fmt.Errorf("classify: unknown predicted label %q", pred)
+	}
+	m.Counts[i][j]++
+	return nil
+}
+
+// Total returns the number of recorded pairs.
+func (m *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range m.Counts {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Correct returns the number of diagonal entries.
+func (m *ConfusionMatrix) Correct() int {
+	n := 0
+	for i := range m.Counts {
+		n += m.Counts[i][i]
+	}
+	return n
+}
+
+// Accuracy returns Correct/Total (0 for an empty matrix).
+func (m *ConfusionMatrix) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Correct()) / float64(t)
+}
+
+// RoomFalsePositives counts errors that place the user inside some room
+// when the truth was elsewhere (predicted label is a room — i.e. not
+// outsideLabel — and differs from the truth).
+func (m *ConfusionMatrix) RoomFalsePositives(outsideLabel string) int {
+	n := 0
+	for i, row := range m.Counts {
+		for j, c := range row {
+			if i != j && m.Labels[j] != outsideLabel {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// RoomFalseNegatives counts errors that fail to place the user in the
+// room they occupied (true label is a room and the prediction differs).
+func (m *ConfusionMatrix) RoomFalseNegatives(outsideLabel string) int {
+	n := 0
+	for i, row := range m.Counts {
+		if m.Labels[i] == outsideLabel {
+			continue
+		}
+		for j, c := range row {
+			if i != j {
+				n += c
+			}
+		}
+	}
+	return n
+}
+
+// PerClass returns precision and recall per label. Labels with no
+// predictions (or no truth samples) report 0.
+func (m *ConfusionMatrix) PerClass() (precision, recall map[string]float64) {
+	precision = map[string]float64{}
+	recall = map[string]float64{}
+	for k, label := range m.Labels {
+		var predicted, truth, correct int
+		for i := range m.Labels {
+			predicted += m.Counts[i][k]
+			truth += m.Counts[k][i]
+		}
+		correct = m.Counts[k][k]
+		if predicted > 0 {
+			precision[label] = float64(correct) / float64(predicted)
+		}
+		if truth > 0 {
+			recall[label] = float64(correct) / float64(truth)
+		}
+	}
+	return precision, recall
+}
+
+// Render draws the matrix as an aligned ASCII table, truths in rows and
+// predictions in columns.
+func (m *ConfusionMatrix) Render() string {
+	width := 10
+	for _, l := range m.Labels {
+		if len(l)+2 > width {
+			width = len(l) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s", width, "truth\\pred")
+	for _, l := range m.Labels {
+		fmt.Fprintf(&b, "%*s", width, l)
+	}
+	b.WriteByte('\n')
+	for i, l := range m.Labels {
+		fmt.Fprintf(&b, "%*s", width, l)
+		for j := range m.Labels {
+			fmt.Fprintf(&b, "%*d", width, m.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Result is the outcome of evaluating a classifier on a labelled set.
+type Result struct {
+	Classifier string
+	Accuracy   float64
+	Matrix     *ConfusionMatrix
+	// FalsePositives/FalseNegatives use the paper's room-level reading
+	// (see RoomFalsePositives / RoomFalseNegatives).
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Evaluate runs the classifier over every sample of the test set and
+// scores it against the ground-truth labels. labels fixes the confusion
+// matrix axes; samples whose truth or prediction is missing from labels
+// are an error.
+func Evaluate(c Classifier, test *fingerprint.Dataset, labels []string, outsideLabel string) (Result, error) {
+	m := NewConfusionMatrix(labels)
+	for _, s := range test.Samples {
+		pred := c.Predict(s)
+		if err := m.Add(s.Room, pred); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Classifier:     c.Name(),
+		Accuracy:       m.Accuracy(),
+		Matrix:         m,
+		FalsePositives: m.RoomFalsePositives(outsideLabel),
+		FalseNegatives: m.RoomFalseNegatives(outsideLabel),
+	}, nil
+}

@@ -1,0 +1,256 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"occusim/internal/building"
+	"occusim/internal/fingerprint"
+	"occusim/internal/ibeacon"
+	"occusim/internal/rng"
+	"occusim/internal/svm"
+)
+
+// houseIDs returns the paper house and its beacon identities.
+func houseIDs() (*building.Building, []ibeacon.BeaconID) {
+	h := building.PaperHouse()
+	ids := make([]ibeacon.BeaconID, len(h.Beacons))
+	for i, b := range h.Beacons {
+		ids[i] = b.ID
+	}
+	return h, ids
+}
+
+// syntheticDataset fabricates fingerprints where each room's beacon is
+// near and all others far, with Gaussian jitter — an idealised version of
+// what ranging produces.
+func syntheticDataset(n int, noise float64, seed uint64) (*building.Building, *fingerprint.Dataset) {
+	h, ids := houseIDs()
+	src := rng.New(seed)
+	d := fingerprint.New(ids)
+	for i := 0; i < n; i++ {
+		for bi, b := range h.Beacons {
+			dist := map[ibeacon.BeaconID]float64{}
+			for bj, other := range h.Beacons {
+				base := 2.0
+				if bj != bi {
+					base = 4 + 2*math.Abs(float64(bj-bi))
+				}
+				v := base + src.Normal(0, noise)
+				if v < 0.1 {
+					v = 0.1
+				}
+				if v > fingerprint.MissingDistance {
+					v = fingerprint.MissingDistance
+				}
+				dist[other.ID] = v
+			}
+			d.Add(fingerprint.Sample{Room: b.Room, Distances: dist})
+		}
+	}
+	return h, d
+}
+
+func TestProximityPredictsNearestBeaconRoom(t *testing.T) {
+	h, _ := houseIDs()
+	p := NewProximity(h, 0)
+	s := fingerprint.Sample{Distances: map[ibeacon.BeaconID]float64{
+		h.Beacons[0].ID: 1.5, // kitchen
+		h.Beacons[1].ID: 4.0, // living
+	}}
+	if got := p.Predict(s); got != "kitchen" {
+		t.Fatalf("Predict = %q, want kitchen", got)
+	}
+}
+
+func TestProximityOutsideWhenNothingHeard(t *testing.T) {
+	h, _ := houseIDs()
+	p := NewProximity(h, 0)
+	if got := p.Predict(fingerprint.Sample{}); got != building.Outside {
+		t.Fatalf("empty sample = %q, want outside", got)
+	}
+}
+
+func TestProximityMaxDistanceCutoff(t *testing.T) {
+	h, _ := houseIDs()
+	p := NewProximity(h, 3)
+	s := fingerprint.Sample{Distances: map[ibeacon.BeaconID]float64{
+		h.Beacons[0].ID: 5, // too far
+	}}
+	if got := p.Predict(s); got != building.Outside {
+		t.Fatalf("far sample = %q, want outside", got)
+	}
+}
+
+func TestProximityIgnoresUnknownBeacons(t *testing.T) {
+	h, _ := houseIDs()
+	p := NewProximity(h, 0)
+	alien := ibeacon.BeaconID{UUID: ibeacon.MustUUID("DEADBEEF-0000-4000-8000-000000000009")}
+	s := fingerprint.Sample{Distances: map[ibeacon.BeaconID]float64{alien: 0.5}}
+	if got := p.Predict(s); got != building.Outside {
+		t.Fatalf("alien beacon = %q, want outside", got)
+	}
+}
+
+func TestSceneSVMOnSyntheticFingerprints(t *testing.T) {
+	_, data := syntheticDataset(30, 0.4, 1)
+	train, test, err := data.Split(0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TrainSceneSVM(train, svm.TrainConfig{C: 10, Kernel: svm.RBF{Gamma: 0.2}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range test.Samples {
+		if c.Predict(s) == s.Room {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.9 {
+		t.Fatalf("scene SVM accuracy on clean synthetic = %v", acc)
+	}
+	if c.Name() == "" || c.Model() == nil {
+		t.Error("accessor failures")
+	}
+}
+
+func TestSceneKNNOnSyntheticFingerprints(t *testing.T) {
+	_, data := syntheticDataset(30, 0.4, 4)
+	train, test, err := data.Split(0.7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TrainSceneKNN(train, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Name(), "knn") {
+		t.Errorf("name = %q", c.Name())
+	}
+	correct := 0
+	for _, s := range test.Samples {
+		if c.Predict(s) == s.Room {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.9 {
+		t.Fatalf("scene kNN accuracy = %v", acc)
+	}
+}
+
+func TestTrainErrorsPropagate(t *testing.T) {
+	empty := fingerprint.New(nil)
+	if _, err := TrainSceneSVM(empty, svm.TrainConfig{C: 1}); err == nil {
+		t.Error("empty dataset should fail SVM training")
+	}
+	if _, err := TrainSceneKNN(empty, 3); err == nil {
+		t.Error("empty dataset should fail kNN training")
+	}
+}
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix([]string{"a", "b", "outside"})
+	pairs := [][2]string{
+		{"a", "a"}, {"a", "a"}, {"a", "b"},
+		{"b", "b"}, {"b", "outside"},
+		{"outside", "a"}, {"outside", "outside"},
+	}
+	for _, p := range pairs {
+		if err := m.Add(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Total() != 7 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if m.Correct() != 4 {
+		t.Fatalf("correct = %d", m.Correct())
+	}
+	if acc := m.Accuracy(); math.Abs(acc-4.0/7) > 1e-12 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// FP: errors predicting a room: a→b and outside→a = 2.
+	if fp := m.RoomFalsePositives("outside"); fp != 2 {
+		t.Fatalf("FP = %d, want 2", fp)
+	}
+	// FN: errors whose truth is a room: a→b and b→outside = 2.
+	if fn := m.RoomFalseNegatives("outside"); fn != 2 {
+		t.Fatalf("FN = %d, want 2", fn)
+	}
+	if err := m.Add("ghost", "a"); err == nil {
+		t.Error("unknown truth should fail")
+	}
+	if err := m.Add("a", "ghost"); err == nil {
+		t.Error("unknown prediction should fail")
+	}
+	if !strings.Contains(m.Render(), "truth\\pred") {
+		t.Error("render missing header")
+	}
+}
+
+func TestConfusionMatrixPerClass(t *testing.T) {
+	m := NewConfusionMatrix([]string{"a", "b"})
+	_ = m.Add("a", "a")
+	_ = m.Add("a", "b")
+	_ = m.Add("b", "b")
+	precision, recall := m.PerClass()
+	if math.Abs(precision["b"]-0.5) > 1e-12 {
+		t.Errorf("precision[b] = %v", precision["b"])
+	}
+	if math.Abs(recall["a"]-0.5) > 1e-12 {
+		t.Errorf("recall[a] = %v", recall["a"])
+	}
+	if math.Abs(precision["a"]-1) > 1e-12 || math.Abs(recall["b"]-1) > 1e-12 {
+		t.Errorf("perfect classes wrong: %v %v", precision["a"], recall["b"])
+	}
+}
+
+func TestEmptyMatrixAccuracy(t *testing.T) {
+	m := NewConfusionMatrix([]string{"a"})
+	if m.Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	h, data := syntheticDataset(20, 0.4, 6)
+	train, test, err := data.Split(0.7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svmC, err := TrainSceneSVM(train, svm.TrainConfig{C: 10, Kernel: svm.RBF{Gamma: 0.2}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(svmC, test, h.ClassLabels(), building.Outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.9 {
+		t.Fatalf("evaluated accuracy = %v", res.Accuracy)
+	}
+	if res.Matrix.Total() != test.Len() {
+		t.Fatalf("matrix total %d != test size %d", res.Matrix.Total(), test.Len())
+	}
+	if res.Classifier != "scene-svm" {
+		t.Fatalf("classifier name = %q", res.Classifier)
+	}
+	// Errors (if any) must reconcile with FP/FN bookkeeping.
+	errs := res.Matrix.Total() - res.Matrix.Correct()
+	if res.FalsePositives > errs || res.FalseNegatives > errs {
+		t.Fatalf("FP %d / FN %d exceed error count %d", res.FalsePositives, res.FalseNegatives, errs)
+	}
+}
+
+func TestEvaluateUnknownLabelFails(t *testing.T) {
+	h, _ := houseIDs()
+	p := NewProximity(h, 0)
+	d := fingerprint.New(nil)
+	d.Add(fingerprint.Sample{Room: "atlantis"})
+	if _, err := Evaluate(p, d, h.ClassLabels(), building.Outside); err == nil {
+		t.Fatal("unknown truth label should fail evaluation")
+	}
+}

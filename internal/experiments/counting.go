@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/core"
+	"occusim/internal/geom"
+	"occusim/internal/mobility"
+	"occusim/internal/rng"
+)
+
+// CountingResult measures what the introduction promises: detecting "the
+// number of users in a room". Several phones walk the house while the
+// BMS tracks occupancy; the per-room head counts are compared against
+// ground truth at every sampling instant.
+type CountingResult struct {
+	// Phones is the crowd size.
+	Phones int
+	// SampleInstants is the number of evaluation instants.
+	SampleInstants int
+	// ExactFraction is the share of (instant, room) pairs where the
+	// tracked count equalled the true count.
+	ExactFraction float64
+	// MAE is the mean absolute head-count error per (instant, room).
+	MAE float64
+	// DeviceAccuracy is the share of (instant, device) placements where
+	// the tracker had the device in its true room.
+	DeviceAccuracy float64
+}
+
+// Render prints the head-count metrics.
+func (r *CountingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Counting: %d phones, %d instants\n", r.Phones, r.SampleInstants)
+	fmt.Fprintf(&b, "room head count exact %.1f%%, MAE %.2f persons\n", 100*r.ExactFraction, r.MAE)
+	fmt.Fprintf(&b, "per-device placement accuracy %.1f%%\n", 100*r.DeviceAccuracy)
+	return b.String()
+}
+
+// Counting trains the house's classifier, releases a crowd and scores
+// the BMS head counts against ground truth sampled every 10 s.
+func Counting(phones int, seed uint64) (*CountingResult, error) {
+	if phones <= 0 {
+		phones = 4
+	}
+	b := building.PaperHouse()
+	scn, err := core.NewScenario(core.ScenarioConfig{Building: b, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Train the scene-analysis model first, as the deployment would.
+	ds, err := scn.CollectFingerprints(core.CollectConfig{
+		PointsPerRoom:  6,
+		DwellPerPoint:  10 * time.Second,
+		IncludeOutside: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range ds.Samples {
+		if err := scn.Server().AddFingerprint(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := scn.Server().Train(10, 0.03, seed); err != nil {
+		return nil, err
+	}
+
+	// Release the crowd on independent tours.
+	const duration = 10 * time.Minute
+	src := rng.New(seed ^ 0xC0C0)
+	walks := make([]mobility.Model, phones)
+	names := make([]string, phones)
+	areas := make([]geom.Rect, 0, len(b.Rooms))
+	for _, r := range b.Rooms {
+		areas = append(areas, geom.NewRect(
+			geom.Pt(r.Bounds.Min.X+0.4, r.Bounds.Min.Y+0.4),
+			geom.Pt(r.Bounds.Max.X-0.4, r.Bounds.Max.Y-0.4),
+		))
+	}
+	walkCfg := mobility.RandomWaypointConfig{
+		SpeedMin: 1.0, SpeedMax: 1.5,
+		PauseMin: 20 * time.Second, PauseMax: 60 * time.Second,
+	}
+	crowdStart := scn.Now()
+	for i := 0; i < phones; i++ {
+		tour, err := mobility.NewTour(areas, walkCfg, duration, src.Split(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		walks[i] = tour
+		names[i] = fmt.Sprintf("occupant-%d", i+1)
+		if _, err := scn.AddPhone(names[i], offsetModelCount{tour, crowdStart}, core.PhoneConfig{}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step the simulation and score every 10 s after a warm-up.
+	res := &CountingResult{Phones: phones}
+	const step = 10 * time.Second
+	const warmup = 30 * time.Second
+	var absErr, exact, cells float64
+	var devHits, devTotal float64
+	for t := time.Duration(0); t < duration; t += step {
+		scn.Run(step)
+		if t < warmup {
+			continue
+		}
+		res.SampleInstants++
+		truth := map[string]int{}
+		truthRoom := map[string]string{}
+		for i, w := range walks {
+			room := b.RoomAt(w.Position(scn.Now() - crowdStart))
+			truth[room]++
+			truthRoom[names[i]] = room
+		}
+		snap := scn.Server().Occupancy()
+		for _, room := range b.ClassLabels() {
+			d := snap.Rooms[room] - truth[room]
+			if d < 0 {
+				d = -d
+			}
+			absErr += float64(d)
+			if d == 0 {
+				exact++
+			}
+			cells++
+		}
+		for _, name := range names {
+			devTotal++
+			if snap.Devices[name] == truthRoom[name] {
+				devHits++
+			}
+		}
+	}
+	if cells > 0 {
+		res.ExactFraction = exact / cells
+		res.MAE = absErr / cells
+	}
+	if devTotal > 0 {
+		res.DeviceAccuracy = devHits / devTotal
+	}
+	return res, nil
+}
+
+// offsetModelCount shifts a zero-based tour to start at the given
+// scenario time (the crowd enters after the training phase).
+type offsetModelCount struct {
+	m     mobility.Model
+	start time.Duration
+}
+
+// Position implements mobility.Model.
+func (o offsetModelCount) Position(t time.Duration) geom.Point { return o.m.Position(t - o.start) }
+
+// End implements mobility.Model.
+func (o offsetModelCount) End() time.Duration { return o.start + o.m.End() }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"occusim/internal/device"
+	"occusim/internal/filter"
+	"occusim/internal/stats"
+)
+
+// DeviceSurveyResult extends Figure 11 from two handsets to the full
+// profile library: per-model RSSI statistics at a common distance, plus
+// the ranging error each offset induces before calibration.
+type DeviceSurveyResult struct {
+	Distance float64
+	Rows     []DeviceSurveyRow
+}
+
+// DeviceSurveyRow is one handset's entry.
+type DeviceSurveyRow struct {
+	Model string
+	// RSSI summarises the per-cycle aggregated RSSI.
+	RSSI stats.Summary
+	// MeanRangedDistance is the mean uncalibrated distance estimate, so
+	// the offset's practical effect is visible in metres.
+	MeanRangedDistance float64
+}
+
+// Render prints the survey table.
+func (r *DeviceSurveyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Device survey: all handset profiles at D = %.1f m\n", r.Distance)
+	b.WriteString("model                     mean RSSI   sd     ranged(m)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s  %8.1f  %5.2f  %8.2f\n",
+			row.Model, row.RSSI.Mean, row.RSSI.StdDev, row.MeanRangedDistance)
+	}
+	return b.String()
+}
+
+// DeviceSurvey measures every built-in handset at 2 m for two minutes.
+func DeviceSurvey(seed uint64) (*DeviceSurveyResult, error) {
+	res := &DeviceSurveyResult{Distance: 2.0}
+	for i, prof := range device.Profiles() {
+		run, err := runStaticRanging(staticRangingConfig{
+			scanPeriod: 2 * time.Second,
+			profile:    prof,
+			distance:   res.Distance,
+			duration:   2 * time.Minute,
+			filter:     filter.PaperConfig(),
+		}, seed+uint64(i)*7)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, DeviceSurveyRow{
+			Model:              prof.Model,
+			RSSI:               stats.Summarize(run.rssi.Values()),
+			MeanRangedDistance: stats.Mean(run.raw.Values()),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig4And6VarianceOrdering(t *testing.T) {
+	fig4, err := Fig4(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := Fig6(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: raw 2 s estimates vary substantially around the true 2 m;
+	// 5 s estimates are visibly tighter.
+	if fig4.Summary.StdDev < 0.3 {
+		t.Errorf("Fig4 sd = %v, expected substantial variance", fig4.Summary.StdDev)
+	}
+	if fig6.Summary.StdDev >= fig4.Summary.StdDev {
+		t.Errorf("Fig6 sd %v should be below Fig4 sd %v", fig6.Summary.StdDev, fig4.Summary.StdDev)
+	}
+	// Both centred near the true distance.
+	for _, r := range []*SignalResult{fig4, fig6} {
+		if r.Summary.Mean < 1.2 || r.Summary.Mean > 3.5 {
+			t.Errorf("%s mean = %v, want near 2 m", r.Figure, r.Summary.Mean)
+		}
+	}
+	// 5 s periods deliver fewer estimates.
+	if len(fig6.Estimates.Points) >= len(fig4.Estimates.Points) {
+		t.Error("longer scan period should deliver fewer estimates")
+	}
+	if !strings.Contains(fig4.Render(), "Fig4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5FilterStabilises(t *testing.T) {
+	fig5, err := Fig5(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The filtered stream must be tighter than the raw stream it was
+	// derived from.
+	if fig5.Summary.StdDev >= fig5.RawSummary.StdDev {
+		t.Fatalf("filtered sd %v should be below raw sd %v",
+			fig5.Summary.StdDev, fig5.RawSummary.StdDev)
+	}
+	if fig5.Summary.Mean < 1.2 || fig5.Summary.Mean > 3.5 {
+		t.Fatalf("Fig5 mean = %v", fig5.Summary.Mean)
+	}
+}
+
+func TestFig7BestCoeffNearPaperValue(t *testing.T) {
+	res, err := Fig7(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("sweep points = %d", len(res.Points))
+	}
+	// Stability must improve (fall) with the coefficient.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Stability >= first.Stability {
+		t.Errorf("stability did not improve with coefficient: %v → %v",
+			first.Stability, last.Stability)
+	}
+	// Lag must grow with the coefficient.
+	if last.LagSeconds <= first.LagSeconds {
+		t.Errorf("lag did not grow with coefficient: %v → %v",
+			first.LagSeconds, last.LagSeconds)
+	}
+	// The paper's trade-off lands at 0.65; accept the neighbourhood.
+	if res.Best.Coeff < 0.45 || res.Best.Coeff > 0.8 {
+		t.Errorf("best coefficient = %v, want near 0.65", res.Best.Coeff)
+	}
+	if !strings.Contains(res.Render(), "best trade-off") {
+		t.Error("render missing best marker")
+	}
+}
+
+func TestFig8TracksHandOff(t *testing.T) {
+	res, err := Fig8(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DistA.Points) == 0 || len(res.DistB.Points) == 0 {
+		t.Fatal("empty traces")
+	}
+	// The crossover must happen, after the physical crossover but within
+	// a modest lag (the filter trades responsiveness for stability).
+	if res.CrossoverAt == 0 {
+		t.Fatal("no crossover detected")
+	}
+	if res.CrossoverAt < res.PhysicalCrossover-2*time.Second {
+		t.Errorf("crossover %v before physical %v", res.CrossoverAt, res.PhysicalCrossover)
+	}
+	if res.CrossoverAt > res.PhysicalCrossover+15*time.Second {
+		t.Errorf("crossover lag too large: %v vs physical %v", res.CrossoverAt, res.PhysicalCrossover)
+	}
+	// After settling at B, the estimate is close to the true 1 m.
+	if res.FinalErrorB > 1.5 {
+		t.Errorf("final error at B = %v m", res.FinalErrorB)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig9AccuraciesMatchPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification trials are slow")
+	}
+	res, err := Fig9([]uint64{11, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: scene analysis ≈94%, proximity ≈84%, SVM clearly ahead.
+	if res.SVMAccuracy < 0.85 {
+		t.Errorf("SVM accuracy = %v, want ≈0.94", res.SVMAccuracy)
+	}
+	if res.ProximityAccuracy < 0.7 || res.ProximityAccuracy > 0.95 {
+		t.Errorf("proximity accuracy = %v, want ≈0.84", res.ProximityAccuracy)
+	}
+	if res.SVMAccuracy <= res.ProximityAccuracy {
+		t.Errorf("SVM (%v) must beat proximity (%v)", res.SVMAccuracy, res.ProximityAccuracy)
+	}
+	if res.Pooled.Total() != res.TestSamples {
+		t.Errorf("confusion total %d != test samples %d", res.Pooled.Total(), res.TestSamples)
+	}
+	if !strings.Contains(res.Render(), "confusion") {
+		t.Error("render missing confusion matrix")
+	}
+}
+
+func TestFig10EnergyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("energy runs are slow")
+	}
+	res, err := Fig10(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Bluetooth saves ≈15%, lifetime ≈10 h.
+	if res.SavingFraction < 0.08 || res.SavingFraction > 0.25 {
+		t.Errorf("saving = %v, want ≈0.15", res.SavingFraction)
+	}
+	if res.WiFiLifetime.Hours() < 8 || res.WiFiLifetime.Hours() > 13 {
+		t.Errorf("wifi lifetime = %v, want ≈10 h", res.WiFiLifetime)
+	}
+	if res.BTLifetime <= res.WiFiLifetime {
+		t.Error("bluetooth lifetime should exceed wifi lifetime")
+	}
+	// Battery curves decrease.
+	w := res.WiFiLevels.Points
+	if len(w) < 2 || w[len(w)-1].V >= w[0].V {
+		t.Error("wifi battery curve did not drain")
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFig11DeviceGap(t *testing.T) {
+	res, err := Fig11(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 2 {
+		t.Fatalf("devices = %d", len(res.Devices))
+	}
+	// The Nexus 5 profile reads ≈6 dB hotter than the S3 Mini.
+	if res.MeanGapDB < 3 || res.MeanGapDB > 9 {
+		t.Errorf("mean gap = %v dB, want ≈6", res.MeanGapDB)
+	}
+	if !strings.Contains(res.Render(), "Nexus") {
+		t.Error("render missing device names")
+	}
+}
+
+func TestSec5SampleCounts(t *testing.T) {
+	res, err := Sec5SampleCounts(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: exactly one aggregated sample per scan period → five in
+	// 10 s at 2 s period; iOS sees hundreds of raw packets.
+	if res.AndroidDelivered != 5 {
+		t.Errorf("android delivered = %d, want 5", res.AndroidDelivered)
+	}
+	if res.IOSDelivered < 200 {
+		t.Errorf("ios delivered = %d, want ≈300", res.IOSDelivered)
+	}
+	if res.AndroidRaw >= res.IOSDelivered {
+		t.Error("android stack should decode far fewer packets than iOS")
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationLossHold(t *testing.T) {
+	res, err := AblationLossHold(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Holding longer keeps the beacon tracked more and churns less.
+	if res.Points[1].TrackedFraction <= res.Points[0].TrackedFraction {
+		t.Errorf("maxMisses=2 tracked %v should beat maxMisses=1 %v",
+			res.Points[1].TrackedFraction, res.Points[0].TrackedFraction)
+	}
+	if res.Points[1].DropEvents >= res.Points[0].DropEvents {
+		t.Errorf("maxMisses=2 drops %d should be below maxMisses=1 %d",
+			res.Points[1].DropEvents, res.Points[0].DropEvents)
+	}
+	if !strings.Contains(res.Render(), "paper's rule") {
+		t.Error("render missing marker")
+	}
+}
+
+func TestAblationDistanceModel(t *testing.T) {
+	res, err := AblationDistanceModel(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range res.Points {
+		if p.LogRMSE <= 0 || p.RatioRMSE <= 0 {
+			t.Errorf("degenerate RMSE at %v m: %v / %v", p.TrueDistance, p.LogRMSE, p.RatioRMSE)
+		}
+		// Both models should stay within a sane band indoors.
+		if p.LogRMSE > 5 || p.RatioRMSE > 8 {
+			t.Errorf("RMSE blow-up at %v m: %v / %v", p.TrueDistance, p.LogRMSE, p.RatioRMSE)
+		}
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationScanPeriod(t *testing.T) {
+	res, err := AblationScanPeriod(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Longer periods: tighter estimates, fewer updates.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.EstimateStdDev >= first.EstimateStdDev {
+		t.Errorf("sd did not shrink with period: %v → %v", first.EstimateStdDev, last.EstimateStdDev)
+	}
+	if last.UpdatesPerMinute >= first.UpdatesPerMinute {
+		t.Errorf("update rate did not fall with period")
+	}
+}
+
+func TestAblationMotionGating(t *testing.T) {
+	res, err := AblationMotionGating(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SavingFraction <= 0 {
+		t.Errorf("gating saved nothing: %v", res.SavingFraction)
+	}
+	if res.GatedReports >= res.UngatedReports {
+		t.Errorf("gated reports %d should be below ungated %d", res.GatedReports, res.UngatedReports)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRenderSeriesBounds(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{
+		{T: time.Second, V: -5}, {T: 2 * time.Second, V: 50},
+	}}
+	out := renderSeries(s, 0, 10, 20, 0)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers rendered")
+	}
+	// Out-of-range values clamp instead of panicking.
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestSeriesValues(t *testing.T) {
+	s := Series{Points: []Point{{V: 1}, {V: 2}}}
+	v := s.Values()
+	if len(v) != 2 || v[0] != 1 || v[1] != 2 {
+		t.Fatalf("values = %v", v)
+	}
+}
+
+func TestModelSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid search is slow")
+	}
+	res, err := ModelSelection(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 12 {
+		t.Fatalf("grid points = %d", len(res.Points))
+	}
+	if res.Best.Accuracy < 0.85 {
+		t.Fatalf("best CV accuracy = %v", res.Best.Accuracy)
+	}
+	if !strings.Contains(res.Render(), "selected") {
+		t.Error("render missing selection marker")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counting run is slow")
+	}
+	res, err := Counting(4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleInstants == 0 {
+		t.Fatal("no evaluation instants")
+	}
+	// Head counts should be right most of the time and close otherwise.
+	if res.ExactFraction < 0.7 {
+		t.Errorf("exact head-count fraction = %v", res.ExactFraction)
+	}
+	if res.MAE > 0.5 {
+		t.Errorf("head-count MAE = %v persons", res.MAE)
+	}
+	if res.DeviceAccuracy < 0.6 {
+		t.Errorf("device placement accuracy = %v", res.DeviceAccuracy)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestDeviceSurvey(t *testing.T) {
+	res, err := DeviceSurvey(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("rows = %d, want all profiles", len(res.Rows))
+	}
+	byModel := map[string]DeviceSurveyRow{}
+	for _, r := range res.Rows {
+		byModel[r.Model] = r
+		if r.RSSI.N == 0 {
+			t.Errorf("%s: no samples", r.Model)
+		}
+		if r.MeanRangedDistance < 0.3 || r.MeanRangedDistance > 8 {
+			t.Errorf("%s: ranged distance %v at true 2 m", r.Model, r.MeanRangedDistance)
+		}
+	}
+	// The hot-reading Nexus 5 must under-estimate relative to the
+	// cold-reading Moto G.
+	n5 := byModel["LG Nexus 5"]
+	mg := byModel["Motorola Moto G"]
+	if n5.MeanRangedDistance >= mg.MeanRangedDistance {
+		t.Errorf("Nexus 5 (%.2f m) should range shorter than Moto G (%.2f m)",
+			n5.MeanRangedDistance, mg.MeanRangedDistance)
+	}
+	if !strings.Contains(res.Render(), "Moto G") {
+		t.Error("render missing models")
+	}
+}
+
+func TestPathLossValidation(t *testing.T) {
+	res, err := PathLossValidation(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The fitted slope must recover the channel's 10·n = 24 dB/decade
+	// within shadowing tolerance.
+	if res.DecadeSlopeDB < 18 || res.DecadeSlopeDB > 30 {
+		t.Errorf("decade slope = %v dB, want ≈24", res.DecadeSlopeDB)
+	}
+	// RSSI falls monotonically with distance.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].MeanRSSI >= res.Rows[i-1].MeanRSSI {
+			t.Errorf("RSSI not monotone at %v m", res.Rows[i].TrueDistance)
+		}
+	}
+	// Ranged estimates track truth within a factor of ~1.7 everywhere.
+	for _, row := range res.Rows {
+		ratio := row.MeanRanged / row.TrueDistance
+		if ratio < 0.55 || ratio > 1.8 {
+			t.Errorf("ranging bias at %v m: mean %v", row.TrueDistance, row.MeanRanged)
+		}
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"occusim/internal/device"
+	"occusim/internal/filter"
+	"occusim/internal/stats"
+)
+
+// PathLossRow is one distance step of the validation sweep.
+type PathLossRow struct {
+	TrueDistance float64
+	// MeanRSSI is the observed per-cycle aggregated RSSI.
+	MeanRSSI float64
+	// RSSISd is its spread.
+	RSSISd float64
+	// MeanRanged and RangedSd summarise the filtered distance estimate.
+	MeanRanged, RangedSd float64
+}
+
+// PathLossResult validates the simulated channel against the
+// log-distance law the ranging layer assumes: mean RSSI should fall
+// ~10·n dB per decade and the filtered ranging estimate should track the
+// true distance with growing (multiplicative) spread.
+type PathLossResult struct {
+	Rows []PathLossRow
+	// DecadeSlopeDB is the fitted RSSI drop per decade of distance;
+	// with n = 2.4 the law predicts 24 dB.
+	DecadeSlopeDB float64
+}
+
+// Render prints the sweep table.
+func (r *PathLossResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Path-loss validation: fitted slope %.1f dB/decade (law: 24.0)\n", r.DecadeSlopeDB)
+	b.WriteString("true(m)  mean RSSI   sd    ranged(m)   sd\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7.1f  %9.1f  %4.2f  %9.2f  %4.2f\n",
+			row.TrueDistance, row.MeanRSSI, row.RSSISd, row.MeanRanged, row.RangedSd)
+	}
+	return b.String()
+}
+
+// PathLossValidation sweeps the probe from 0.5 m to 8 m.
+func PathLossValidation(seed uint64) (*PathLossResult, error) {
+	res := &PathLossResult{}
+	var logDist, meanRSSI []float64
+	for _, d := range []float64{0.5, 1, 2, 3, 5, 8} {
+		run, err := runStaticRanging(staticRangingConfig{
+			scanPeriod: 2 * time.Second,
+			profile:    device.GalaxyS3Mini(),
+			distance:   d,
+			duration:   3 * time.Minute,
+			filter:     filter.PaperConfig(),
+		}, seed)
+		if err != nil {
+			return nil, err
+		}
+		rssi := stats.Summarize(run.rssi.Values())
+		ranged := stats.Summarize(run.filtered.Values())
+		res.Rows = append(res.Rows, PathLossRow{
+			TrueDistance: d,
+			MeanRSSI:     rssi.Mean,
+			RSSISd:       rssi.StdDev,
+			MeanRanged:   ranged.Mean,
+			RangedSd:     ranged.StdDev,
+		})
+		logDist = append(logDist, math.Log10(d))
+		meanRSSI = append(meanRSSI, rssi.Mean)
+	}
+	slope, _, err := stats.LinearFit(logDist, meanRSSI)
+	if err != nil {
+		return nil, err
+	}
+	res.DecadeSlopeDB = -slope
+	return res, nil
+}

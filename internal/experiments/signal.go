@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"occusim/internal/device"
+	"occusim/internal/filter"
+	"occusim/internal/stats"
+)
+
+// SignalResult is the outcome of the static signal experiments (Figures
+// 4, 5 and 6): distance estimates of a Galaxy S3 Mini placed 2 m from a
+// calibrated transmitter.
+type SignalResult struct {
+	// Figure identifies the experiment ("Fig4", "Fig5", "Fig6").
+	Figure string
+	// ScanPeriod is the paper's scan period parameter.
+	ScanPeriod time.Duration
+	// TrueDistance is the physical transmitter–receiver distance.
+	TrueDistance float64
+	// Estimates is the plotted series (raw for Fig4/Fig6, filtered for
+	// Fig5).
+	Estimates Series
+	// Summary describes the estimate distribution.
+	Summary stats.Summary
+	// RawSummary describes the unfiltered stream (equals Summary for
+	// Fig4/Fig6).
+	RawSummary stats.Summary
+	// Cycles and DroppedCycles count scan periods.
+	Cycles, DroppedCycles int
+}
+
+// Render prints the figure as an ASCII strip chart plus summary rows.
+func (r *SignalResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: D = %.1f m, scan period %v, %d cycles (%d lost to stack bug)\n",
+		r.Figure, r.TrueDistance, r.ScanPeriod, r.Cycles, r.DroppedCycles)
+	fmt.Fprintf(&b, "estimated distance: %s\n", r.Summary)
+	b.WriteString(renderSeries(r.Estimates, 0, 7, 56, 40))
+	return b.String()
+}
+
+// signalExperiment runs the shared harness and summarises one stream.
+func signalExperiment(figure string, period time.Duration, filtered bool, seed uint64) (*SignalResult, error) {
+	cfg := staticRangingConfig{
+		scanPeriod: period,
+		profile:    device.GalaxyS3Mini(),
+		distance:   2.0,
+		duration:   2 * time.Minute,
+		filter:     filter.PaperConfig(),
+	}
+	res, err := runStaticRanging(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	series := res.raw
+	if filtered {
+		series = res.filtered
+	}
+	return &SignalResult{
+		Figure:        figure,
+		ScanPeriod:    period,
+		TrueDistance:  cfg.distance,
+		Estimates:     series,
+		Summary:       stats.Summarize(series.Values()),
+		RawSummary:    stats.Summarize(res.raw.Values()),
+		Cycles:        res.cycles,
+		DroppedCycles: res.dropped,
+	}, nil
+}
+
+// Fig4 reproduces Figure 4: raw per-cycle distance estimates with a 2 s
+// scan period show large variability around the true 2 m.
+func Fig4(seed uint64) (*SignalResult, error) {
+	return signalExperiment("Fig4", 2*time.Second, false, seed)
+}
+
+// Fig6 reproduces Figure 6: lengthening the scan period to 5 s
+// aggregates more advertisements per estimate and visibly reduces the
+// variance, at the cost of fewer updates.
+func Fig6(seed uint64) (*SignalResult, error) {
+	return signalExperiment("Fig6", 5*time.Second, false, seed)
+}
+
+// Fig5 reproduces Figure 5: the 2 s stream of Figure 4 passed through
+// the history filter with the paper's coefficient 0.65 stabilises around
+// the true distance.
+func Fig5(seed uint64) (*SignalResult, error) {
+	return signalExperiment("Fig5", 2*time.Second, true, seed)
+}

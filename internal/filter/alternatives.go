@@ -1,0 +1,193 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"occusim/internal/ibeacon"
+	"occusim/internal/radio"
+)
+
+// Median is a sliding-window median filter over the per-beacon distance
+// stream, an ablation alternative to the paper's recursive filter. It
+// reuses the same loss-hold rule.
+type Median struct {
+	window    int
+	maxMisses int
+	est       radio.DistanceEstimator
+	state     map[ibeacon.BeaconID]*medianState
+}
+
+type medianState struct {
+	Estimate
+	history []float64
+}
+
+// NewMedian builds a median filter with the given window length.
+func NewMedian(window, maxMisses int, est radio.DistanceEstimator) (*Median, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("filter: median window must be at least 1, got %d", window)
+	}
+	if maxMisses < 1 {
+		return nil, fmt.Errorf("filter: MaxMisses must be at least 1, got %d", maxMisses)
+	}
+	if est == nil {
+		est = radio.LogDistanceEstimator{Exponent: 2.4}
+	}
+	return &Median{
+		window:    window,
+		maxMisses: maxMisses,
+		est:       est,
+		state:     make(map[ibeacon.BeaconID]*medianState),
+	}, nil
+}
+
+// Name implements DistanceFilter.
+func (m *Median) Name() string { return fmt.Sprintf("median(w=%d)", m.window) }
+
+// Update implements DistanceFilter.
+func (m *Median) Update(at time.Duration, obs []Observation) []Estimate {
+	seen := make(map[ibeacon.BeaconID]bool, len(obs))
+	for _, o := range obs {
+		seen[o.Beacon] = true
+		v := m.est.Estimate(o.RSSI, float64(o.MeasuredPower))
+		s := m.state[o.Beacon]
+		if s == nil {
+			s = &medianState{Estimate: Estimate{Beacon: o.Beacon}}
+			m.state[o.Beacon] = s
+		}
+		s.history = append(s.history, v)
+		if len(s.history) > m.window {
+			s.history = s.history[len(s.history)-m.window:]
+		}
+		s.Raw = v
+		s.Distance = median(s.history)
+		s.LastSeen = at
+		s.Misses = 0
+	}
+	for id, s := range m.state {
+		if seen[id] {
+			continue
+		}
+		s.Misses++
+		if s.Misses >= m.maxMisses {
+			delete(m.state, id)
+		}
+	}
+	return m.Snapshot()
+}
+
+// Snapshot implements DistanceFilter.
+func (m *Median) Snapshot() []Estimate {
+	out := make([]Estimate, 0, len(m.state))
+	for _, s := range m.state {
+		out = append(out, s.Estimate)
+	}
+	sortEstimates(out)
+	return out
+}
+
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Kalman is a per-beacon one-dimensional Kalman filter on distance, an
+// ablation alternative. The process noise models the subject walking; the
+// measurement noise the RSSI-induced ranging error.
+type Kalman struct {
+	processVar float64 // Q, m² per update
+	measureVar float64 // R, m²
+	maxMisses  int
+	est        radio.DistanceEstimator
+	state      map[ibeacon.BeaconID]*kalmanState
+}
+
+type kalmanState struct {
+	Estimate
+	variance float64 // P
+}
+
+// NewKalman builds the Kalman alternative. processVar and measureVar must
+// be positive.
+func NewKalman(processVar, measureVar float64, maxMisses int, est radio.DistanceEstimator) (*Kalman, error) {
+	if processVar <= 0 || measureVar <= 0 {
+		return nil, fmt.Errorf("filter: Kalman variances must be positive (Q=%v, R=%v)", processVar, measureVar)
+	}
+	if maxMisses < 1 {
+		return nil, fmt.Errorf("filter: MaxMisses must be at least 1, got %d", maxMisses)
+	}
+	if est == nil {
+		est = radio.LogDistanceEstimator{Exponent: 2.4}
+	}
+	return &Kalman{
+		processVar: processVar,
+		measureVar: measureVar,
+		maxMisses:  maxMisses,
+		est:        est,
+		state:      make(map[ibeacon.BeaconID]*kalmanState),
+	}, nil
+}
+
+// Name implements DistanceFilter.
+func (k *Kalman) Name() string {
+	return fmt.Sprintf("kalman(Q=%.2f,R=%.2f)", k.processVar, k.measureVar)
+}
+
+// Update implements DistanceFilter.
+func (k *Kalman) Update(at time.Duration, obs []Observation) []Estimate {
+	seen := make(map[ibeacon.BeaconID]bool, len(obs))
+	for _, o := range obs {
+		seen[o.Beacon] = true
+		v := k.est.Estimate(o.RSSI, float64(o.MeasuredPower))
+		s := k.state[o.Beacon]
+		if s == nil {
+			k.state[o.Beacon] = &kalmanState{
+				Estimate: Estimate{Beacon: o.Beacon, Distance: v, Raw: v, LastSeen: at},
+				variance: k.measureVar,
+			}
+			continue
+		}
+		// Predict: the subject may have moved.
+		p := s.variance + k.processVar
+		// Update.
+		gain := p / (p + k.measureVar)
+		s.Distance += gain * (v - s.Distance)
+		s.variance = (1 - gain) * p
+		s.Raw = v
+		s.LastSeen = at
+		s.Misses = 0
+	}
+	for id, s := range k.state {
+		if seen[id] {
+			continue
+		}
+		// A missed scan still predicts: uncertainty grows.
+		s.variance += k.processVar
+		s.Misses++
+		if s.Misses >= k.maxMisses {
+			delete(k.state, id)
+		}
+	}
+	return k.Snapshot()
+}
+
+// Snapshot implements DistanceFilter.
+func (k *Kalman) Snapshot() []Estimate {
+	out := make([]Estimate, 0, len(k.state))
+	for _, s := range k.state {
+		out = append(out, s.Estimate)
+	}
+	sortEstimates(out)
+	return out
+}

@@ -1,0 +1,205 @@
+// Package filter implements the paper's distance-estimation pipeline
+// (Section V): per-beacon conversion of aggregated RSSI samples into
+// distances, the recursive history filter
+//
+//	pᵢ = c·pᵢ₋₁ + (1−c)·vᵢ
+//
+// with the coefficient c = 0.65 the paper selects as the best trade-off
+// between stability and responsiveness, and the loss-tolerance rule that
+// removes a beacon's state only after the second consecutive missed scan
+// ("we remove the beacon information only after the second consecutive
+// loss, otherwise its value is maintained").
+//
+// Median and one-dimensional Kalman alternatives are provided for the
+// ablation benches.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"occusim/internal/ibeacon"
+	"occusim/internal/radio"
+)
+
+// Observation is one aggregated per-beacon measurement entering the
+// filter (produced from a scanner cycle).
+type Observation struct {
+	Beacon ibeacon.BeaconID
+	// RSSI is the aggregated received strength in dBm.
+	RSSI float64
+	// MeasuredPower is the calibrated 1 m RSSI from the packet.
+	MeasuredPower int8
+}
+
+// Estimate is the filter's current belief about one beacon.
+type Estimate struct {
+	Beacon ibeacon.BeaconID
+	// Distance is the filtered distance in metres.
+	Distance float64
+	// Raw is the unfiltered distance implied by the latest observation
+	// (unchanged during held losses).
+	Raw float64
+	// LastSeen is the time of the last observation that included the
+	// beacon.
+	LastSeen time.Duration
+	// Misses counts consecutive scans that did not include the beacon.
+	Misses int
+}
+
+// DistanceFilter is the common interface of the filter variants.
+type DistanceFilter interface {
+	// Update consumes the observations of one scan cycle (empty when the
+	// cycle saw nothing) and returns the current estimates, sorted by
+	// beacon identity.
+	Update(at time.Duration, obs []Observation) []Estimate
+	// Snapshot returns the current estimates without consuming a cycle.
+	Snapshot() []Estimate
+	// Name identifies the filter in reports.
+	Name() string
+}
+
+// Config parameterises the history filter.
+type Config struct {
+	// Coeff is the history coefficient c ∈ [0, 1). 0 disables smoothing
+	// (the estimate equals the latest measurement); the paper uses 0.65.
+	Coeff float64
+	// MaxMisses is the number of consecutive losses after which a beacon
+	// is dropped. The paper uses 2.
+	MaxMisses int
+	// Estimator converts RSSI to distance. Defaults to the log-distance
+	// model with the indoor exponent when nil.
+	Estimator radio.DistanceEstimator
+}
+
+// PaperConfig returns the configuration the paper converges on: c = 0.65,
+// removal after the second consecutive loss.
+func PaperConfig() Config {
+	return Config{Coeff: 0.65, MaxMisses: 2}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if c.Coeff < 0 || c.Coeff >= 1 {
+		return fmt.Errorf("filter: coefficient %v outside [0, 1)", c.Coeff)
+	}
+	if c.MaxMisses < 1 {
+		return fmt.Errorf("filter: MaxMisses must be at least 1, got %d", c.MaxMisses)
+	}
+	return nil
+}
+
+func (c Config) estimator() radio.DistanceEstimator {
+	if c.Estimator != nil {
+		return c.Estimator
+	}
+	return radio.LogDistanceEstimator{Exponent: 2.4}
+}
+
+// History is the paper's recursive filter.
+type History struct {
+	cfg   Config
+	est   radio.DistanceEstimator
+	state map[ibeacon.BeaconID]*Estimate
+}
+
+// NewHistory builds the paper's filter from cfg.
+func NewHistory(cfg Config) (*History, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &History{
+		cfg:   cfg,
+		est:   cfg.estimator(),
+		state: make(map[ibeacon.BeaconID]*Estimate),
+	}, nil
+}
+
+// Name implements DistanceFilter.
+func (h *History) Name() string {
+	return fmt.Sprintf("history(c=%.2f,misses=%d)", h.cfg.Coeff, h.cfg.MaxMisses)
+}
+
+// Update implements DistanceFilter.
+func (h *History) Update(at time.Duration, obs []Observation) []Estimate {
+	seen := make(map[ibeacon.BeaconID]bool, len(obs))
+	for _, o := range obs {
+		seen[o.Beacon] = true
+		v := h.est.Estimate(o.RSSI, float64(o.MeasuredPower))
+		s := h.state[o.Beacon]
+		if s == nil {
+			// First contact: the history is empty, so the estimate is
+			// the measurement itself.
+			h.state[o.Beacon] = &Estimate{
+				Beacon:   o.Beacon,
+				Distance: v,
+				Raw:      v,
+				LastSeen: at,
+			}
+			continue
+		}
+		s.Distance = h.cfg.Coeff*s.Distance + (1-h.cfg.Coeff)*v
+		s.Raw = v
+		s.LastSeen = at
+		s.Misses = 0
+	}
+	// Beacons not present in this cycle: hold the value, count the miss,
+	// drop after MaxMisses consecutive losses.
+	for id, s := range h.state {
+		if seen[id] {
+			continue
+		}
+		s.Misses++
+		if s.Misses >= h.cfg.MaxMisses {
+			delete(h.state, id)
+		}
+	}
+	return h.Snapshot()
+}
+
+// Snapshot implements DistanceFilter.
+func (h *History) Snapshot() []Estimate {
+	return snapshot(h.state)
+}
+
+func snapshot(state map[ibeacon.BeaconID]*Estimate) []Estimate {
+	out := make([]Estimate, 0, len(state))
+	for _, s := range state {
+		out = append(out, *s)
+	}
+	sortEstimates(out)
+	return out
+}
+
+func sortEstimates(es []Estimate) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i].Beacon, es[j].Beacon
+		if a.UUID != b.UUID {
+			for k := range a.UUID {
+				if a.UUID[k] != b.UUID[k] {
+					return a.UUID[k] < b.UUID[k]
+				}
+			}
+		}
+		if a.Major != b.Major {
+			return a.Major < b.Major
+		}
+		return a.Minor < b.Minor
+	})
+}
+
+// Nearest returns the estimate with the smallest distance, the signal the
+// proximity technique keys on. ok is false when no beacon is tracked.
+func Nearest(es []Estimate) (Estimate, bool) {
+	if len(es) == 0 {
+		return Estimate{}, false
+	}
+	best := es[0]
+	for _, e := range es[1:] {
+		if e.Distance < best.Distance {
+			best = e
+		}
+	}
+	return best, true
+}

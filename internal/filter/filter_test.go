@@ -1,0 +1,411 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"occusim/internal/ibeacon"
+	"occusim/internal/radio"
+)
+
+var (
+	beaconA = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 1}
+	beaconB = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 2}
+)
+
+// obsAtDistance fabricates an observation whose log-distance estimate is
+// exactly d metres (exponent 2.4, measured power -59).
+func obsAtDistance(id ibeacon.BeaconID, d float64) Observation {
+	rssi := -59 - 24*math.Log10(d)
+	return Observation{Beacon: id, RSSI: rssi, MeasuredPower: -59}
+}
+
+func mustHistory(t *testing.T, cfg Config) *History {
+	t.Helper()
+	h, err := NewHistory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+	bad := []Config{
+		{Coeff: -0.1, MaxMisses: 2},
+		{Coeff: 1.0, MaxMisses: 2},
+		{Coeff: 0.5, MaxMisses: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+	if _, err := NewHistory(Config{Coeff: 2, MaxMisses: 1}); err == nil {
+		t.Error("NewHistory should propagate validation errors")
+	}
+}
+
+func TestFirstObservationSeedsEstimate(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	es := h.Update(time.Second, []Observation{obsAtDistance(beaconA, 3)})
+	if len(es) != 1 {
+		t.Fatalf("estimates = %d", len(es))
+	}
+	if math.Abs(es[0].Distance-3) > 0.01 {
+		t.Fatalf("first estimate = %v, want 3", es[0].Distance)
+	}
+	if es[0].LastSeen != time.Second || es[0].Misses != 0 {
+		t.Fatalf("bookkeeping: %+v", es[0])
+	}
+}
+
+func TestRecursiveBlend(t *testing.T) {
+	h := mustHistory(t, Config{Coeff: 0.65, MaxMisses: 2})
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+	es := h.Update(time.Second, []Observation{obsAtDistance(beaconA, 4)})
+	// p = 0.65·2 + 0.35·4 = 2.7
+	if math.Abs(es[0].Distance-2.7) > 0.02 {
+		t.Fatalf("blended = %v, want 2.7", es[0].Distance)
+	}
+	if math.Abs(es[0].Raw-4) > 0.02 {
+		t.Fatalf("raw = %v, want 4", es[0].Raw)
+	}
+}
+
+func TestZeroCoeffTracksMeasurement(t *testing.T) {
+	h := mustHistory(t, Config{Coeff: 0, MaxMisses: 2})
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+	es := h.Update(time.Second, []Observation{obsAtDistance(beaconA, 7)})
+	if math.Abs(es[0].Distance-7) > 0.05 {
+		t.Fatalf("c=0 estimate = %v, want 7", es[0].Distance)
+	}
+}
+
+func TestLossHoldThenDrop(t *testing.T) {
+	h := mustHistory(t, PaperConfig()) // MaxMisses = 2
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+
+	// First loss: value held.
+	es := h.Update(time.Second, nil)
+	if len(es) != 1 {
+		t.Fatalf("estimates after first loss = %d, want 1 (held)", len(es))
+	}
+	if es[0].Misses != 1 {
+		t.Fatalf("misses = %d, want 1", es[0].Misses)
+	}
+	if math.Abs(es[0].Distance-2) > 0.01 {
+		t.Fatalf("held value changed: %v", es[0].Distance)
+	}
+
+	// Second consecutive loss: removed.
+	es = h.Update(2*time.Second, nil)
+	if len(es) != 0 {
+		t.Fatalf("estimates after second loss = %d, want 0", len(es))
+	}
+}
+
+func TestReappearanceResetsMisses(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+	h.Update(time.Second, nil) // miss 1
+	es := h.Update(2*time.Second, []Observation{obsAtDistance(beaconA, 2)})
+	if es[0].Misses != 0 {
+		t.Fatalf("misses after reappearance = %d", es[0].Misses)
+	}
+	// Two more losses still needed to drop it.
+	h.Update(3*time.Second, nil)
+	es = h.Update(4*time.Second, nil)
+	if len(es) != 0 {
+		t.Fatal("beacon should drop after two fresh consecutive losses")
+	}
+}
+
+func TestIndependentBeacons(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2), obsAtDistance(beaconB, 5)})
+	// Only A is seen; B accrues a miss but is held.
+	es := h.Update(time.Second, []Observation{obsAtDistance(beaconA, 2)})
+	if len(es) != 2 {
+		t.Fatalf("estimates = %d, want 2", len(es))
+	}
+	var a, b Estimate
+	for _, e := range es {
+		switch e.Beacon {
+		case beaconA:
+			a = e
+		case beaconB:
+			b = e
+		}
+	}
+	if a.Misses != 0 || b.Misses != 1 {
+		t.Fatalf("misses: a=%d b=%d", a.Misses, b.Misses)
+	}
+}
+
+func TestSnapshotDoesNotMutate(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+	s1 := h.Snapshot()
+	s2 := h.Snapshot()
+	if len(s1) != 1 || len(s2) != 1 || s1[0] != s2[0] {
+		t.Fatal("snapshots differ")
+	}
+	s1[0].Distance = 99
+	if h.Snapshot()[0].Distance == 99 {
+		t.Fatal("snapshot aliases internal state")
+	}
+}
+
+func TestEstimatesSorted(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	es := h.Update(0, []Observation{obsAtDistance(beaconB, 5), obsAtDistance(beaconA, 2)})
+	if es[0].Beacon != beaconA || es[1].Beacon != beaconB {
+		t.Fatalf("order: %v, %v", es[0].Beacon, es[1].Beacon)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	h := mustHistory(t, PaperConfig())
+	es := h.Update(0, []Observation{obsAtDistance(beaconA, 4), obsAtDistance(beaconB, 2)})
+	n, ok := Nearest(es)
+	if !ok || n.Beacon != beaconB {
+		t.Fatalf("nearest = %+v, %v", n, ok)
+	}
+	if _, ok := Nearest(nil); ok {
+		t.Fatal("nearest of empty should be !ok")
+	}
+}
+
+func TestSmoothingReducesVariance(t *testing.T) {
+	// Feed a noisy oscillating distance; the filtered stream must have
+	// lower variance than the raw stream.
+	h := mustHistory(t, Config{Coeff: 0.65, MaxMisses: 2})
+	var raw, smooth []float64
+	for i := 0; i < 200; i++ {
+		d := 2.0
+		if i%2 == 0 {
+			d = 3.5
+		}
+		es := h.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, d)})
+		raw = append(raw, es[0].Raw)
+		smooth = append(smooth, es[0].Distance)
+	}
+	if variance(smooth) >= variance(raw)/2 {
+		t.Fatalf("smoothing too weak: raw var %v, smooth var %v", variance(raw), variance(smooth))
+	}
+}
+
+func TestHigherCoeffSmoothsMoreButLags(t *testing.T) {
+	run := func(coeff float64) (variance0 float64, lagSteps int) {
+		h := mustHistory(t, Config{Coeff: coeff, MaxMisses: 2})
+		// Phase 1: stationary at 2 m with alternating noise.
+		var phase1 []float64
+		for i := 0; i < 100; i++ {
+			d := 2.0 + 0.5*float64(i%2)
+			es := h.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, d)})
+			phase1 = append(phase1, es[0].Distance)
+		}
+		// Phase 2: step to 8 m; count updates until within 1 m.
+		steps := 0
+		for i := 100; i < 300; i++ {
+			es := h.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, 8)})
+			steps++
+			if math.Abs(es[0].Distance-8) < 1 {
+				break
+			}
+		}
+		return variance(phase1[20:]), steps
+	}
+	vLow, lagLow := run(0.2)
+	vHigh, lagHigh := run(0.9)
+	if vHigh >= vLow {
+		t.Fatalf("c=0.9 variance %v should be below c=0.2 variance %v", vHigh, vLow)
+	}
+	if lagHigh <= lagLow {
+		t.Fatalf("c=0.9 lag %d should exceed c=0.2 lag %d", lagHigh, lagLow)
+	}
+}
+
+func TestMedianFilter(t *testing.T) {
+	m, err := NewMedian(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+	// A single outlier among steady readings must not move the median.
+	var last []Estimate
+	seq := []float64{2, 2, 15, 2, 2}
+	for i, d := range seq {
+		last = m.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, d)})
+	}
+	if math.Abs(last[0].Distance-2) > 0.05 {
+		t.Fatalf("median with outlier = %v, want ≈2", last[0].Distance)
+	}
+	// Loss-hold behaviour matches the history filter's.
+	m.Update(6*time.Second, nil)
+	if len(m.Snapshot()) != 1 {
+		t.Fatal("median should hold after one loss")
+	}
+	m.Update(7*time.Second, nil)
+	if len(m.Snapshot()) != 0 {
+		t.Fatal("median should drop after two losses")
+	}
+}
+
+func TestMedianErrors(t *testing.T) {
+	if _, err := NewMedian(0, 2, nil); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := NewMedian(3, 0, nil); err == nil {
+		t.Error("zero misses should error")
+	}
+}
+
+func TestKalmanConvergesToSteadyValue(t *testing.T) {
+	k, err := NewKalman(0.05, 1.0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() == "" {
+		t.Error("empty name")
+	}
+	var last []Estimate
+	for i := 0; i < 50; i++ {
+		last = k.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, 4)})
+	}
+	if math.Abs(last[0].Distance-4) > 0.1 {
+		t.Fatalf("kalman steady estimate = %v, want ≈4", last[0].Distance)
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	k, _ := NewKalman(0.02, 2.0, 2, nil)
+	var raw, smooth []float64
+	for i := 0; i < 200; i++ {
+		d := 3.0 + float64(i%2) // alternating 3, 4
+		es := k.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, d)})
+		raw = append(raw, es[0].Raw)
+		smooth = append(smooth, es[0].Distance)
+	}
+	if variance(smooth[50:]) >= variance(raw[50:])/2 {
+		t.Fatal("kalman failed to smooth alternating noise")
+	}
+}
+
+func TestKalmanLossHold(t *testing.T) {
+	k, _ := NewKalman(0.05, 1.0, 2, nil)
+	k.Update(0, []Observation{obsAtDistance(beaconA, 3)})
+	k.Update(time.Second, nil)
+	if len(k.Snapshot()) != 1 {
+		t.Fatal("kalman should hold after one loss")
+	}
+	k.Update(2*time.Second, nil)
+	if len(k.Snapshot()) != 0 {
+		t.Fatal("kalman should drop after two losses")
+	}
+}
+
+func TestKalmanErrors(t *testing.T) {
+	if _, err := NewKalman(0, 1, 2, nil); err == nil {
+		t.Error("zero Q should error")
+	}
+	if _, err := NewKalman(1, 0, 2, nil); err == nil {
+		t.Error("zero R should error")
+	}
+	if _, err := NewKalman(1, 1, 0, nil); err == nil {
+		t.Error("zero misses should error")
+	}
+}
+
+func TestCustomEstimatorIsUsed(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.Estimator = radio.RatioCurveEstimator{}
+	h := mustHistory(t, cfg)
+	es := h.Update(0, []Observation{{Beacon: beaconA, RSSI: -59, MeasuredPower: -59}})
+	// Ratio-curve at ratio 1 gives ≈1.01, clearly distinct from the
+	// log model's exact 1.0? Both ≈1; use a strong signal instead.
+	es = h.Update(time.Second, []Observation{{Beacon: beaconA, RSSI: -30, MeasuredPower: -59}})
+	if len(es) != 1 {
+		t.Fatal("estimate missing")
+	}
+}
+
+// Property: the filtered estimate always lies between the minimum and
+// maximum of the observations seen so far (convexity of the recursion).
+func TestQuickEstimateWithinObservedRange(t *testing.T) {
+	f := func(dists []uint8, coeffPct uint8) bool {
+		if len(dists) == 0 {
+			return true
+		}
+		cfg := Config{Coeff: float64(coeffPct%100) / 100, MaxMisses: 2}
+		h, err := NewHistory(cfg)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, raw := range dists {
+			d := 0.5 + float64(raw%80)/4 // 0.5 .. 20.25 m, clamped later by estimator max 20
+			if d > 19.9 {
+				d = 19.9
+			}
+			es := h.Update(time.Duration(i)*time.Second, []Observation{obsAtDistance(beaconA, d)})
+			v := es[0].Raw
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if es[0].Distance < lo-1e-6 || es[0].Distance > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: beacons are never reported after MaxMisses consecutive empty
+// updates.
+func TestQuickDropAfterMaxMisses(t *testing.T) {
+	f := func(maxMisses uint8) bool {
+		mm := int(maxMisses%5) + 1
+		h, err := NewHistory(Config{Coeff: 0.65, MaxMisses: mm})
+		if err != nil {
+			return false
+		}
+		h.Update(0, []Observation{obsAtDistance(beaconA, 2)})
+		for i := 0; i < mm; i++ {
+			h.Update(time.Duration(i+1)*time.Second, nil)
+		}
+		return len(h.Snapshot()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs))
+}

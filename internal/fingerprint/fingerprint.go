@@ -1,0 +1,226 @@
+// Package fingerprint implements the scene-analysis dataset of Section
+// VI: labelled samples of per-beacon estimated distances, collected by an
+// operator walking the building ("a data collection phase is needed,
+// requiring an operator that walks around the building collecting samples
+// (beacon identifiers and their detected distances)"), stored on the
+// server, and used to train the supervised room classifier.
+//
+// A Sample maps beacon identities to estimated distances; a Dataset fixes
+// a beacon ordering so samples become fixed-width feature vectors with a
+// sentinel distance for beacons that were not heard.
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"occusim/internal/filter"
+	"occusim/internal/ibeacon"
+	"occusim/internal/rng"
+)
+
+// MissingDistance is the feature value used for beacons absent from a
+// sample. It matches the ranging clamp of the distance estimators: "not
+// heard" and "at the edge of radio range" are deliberately adjacent in
+// feature space.
+const MissingDistance = 20.0
+
+// Sample is one labelled observation.
+type Sample struct {
+	// Room is the ground-truth label (a room name or building.Outside).
+	Room string `json:"room"`
+	// At is the collection time within its trace.
+	At time.Duration `json:"at"`
+	// Distances holds the filtered distance estimate per heard beacon.
+	Distances map[ibeacon.BeaconID]float64 `json:"-"`
+}
+
+// sampleJSON is the wire form of Sample; beacon IDs become strings.
+type sampleJSON struct {
+	Room      string             `json:"room"`
+	AtSeconds float64            `json:"atSeconds"`
+	Distances map[string]float64 `json:"distances"`
+}
+
+// FromEstimates builds a sample from the ranging filter's current
+// estimates.
+func FromEstimates(room string, at time.Duration, estimates []filter.Estimate) Sample {
+	s := Sample{Room: room, At: at, Distances: make(map[ibeacon.BeaconID]float64, len(estimates))}
+	for _, e := range estimates {
+		s.Distances[e.Beacon] = e.Distance
+	}
+	return s
+}
+
+// Dataset is an ordered collection of samples with a fixed beacon list
+// defining the feature layout.
+type Dataset struct {
+	// Beacons fixes the feature order. Features(s)[i] is the distance to
+	// Beacons[i].
+	Beacons []ibeacon.BeaconID
+	// Samples are the labelled observations.
+	Samples []Sample
+}
+
+// New creates a dataset over the given beacon list. The order is
+// preserved and defines the feature layout.
+func New(beacons []ibeacon.BeaconID) *Dataset {
+	return &Dataset{Beacons: append([]ibeacon.BeaconID(nil), beacons...)}
+}
+
+// Add appends a sample.
+func (d *Dataset) Add(s Sample) { d.Samples = append(d.Samples, s) }
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Features converts a sample to the fixed-width vector: the distance per
+// known beacon, MissingDistance when the beacon was not heard. Beacons in
+// the sample but not in the dataset's list are ignored.
+func (d *Dataset) Features(s Sample) []float64 {
+	out := make([]float64, len(d.Beacons))
+	for i, id := range d.Beacons {
+		if v, ok := s.Distances[id]; ok {
+			out[i] = v
+		} else {
+			out[i] = MissingDistance
+		}
+	}
+	return out
+}
+
+// Matrix returns the feature matrix and label vector of the whole
+// dataset.
+func (d *Dataset) Matrix() ([][]float64, []string) {
+	X := make([][]float64, len(d.Samples))
+	y := make([]string, len(d.Samples))
+	for i, s := range d.Samples {
+		X[i] = d.Features(s)
+		y[i] = s.Room
+	}
+	return X, y
+}
+
+// Labels returns the distinct room labels present, sorted.
+func (d *Dataset) Labels() []string {
+	set := map[string]bool{}
+	for _, s := range d.Samples {
+		set[s.Room] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountByRoom returns the number of samples per label.
+func (d *Dataset) CountByRoom() map[string]int {
+	out := map[string]int{}
+	for _, s := range d.Samples {
+		out[s.Room]++
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test subsets, keeping
+// trainFrac of the samples (rounded down, at least one sample in each
+// side when possible) after a deterministic shuffle. The paper does the
+// same: "Part of the collected data was then used to build the
+// aforementioned SVM model (training set), while another part was used to
+// test its behaviors (testing set)".
+func (d *Dataset) Split(trainFrac float64, seed uint64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("fingerprint: train fraction %v outside (0,1)", trainFrac)
+	}
+	n := len(d.Samples)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("fingerprint: need at least 2 samples to split, have %d", n)
+	}
+	perm := rng.New(seed).Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	train = New(d.Beacons)
+	test = New(d.Beacons)
+	for i, pi := range perm {
+		if i < cut {
+			train.Add(d.Samples[pi])
+		} else {
+			test.Add(d.Samples[pi])
+		}
+	}
+	return train, test, nil
+}
+
+// datasetJSON is the serialised form of a Dataset.
+type datasetJSON struct {
+	Beacons []string     `json:"beacons"`
+	Samples []sampleJSON `json:"samples"`
+}
+
+// WriteJSON serialises the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	dj := datasetJSON{}
+	for _, b := range d.Beacons {
+		dj.Beacons = append(dj.Beacons, b.String())
+	}
+	for _, s := range d.Samples {
+		sj := sampleJSON{Room: s.Room, AtSeconds: s.At.Seconds(), Distances: map[string]float64{}}
+		for id, v := range s.Distances {
+			sj.Distances[id.String()] = v
+		}
+		dj.Samples = append(dj.Samples, sj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dj)
+}
+
+// ReadJSON deserialises a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var dj datasetJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("fingerprint: decode: %w", err)
+	}
+	d := &Dataset{}
+	for _, s := range dj.Beacons {
+		id, err := parseBeaconID(s)
+		if err != nil {
+			return nil, err
+		}
+		d.Beacons = append(d.Beacons, id)
+	}
+	for _, sj := range dj.Samples {
+		s := Sample{
+			Room:      sj.Room,
+			At:        time.Duration(sj.AtSeconds * float64(time.Second)),
+			Distances: map[ibeacon.BeaconID]float64{},
+		}
+		for key, v := range sj.Distances {
+			id, err := parseBeaconID(key)
+			if err != nil {
+				return nil, err
+			}
+			s.Distances[id] = v
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}
+
+// parseBeaconID parses the "UUID/major/minor" form of BeaconID.String.
+func parseBeaconID(s string) (ibeacon.BeaconID, error) {
+	id, err := ibeacon.ParseBeaconID(s)
+	if err != nil {
+		return id, fmt.Errorf("fingerprint: %w", err)
+	}
+	return id, nil
+}

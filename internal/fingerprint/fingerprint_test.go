@@ -1,0 +1,197 @@
+package fingerprint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"occusim/internal/filter"
+	"occusim/internal/ibeacon"
+)
+
+var (
+	idA = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 1}
+	idB = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 2}
+	idC = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 3}
+)
+
+func sample(room string, dists map[ibeacon.BeaconID]float64) Sample {
+	return Sample{Room: room, Distances: dists}
+}
+
+func TestFeaturesOrderAndMissing(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA, idB, idC})
+	s := sample("kitchen", map[ibeacon.BeaconID]float64{idB: 3.5, idA: 1.2})
+	f := d.Features(s)
+	if len(f) != 3 {
+		t.Fatalf("features = %v", f)
+	}
+	if f[0] != 1.2 || f[1] != 3.5 {
+		t.Fatalf("order wrong: %v", f)
+	}
+	if f[2] != MissingDistance {
+		t.Fatalf("missing beacon = %v, want %v", f[2], MissingDistance)
+	}
+}
+
+func TestFeaturesIgnoresUnknownBeacons(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA})
+	s := sample("x", map[ibeacon.BeaconID]float64{idA: 2, idC: 9})
+	f := d.Features(s)
+	if len(f) != 1 || f[0] != 2 {
+		t.Fatalf("features = %v", f)
+	}
+}
+
+func TestMatrixAndLabels(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA, idB})
+	d.Add(sample("kitchen", map[ibeacon.BeaconID]float64{idA: 1}))
+	d.Add(sample("living", map[ibeacon.BeaconID]float64{idB: 2}))
+	d.Add(sample("kitchen", map[ibeacon.BeaconID]float64{idA: 1.5}))
+	X, y := d.Matrix()
+	if len(X) != 3 || len(y) != 3 {
+		t.Fatalf("matrix = %d×, labels = %d", len(X), len(y))
+	}
+	labels := d.Labels()
+	if len(labels) != 2 || labels[0] != "kitchen" || labels[1] != "living" {
+		t.Fatalf("labels = %v", labels)
+	}
+	counts := d.CountByRoom()
+	if counts["kitchen"] != 2 || counts["living"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFromEstimates(t *testing.T) {
+	es := []filter.Estimate{
+		{Beacon: idA, Distance: 2.5},
+		{Beacon: idB, Distance: 7.1},
+	}
+	s := FromEstimates("study", 42*time.Second, es)
+	if s.Room != "study" || s.At != 42*time.Second {
+		t.Fatalf("sample meta: %+v", s)
+	}
+	if s.Distances[idA] != 2.5 || s.Distances[idB] != 7.1 {
+		t.Fatalf("distances: %v", s.Distances)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA})
+	for i := 0; i < 100; i++ {
+		room := "a"
+		if i%2 == 1 {
+			room = "b"
+		}
+		d.Add(sample(room, map[ibeacon.BeaconID]float64{idA: float64(i)}))
+	}
+	train, test, err := d.Split(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 70 || test.Len() != 30 {
+		t.Fatalf("split = %d / %d", train.Len(), test.Len())
+	}
+	// No sample lost or duplicated: distances are unique markers.
+	seen := map[float64]bool{}
+	for _, s := range append(train.Samples, test.Samples...) {
+		v := s.Distances[idA]
+		if seen[v] {
+			t.Fatalf("duplicate sample %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("samples preserved = %d", len(seen))
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA})
+	for i := 0; i < 20; i++ {
+		d.Add(sample("a", map[ibeacon.BeaconID]float64{idA: float64(i)}))
+	}
+	t1, _, _ := d.Split(0.5, 9)
+	t2, _, _ := d.Split(0.5, 9)
+	for i := range t1.Samples {
+		if t1.Samples[i].Distances[idA] != t2.Samples[i].Distances[idA] {
+			t.Fatal("same-seed splits differ")
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA})
+	d.Add(sample("a", nil))
+	if _, _, err := d.Split(0.5, 1); err == nil {
+		t.Error("single sample split should fail")
+	}
+	d.Add(sample("b", nil))
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.Split(frac, 1); err == nil {
+			t.Errorf("frac %v should fail", frac)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA, idB})
+	d.Add(Sample{Room: "kitchen", At: 3 * time.Second,
+		Distances: map[ibeacon.BeaconID]float64{idA: 1.25, idB: 4.5}})
+	d.Add(Sample{Room: "outside", At: 9 * time.Second,
+		Distances: map[ibeacon.BeaconID]float64{idB: 11}})
+
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Beacons) != 2 || back.Beacons[0] != idA || back.Beacons[1] != idB {
+		t.Fatalf("beacons = %v", back.Beacons)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("samples = %d", back.Len())
+	}
+	s := back.Samples[0]
+	if s.Room != "kitchen" || s.At != 3*time.Second || s.Distances[idA] != 1.25 {
+		t.Fatalf("sample 0 = %+v", s)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"beacons":["nope"]}`)); err == nil {
+		t.Error("bad beacon id should fail")
+	}
+	long := `{"beacons":[],"samples":[{"room":"a","distances":{"zzz":1}}]}`
+	if _, err := ReadJSON(strings.NewReader(long)); err == nil {
+		t.Error("bad distance key should fail")
+	}
+}
+
+// Property: features always have the dataset's dimensionality and only
+// finite values.
+func TestQuickFeatureShape(t *testing.T) {
+	d := New([]ibeacon.BeaconID{idA, idB, idC})
+	f := func(dA, dB float64, haveA, haveB bool) bool {
+		dist := map[ibeacon.BeaconID]float64{}
+		if haveA {
+			dist[idA] = dA
+		}
+		if haveB {
+			dist[idB] = dB
+		}
+		feats := d.Features(sample("r", dist))
+		return len(feats) == 3 && feats[2] == MissingDistance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package ibeacon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The iBeacon payload is a standard BLE advertising payload: a sequence
+// of AD structures, each `length | type | data`, per the Generic Access
+// Profile the paper's Section III situates iBeacon under. This file
+// implements the generic layer so the codec can coexist with other
+// advertisement contents (scan responses, alien beacons, sensor ADs).
+
+// AD types used by iBeacon advertisements.
+const (
+	// ADTypeFlags is the advertising flags structure (0x01).
+	ADTypeFlags = 0x01
+	// ADTypeManufacturer is manufacturer-specific data (0xFF).
+	ADTypeManufacturer = 0xFF
+)
+
+// AppleCompanyID is the Bluetooth SIG company identifier carried by
+// iBeacon manufacturer data (little endian on the wire).
+const AppleCompanyID = 0x004C
+
+// ADStructure is one `length | type | data` element of an advertising
+// payload.
+type ADStructure struct {
+	// Type is the AD type code.
+	Type byte
+	// Data is the structure payload (excluding the type byte).
+	Data []byte
+}
+
+// ErrBadADStructure reports a malformed advertising payload.
+var ErrBadADStructure = errors.New("ibeacon: malformed AD structure")
+
+// ParseADStructures splits an advertising payload into its AD
+// structures. A zero length byte terminates parsing (the spec uses it
+// for early termination); structures running past the payload are an
+// error.
+func ParseADStructures(payload []byte) ([]ADStructure, error) {
+	var out []ADStructure
+	for i := 0; i < len(payload); {
+		length := int(payload[i])
+		if length == 0 {
+			break // early termination
+		}
+		if i+1+length > len(payload) {
+			return nil, fmt.Errorf("%w: structure at offset %d overruns payload", ErrBadADStructure, i)
+		}
+		out = append(out, ADStructure{
+			Type: payload[i+1],
+			Data: payload[i+2 : i+1+length],
+		})
+		i += 1 + length
+	}
+	return out, nil
+}
+
+// MarshalADStructures encodes structures back into a payload.
+func MarshalADStructures(structures []ADStructure) ([]byte, error) {
+	var out []byte
+	for i, s := range structures {
+		if len(s.Data)+1 > 255 {
+			return nil, fmt.Errorf("ibeacon: AD structure %d too long (%d bytes)", i, len(s.Data))
+		}
+		out = append(out, byte(len(s.Data)+1), s.Type)
+		out = append(out, s.Data...)
+	}
+	return out, nil
+}
+
+// FromADStructures extracts an iBeacon packet from parsed AD
+// structures: it searches for Apple manufacturer data carrying the
+// beacon type marker. This tolerates payloads where the iBeacon
+// structure is accompanied by other ADs, unlike the strict 30-byte
+// Unmarshal.
+func FromADStructures(structures []ADStructure) (Packet, error) {
+	var p Packet
+	for _, s := range structures {
+		if s.Type != ADTypeManufacturer || len(s.Data) < 25 {
+			continue
+		}
+		company := uint16(s.Data[0]) | uint16(s.Data[1])<<8
+		if company != AppleCompanyID {
+			continue
+		}
+		// Beacon type 0x02, data length 0x15 (21 bytes).
+		if s.Data[2] != 0x02 || s.Data[3] != 0x15 {
+			continue
+		}
+		copy(p.UUID[:], s.Data[4:20])
+		p.Major = uint16(s.Data[20])<<8 | uint16(s.Data[21])
+		p.Minor = uint16(s.Data[22])<<8 | uint16(s.Data[23])
+		p.MeasuredPower = int8(s.Data[24])
+		return p, nil
+	}
+	return p, fmt.Errorf("%w: no iBeacon manufacturer structure", ErrBadPrefix)
+}
+
+// UnmarshalAny decodes an iBeacon packet from any advertising payload by
+// walking its AD structures. It accepts both the canonical 30-byte form
+// and payloads with extra structures.
+func UnmarshalAny(payload []byte) (Packet, error) {
+	structures, err := ParseADStructures(payload)
+	if err != nil {
+		return Packet{}, err
+	}
+	return FromADStructures(structures)
+}

@@ -1,0 +1,165 @@
+package ibeacon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseADStructuresOfMarshalledPacket(t *testing.T) {
+	p := Packet{UUID: MustUUID(exampleUUID), Major: 3, Minor: 7, MeasuredPower: -59}
+	structures, err := ParseADStructures(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structures) != 2 {
+		t.Fatalf("structures = %d, want flags + manufacturer", len(structures))
+	}
+	if structures[0].Type != ADTypeFlags {
+		t.Errorf("first type = %#x", structures[0].Type)
+	}
+	if structures[1].Type != ADTypeManufacturer {
+		t.Errorf("second type = %#x", structures[1].Type)
+	}
+	if len(structures[1].Data) != 25 {
+		t.Errorf("manufacturer data = %d bytes", len(structures[1].Data))
+	}
+}
+
+func TestParseADStructuresEarlyTermination(t *testing.T) {
+	payload := []byte{0x02, 0x01, 0x06, 0x00, 0xFF, 0xFF}
+	structures, err := ParseADStructures(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(structures) != 1 {
+		t.Fatalf("structures = %d, want 1 (terminated)", len(structures))
+	}
+}
+
+func TestParseADStructuresOverrun(t *testing.T) {
+	payload := []byte{0x05, 0x01, 0x06} // claims 5 bytes, has 2
+	if _, err := ParseADStructures(payload); !errors.Is(err, ErrBadADStructure) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMarshalADStructuresRoundTrip(t *testing.T) {
+	in := []ADStructure{
+		{Type: ADTypeFlags, Data: []byte{0x06}},
+		{Type: 0x09, Data: []byte("room-42")},
+	}
+	payload, err := MarshalADStructures(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseADStructures(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("structures = %d", len(out))
+	}
+	for i := range in {
+		if out[i].Type != in[i].Type || !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Fatalf("structure %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMarshalADStructuresTooLong(t *testing.T) {
+	if _, err := MarshalADStructures([]ADStructure{{Type: 1, Data: make([]byte, 256)}}); err == nil {
+		t.Fatal("oversized structure should fail")
+	}
+}
+
+func TestUnmarshalAnyCanonicalForm(t *testing.T) {
+	p := Packet{UUID: MustUUID(exampleUUID), Major: 9, Minor: 4, MeasuredPower: -61}
+	got, err := UnmarshalAny(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestUnmarshalAnyWithExtraStructures(t *testing.T) {
+	p := Packet{UUID: MustUUID(exampleUUID), Major: 1, Minor: 2, MeasuredPower: -59}
+	structures, err := ParseADStructures(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a local-name AD before the manufacturer structure.
+	extended := []ADStructure{
+		structures[0],
+		{Type: 0x09, Data: []byte("lobby")},
+		structures[1],
+	}
+	payload, err := MarshalADStructures(extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAny(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("decode with extras: %+v", got)
+	}
+}
+
+func TestUnmarshalAnyRejectsNonIBeacon(t *testing.T) {
+	// Apple company but wrong beacon type.
+	data := make([]byte, 25)
+	data[0], data[1] = 0x4C, 0x00
+	data[2], data[3] = 0x99, 0x15
+	payload, err := MarshalADStructures([]ADStructure{{Type: ADTypeManufacturer, Data: data}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAny(payload); !errors.Is(err, ErrBadPrefix) {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-Apple manufacturer.
+	data[0], data[1] = 0x4D, 0x00
+	data[2], data[3] = 0x02, 0x15
+	payload, _ = MarshalADStructures([]ADStructure{{Type: ADTypeManufacturer, Data: data}})
+	if _, err := UnmarshalAny(payload); err == nil {
+		t.Fatal("non-Apple data should fail")
+	}
+}
+
+// Property: UnmarshalAny agrees with Unmarshal on canonical payloads.
+func TestQuickUnmarshalAgreement(t *testing.T) {
+	f := func(uuid [16]byte, major, minor uint16, power int8) bool {
+		p := Packet{UUID: uuid, Major: major, Minor: minor, MeasuredPower: power}
+		payload := p.Marshal()
+		a, errA := Unmarshal(payload)
+		b, errB := UnmarshalAny(payload)
+		return errA == nil && errB == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ParseADStructures never panics and either errors or
+// consumes within bounds on arbitrary payloads.
+func TestQuickParseADStructuresTotal(t *testing.T) {
+	f := func(payload []byte) bool {
+		structures, err := ParseADStructures(payload)
+		if err != nil {
+			return true
+		}
+		total := 0
+		for _, s := range structures {
+			total += 2 + len(s.Data)
+		}
+		return total <= len(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

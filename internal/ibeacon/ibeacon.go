@@ -1,0 +1,281 @@
+// Package ibeacon implements the iBeacon advertisement format (Section
+// III of the paper): encoding and decoding of the 30-byte BLE advertising
+// payload, beacon identities, region matching for the monitoring feature,
+// and the TX-power calibration procedure from Section IV.A.
+//
+// Wire layout (Figure 1 of the paper; lengths per the Apple spec):
+//
+//	 3 bytes  flags AD structure          02 01 06
+//	 2 bytes  manufacturer AD header      1A FF
+//	 2 bytes  Apple company identifier    4C 00   (little endian 0x004C)
+//	 2 bytes  beacon type + data length   02 15
+//	16 bytes  proximity UUID
+//	 2 bytes  major (big endian)
+//	 2 bytes  minor (big endian)
+//	 1 byte   measured power (int8 dBm at 1 m)
+//
+// The paper's Figure 1 rounds the trailing field to "2 bytes TX power";
+// the deployed format carries a single signed byte, which is what we
+// implement.
+package ibeacon
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PacketLen is the total encoded length of an iBeacon advertisement.
+const PacketLen = 30
+
+// prefix is the fixed 9-byte header: flags, manufacturer AD header, Apple
+// company ID, beacon type and data length. This is the "iBeacon prefix
+// (9 bytes)" of Figure 1.
+var prefix = [9]byte{0x02, 0x01, 0x06, 0x1A, 0xFF, 0x4C, 0x00, 0x02, 0x15}
+
+// UUID is the 16-byte proximity UUID identifying beacons that belong to
+// one organisation/region.
+type UUID [16]byte
+
+// ParseUUID parses the canonical hyphenated form
+// ("B9407F30-F5F8-466E-AFF9-25556B57FE6D") or 32 plain hex digits.
+func ParseUUID(s string) (UUID, error) {
+	var u UUID
+	clean := strings.ReplaceAll(s, "-", "")
+	if len(clean) != 32 {
+		return u, fmt.Errorf("ibeacon: UUID %q must contain 32 hex digits", s)
+	}
+	b, err := hex.DecodeString(clean)
+	if err != nil {
+		return u, fmt.Errorf("ibeacon: UUID %q: %w", s, err)
+	}
+	copy(u[:], b)
+	return u, nil
+}
+
+// MustUUID is ParseUUID that panics on error, for test fixtures and
+// examples.
+func MustUUID(s string) UUID {
+	u, err := ParseUUID(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String renders the canonical 8-4-4-4-12 uppercase form.
+func (u UUID) String() string {
+	h := strings.ToUpper(hex.EncodeToString(u[:]))
+	return h[0:8] + "-" + h[8:12] + "-" + h[12:16] + "-" + h[16:20] + "-" + h[20:32]
+}
+
+// Packet is a decoded iBeacon advertisement.
+type Packet struct {
+	// UUID is the proximity UUID shared by every beacon of one
+	// deployment.
+	UUID UUID
+	// Major groups related beacons (e.g. one floor).
+	Major uint16
+	// Minor distinguishes individual beacons within a major group
+	// (e.g. one room).
+	Minor uint16
+	// MeasuredPower is the calibrated RSSI in dBm observed 1 m from the
+	// transmitter, used by receivers for ranging.
+	MeasuredPower int8
+}
+
+// Marshal encodes the packet into its 30-byte wire form.
+func (p Packet) Marshal() []byte {
+	out := make([]byte, PacketLen)
+	copy(out, prefix[:])
+	copy(out[9:25], p.UUID[:])
+	binary.BigEndian.PutUint16(out[25:27], p.Major)
+	binary.BigEndian.PutUint16(out[27:29], p.Minor)
+	out[29] = byte(p.MeasuredPower)
+	return out
+}
+
+// Unmarshal errors.
+var (
+	ErrShortPacket = errors.New("ibeacon: packet too short")
+	ErrBadPrefix   = errors.New("ibeacon: not an iBeacon advertisement")
+)
+
+// Unmarshal decodes a 30-byte wire payload. Extra trailing bytes (BLE
+// advertising PDUs may carry up to 31 bytes) are ignored.
+func Unmarshal(b []byte) (Packet, error) {
+	var p Packet
+	if len(b) < PacketLen {
+		return p, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(b))
+	}
+	for i, want := range prefix {
+		if b[i] != want {
+			return p, fmt.Errorf("%w: byte %d is %#02x, want %#02x", ErrBadPrefix, i, b[i], want)
+		}
+	}
+	copy(p.UUID[:], b[9:25])
+	p.Major = binary.BigEndian.Uint16(b[25:27])
+	p.Minor = binary.BigEndian.Uint16(b[27:29])
+	p.MeasuredPower = int8(b[29])
+	return p, nil
+}
+
+// ID returns the beacon identity (UUID, major, minor) of the packet.
+func (p Packet) ID() BeaconID {
+	return BeaconID{UUID: p.UUID, Major: p.Major, Minor: p.Minor}
+}
+
+// String renders a compact human-readable form.
+func (p Packet) String() string {
+	return fmt.Sprintf("iBeacon{%s %d/%d %d dBm@1m}", p.UUID, p.Major, p.Minor, p.MeasuredPower)
+}
+
+// BeaconID uniquely identifies one transmitter. It is a comparable value
+// type usable as a map key.
+type BeaconID struct {
+	UUID  UUID
+	Major uint16
+	Minor uint16
+}
+
+// String renders "UUID/major/minor".
+func (id BeaconID) String() string {
+	return fmt.Sprintf("%s/%d/%d", id.UUID, id.Major, id.Minor)
+}
+
+// ParseBeaconID parses the "UUID/major/minor" form produced by
+// BeaconID.String; it is the wire representation used by the REST API and
+// the dataset files.
+func ParseBeaconID(s string) (BeaconID, error) {
+	var id BeaconID
+	if len(s) < 36+4 { // canonical UUID plus "/M/m"
+		return id, fmt.Errorf("ibeacon: bad beacon id %q", s)
+	}
+	u, err := ParseUUID(s[:36])
+	if err != nil {
+		return id, fmt.Errorf("ibeacon: bad beacon id %q: %w", s, err)
+	}
+	var major, minor int
+	if _, err := fmt.Sscanf(s[36:], "/%d/%d", &major, &minor); err != nil {
+		return id, fmt.Errorf("ibeacon: bad beacon id %q: %w", s, err)
+	}
+	if major < 0 || major > math.MaxUint16 || minor < 0 || minor > math.MaxUint16 {
+		return id, fmt.Errorf("ibeacon: beacon id %q fields out of range", s)
+	}
+	return BeaconID{UUID: u, Major: uint16(major), Minor: uint16(minor)}, nil
+}
+
+// Hash64 folds the identity into 64 bits; the radio model uses it to give
+// each transmitter an independent shadowing field.
+func (id BeaconID) Hash64() uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, b := range id.UUID {
+		mixByte(b)
+	}
+	mixByte(byte(id.Major >> 8))
+	mixByte(byte(id.Major))
+	mixByte(byte(id.Minor >> 8))
+	mixByte(byte(id.Minor))
+	return h
+}
+
+// Any marks a wildcard major/minor in a Region.
+const Any int32 = -1
+
+// Region is an iBeacon region in the sense of the monitoring API: a set
+// of beacons sharing a proximity UUID, optionally narrowed to a major
+// group or a single beacon. The client app is configured with the regions
+// it must monitor (Section IV.C).
+type Region struct {
+	UUID  UUID
+	Major int32 // Any or 0..65535
+	Minor int32 // Any or 0..65535
+}
+
+// NewRegion returns a region matching every beacon with the given UUID.
+func NewRegion(uuid UUID) Region {
+	return Region{UUID: uuid, Major: Any, Minor: Any}
+}
+
+// WithMajor narrows the region to one major group.
+func (r Region) WithMajor(major uint16) Region {
+	r.Major = int32(major)
+	return r
+}
+
+// WithMinor narrows the region to one specific beacon. The major must
+// also be set for the region to be meaningful, mirroring the iOS API.
+func (r Region) WithMinor(minor uint16) Region {
+	r.Minor = int32(minor)
+	return r
+}
+
+// Validate reports ill-formed constraint combinations.
+func (r Region) Validate() error {
+	if r.Minor != Any && r.Major == Any {
+		return errors.New("ibeacon: region with minor constraint requires a major constraint")
+	}
+	for _, v := range []int32{r.Major, r.Minor} {
+		if v != Any && (v < 0 || v > math.MaxUint16) {
+			return fmt.Errorf("ibeacon: region field %d out of range", v)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the packet belongs to the region.
+func (r Region) Matches(p Packet) bool {
+	if r.UUID != p.UUID {
+		return false
+	}
+	if r.Major != Any && uint16(r.Major) != p.Major {
+		return false
+	}
+	if r.Minor != Any && uint16(r.Minor) != p.Minor {
+		return false
+	}
+	return true
+}
+
+// String renders the region with * for wildcards.
+func (r Region) String() string {
+	f := func(v int32) string {
+		if v == Any {
+			return "*"
+		}
+		return fmt.Sprint(v)
+	}
+	return fmt.Sprintf("region{%s %s/%s}", r.UUID, f(r.Major), f(r.Minor))
+}
+
+// CalibrateMeasuredPower derives the measured-power field from RSSI
+// samples collected 1 m from the transmitter, as in the paper's
+// calibration procedure (Section IV.A: adjust the TX power field until
+// the detected distance reads about one metre). The mean sample, rounded
+// to the nearest dBm and clamped to the int8 range, is returned. It
+// errors on an empty sample set.
+func CalibrateMeasuredPower(samplesDBm []float64) (int8, error) {
+	if len(samplesDBm) == 0 {
+		return 0, errors.New("ibeacon: calibration requires at least one sample")
+	}
+	var sum float64
+	for _, s := range samplesDBm {
+		sum += s
+	}
+	mean := sum / float64(len(samplesDBm))
+	r := math.Round(mean)
+	if r < math.MinInt8 {
+		r = math.MinInt8
+	}
+	if r > math.MaxInt8 {
+		r = math.MaxInt8
+	}
+	return int8(r), nil
+}

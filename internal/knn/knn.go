@@ -1,0 +1,96 @@
+// Package knn implements a k-nearest-neighbour classifier over the same
+// fingerprint feature vectors as the SVM, serving as an extra
+// scene-analysis baseline in the classifier ablation (the Redpin system
+// the paper cites for its kernel choice is itself fingerprint-kNN-like).
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Classifier is a trained (memorised) k-NN model.
+type Classifier struct {
+	k      int
+	points [][]float64
+	labels []string
+}
+
+// Train memorises the training set. k must be positive and no larger
+// than the training-set size; rows must be rectangular.
+func Train(X [][]float64, labels []string, k int) (*Classifier, error) {
+	if len(X) == 0 || len(X) != len(labels) {
+		return nil, fmt.Errorf("knn: bad training set (%d rows, %d labels)", len(X), len(labels))
+	}
+	if k < 1 || k > len(X) {
+		return nil, fmt.Errorf("knn: k=%d outside [1, %d]", k, len(X))
+	}
+	dim := len(X[0])
+	for i, row := range X {
+		if len(row) != dim {
+			return nil, fmt.Errorf("knn: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	c := &Classifier{k: k}
+	for i, row := range X {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		c.points = append(c.points, cp)
+		c.labels = append(c.labels, labels[i])
+	}
+	return c, nil
+}
+
+// K returns the neighbour count.
+func (c *Classifier) K() int { return c.k }
+
+// Predict returns the majority label among the k nearest training points
+// (Euclidean distance). Ties break towards the label of the closest
+// tied-vote neighbour, making predictions deterministic.
+func (c *Classifier) Predict(x []float64) string {
+	type neighbour struct {
+		dist  float64
+		index int
+	}
+	ns := make([]neighbour, len(c.points))
+	for i, p := range c.points {
+		var d2 float64
+		for j := range p {
+			d := p[j] - x[j]
+			d2 += d * d
+		}
+		ns[i] = neighbour{dist: math.Sqrt(d2), index: i}
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].dist != ns[j].dist {
+			return ns[i].dist < ns[j].dist
+		}
+		return ns[i].index < ns[j].index
+	})
+	votes := map[string]int{}
+	first := map[string]int{} // rank of each label's closest neighbour
+	for rank := 0; rank < c.k; rank++ {
+		l := c.labels[ns[rank].index]
+		votes[l]++
+		if _, seen := first[l]; !seen {
+			first[l] = rank
+		}
+	}
+	best, bestVotes, bestFirst := "", -1, len(ns)
+	for l, v := range votes {
+		if v > bestVotes || (v == bestVotes && first[l] < bestFirst) {
+			best, bestVotes, bestFirst = l, v, first[l]
+		}
+	}
+	return best
+}
+
+// PredictBatch maps Predict over the rows of X.
+func (c *Classifier) PredictBatch(X [][]float64) []string {
+	out := make([]string, len(X))
+	for i, x := range X {
+		out[i] = c.Predict(x)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package occupancy turns per-device room classifications into the
+// building-level occupancy state the BMS consumes: who is in which room,
+// enter/exit events, per-room head counts and dwell-time accounting.
+//
+// Classifications arrive noisy (Section VI's model is ~94% accurate), so
+// the tracker debounces: a device must be classified in the same new room
+// for a configurable number of consecutive observations before the
+// transition is committed. This is the server-side analogue of the
+// client's history filter.
+package occupancy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// EventKind distinguishes enter and exit events.
+type EventKind int
+
+const (
+	// Enter marks a committed transition into a room.
+	Enter EventKind = iota
+	// Exit marks a committed transition out of a room.
+	Exit
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Enter:
+		return "enter"
+	case Exit:
+		return "exit"
+	default:
+		return fmt.Sprintf("eventKind(%d)", int(k))
+	}
+}
+
+// Event is one committed room transition.
+type Event struct {
+	At     time.Duration
+	Device string
+	Kind   EventKind
+	Room   string
+}
+
+// Tracker maintains the occupancy state of one building.
+type Tracker struct {
+	debounce int
+
+	current map[string]string // device → committed room
+	pending map[string]*pendingState
+	lastAt  map[string]time.Duration
+	dwell   map[string]map[string]time.Duration // device → room → time
+	events  []Event
+}
+
+type pendingState struct {
+	room  string
+	count int
+}
+
+// NewTracker builds a tracker. debounce is the number of consecutive
+// identical classifications needed to commit a transition; 1 commits
+// immediately.
+func NewTracker(debounce int) (*Tracker, error) {
+	if debounce < 1 {
+		return nil, fmt.Errorf("occupancy: debounce must be at least 1, got %d", debounce)
+	}
+	return &Tracker{
+		debounce: debounce,
+		current:  map[string]string{},
+		pending:  map[string]*pendingState{},
+		lastAt:   map[string]time.Duration{},
+		dwell:    map[string]map[string]time.Duration{},
+	}, nil
+}
+
+// Observe records one classification of device at time at. It returns
+// the committed events this observation triggered (an exit and/or an
+// enter), or nil when the state is unchanged or still debouncing.
+// Observations must arrive in nondecreasing time order per device.
+func (t *Tracker) Observe(at time.Duration, device, room string) []Event {
+	// Dwell accounting: the device spent the interval since its last
+	// observation in its committed room.
+	if last, seen := t.lastAt[device]; seen && at > last {
+		cur := t.current[device]
+		if cur != "" {
+			if t.dwell[device] == nil {
+				t.dwell[device] = map[string]time.Duration{}
+			}
+			t.dwell[device][cur] += at - last
+		}
+	}
+	t.lastAt[device] = at
+
+	committed := t.current[device]
+	if room == committed {
+		delete(t.pending, device) // observation confirms current state
+		return nil
+	}
+	p := t.pending[device]
+	if p == nil || p.room != room {
+		t.pending[device] = &pendingState{room: room, count: 1}
+	} else {
+		p.count++
+	}
+	if t.pending[device].count < t.debounce {
+		return nil
+	}
+
+	// Commit the transition.
+	delete(t.pending, device)
+	var events []Event
+	if committed != "" {
+		events = append(events, Event{At: at, Device: device, Kind: Exit, Room: committed})
+	}
+	t.current[device] = room
+	events = append(events, Event{At: at, Device: device, Kind: Enter, Room: room})
+	t.events = append(t.events, events...)
+	return events
+}
+
+// RoomOf returns the committed room of the device ("" when unknown).
+func (t *Tracker) RoomOf(device string) string { return t.current[device] }
+
+// Occupants returns the devices committed to the room, sorted.
+func (t *Tracker) Occupants(room string) []string {
+	var out []string
+	for dev, r := range t.current {
+		if r == room {
+			out = append(out, dev)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns the head count per room.
+func (t *Tracker) Counts() map[string]int {
+	out := map[string]int{}
+	for _, r := range t.current {
+		out[r]++
+	}
+	return out
+}
+
+// Events returns a copy of all committed events in order.
+func (t *Tracker) Events() []Event { return append([]Event(nil), t.events...) }
+
+// Dwell returns how long the device has been accounted to each room.
+func (t *Tracker) Dwell(device string) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for room, d := range t.dwell[device] {
+		out[room] = d
+	}
+	return out
+}
+
+// Devices returns all known devices, sorted.
+func (t *Tracker) Devices() []string {
+	out := make([]string, 0, len(t.current))
+	for d := range t.current {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,277 @@
+// Package radio models 2.4 GHz indoor propagation for the BLE link: a
+// log-distance path-loss law with per-wall attenuation, a spatially
+// correlated log-normal shadowing field, per-packet Rician/Rayleigh fast
+// fading and a logistic packet-error model around the receiver
+// sensitivity.
+//
+// The model reproduces the phenomena the paper observes on real hardware
+// (Section V): large sample-to-sample variance of the estimated distance,
+// occasional packet loss, and systematic RSSI offsets between devices
+// (Section VIII, Figure 11).
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"occusim/internal/geom"
+	"occusim/internal/rng"
+)
+
+// Params configures the physical channel.
+type Params struct {
+	// Exponent is the path-loss exponent n: 2.0 in free space, typically
+	// 2.5–3.5 indoors.
+	Exponent float64
+	// WallLossDB is the attenuation charged per wall crossed by the
+	// direct path, in dB (≈5 dB for light interior walls).
+	WallLossDB float64
+	// ShadowSigmaDB is the standard deviation of the log-normal shadowing
+	// field in dB (≈2–4 dB indoors).
+	ShadowSigmaDB float64
+	// ShadowCorrLen is the spatial correlation length of the shadowing
+	// field in metres (≈2 m indoors).
+	ShadowCorrLen float64
+	// RiceK is the Rician K-factor (linear, not dB) of the fast fading:
+	// the ratio of line-of-sight to scattered power. 0 degenerates to
+	// Rayleigh fading; ≈4–10 is typical with line of sight.
+	RiceK float64
+	// SlowFadeSigmaDB is the standard deviation of the temporally
+	// correlated fading component (people moving, doors, multipath
+	// drift). Unlike the per-packet fast fading it does not average out
+	// within one scan cycle, which is what makes consecutive Android
+	// distance estimates wander as in the paper's Figure 4.
+	SlowFadeSigmaDB float64
+	// SlowFadeTau is the correlation time of the slow fading in seconds.
+	SlowFadeTau float64
+	// SensitivityDBm is the RSSI at which packet reception probability is
+	// 50% (≈-90 dBm for BLE receivers).
+	SensitivityDBm float64
+	// PERSlopeDB controls how sharply reception probability transitions
+	// around the sensitivity (logistic scale parameter, in dB).
+	PERSlopeDB float64
+}
+
+// DefaultIndoor returns channel parameters tuned to an indoor office /
+// residential environment, matching the variance the paper reports for a
+// device 2 m from a transmitter.
+func DefaultIndoor() Params {
+	return Params{
+		Exponent:        2.4,
+		WallLossDB:      6.0,
+		ShadowSigmaDB:   3.0,
+		ShadowCorrLen:   2.0,
+		RiceK:           5.0,
+		SlowFadeSigmaDB: 3.0,
+		SlowFadeTau:     2.0,
+		SensitivityDBm:  -92,
+		PERSlopeDB:      2.0,
+	}
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.Exponent <= 0:
+		return fmt.Errorf("radio: path-loss exponent must be positive, got %v", p.Exponent)
+	case p.WallLossDB < 0:
+		return fmt.Errorf("radio: wall loss must be non-negative, got %v", p.WallLossDB)
+	case p.ShadowSigmaDB < 0:
+		return fmt.Errorf("radio: shadow sigma must be non-negative, got %v", p.ShadowSigmaDB)
+	case p.ShadowSigmaDB > 0 && p.ShadowCorrLen <= 0:
+		return fmt.Errorf("radio: shadow correlation length must be positive, got %v", p.ShadowCorrLen)
+	case p.RiceK < 0:
+		return fmt.Errorf("radio: Rician K must be non-negative, got %v", p.RiceK)
+	case p.SlowFadeSigmaDB < 0:
+		return fmt.Errorf("radio: slow-fade sigma must be non-negative, got %v", p.SlowFadeSigmaDB)
+	case p.SlowFadeSigmaDB > 0 && p.SlowFadeTau <= 0:
+		return fmt.Errorf("radio: slow-fade correlation time must be positive, got %v", p.SlowFadeTau)
+	case p.PERSlopeDB <= 0:
+		return fmt.Errorf("radio: PER slope must be positive, got %v", p.PERSlopeDB)
+	}
+	return nil
+}
+
+// SlowFade is a per-link Ornstein–Uhlenbeck process in dB: an AR(1)
+// random walk that reverts to zero with correlation time tau. Callers
+// keep one state value per link and advance it with Next at every
+// packet.
+type SlowFade struct {
+	SigmaDB float64
+	Tau     float64 // seconds
+}
+
+// Init draws the stationary initial value.
+func (f SlowFade) Init(r *rng.Source) float64 {
+	if f.SigmaDB == 0 {
+		return 0
+	}
+	return r.Normal(0, f.SigmaDB)
+}
+
+// Next advances the process by dt seconds using the exact OU
+// discretisation: v' = ρ·v + σ·√(1−ρ²)·N(0,1) with ρ = exp(−dt/τ).
+func (f SlowFade) Next(v, dt float64, r *rng.Source) float64 {
+	if f.SigmaDB == 0 {
+		return 0
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	rho := math.Exp(-dt / f.Tau)
+	return rho*v + f.SigmaDB*math.Sqrt(1-rho*rho)*r.StdNormal()
+}
+
+// SlowFade returns the channel's slow-fading generator.
+func (c *Channel) SlowFade() SlowFade {
+	return SlowFade{SigmaDB: c.params.SlowFadeSigmaDB, Tau: c.params.SlowFadeTau}
+}
+
+// Channel is the propagation model bound to a floor plan. It is safe for
+// concurrent reads after construction as long as callers pass their own
+// rng sources.
+type Channel struct {
+	params Params
+	walls  []geom.Segment
+	shadow *shadowField
+}
+
+// NewChannel builds a channel over the given wall list. seed fixes the
+// shadowing field; two channels built with the same seed and walls are
+// identical.
+func NewChannel(params Params, walls []geom.Segment, seed uint64) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{
+		params: params,
+		walls:  walls,
+		shadow: newShadowField(params.ShadowSigmaDB, params.ShadowCorrLen, seed),
+	}, nil
+}
+
+// Params returns the channel parameters.
+func (c *Channel) Params() Params { return c.params }
+
+// MeanRSSI returns the deterministic part of the received power: path
+// loss, wall attenuation and the frozen shadowing field, without fast
+// fading. txPowerAt1m is the calibrated iBeacon "measured power" (dBm at
+// 1 m); linkID isolates the shadowing field per transmitter so co-located
+// receivers see link-consistent shadowing.
+func (c *Channel) MeanRSSI(txPowerAt1m float64, linkID uint64, txPos, rxPos geom.Point) float64 {
+	d := txPos.Dist(rxPos)
+	if d < 0.1 {
+		d = 0.1 // clamp inside near field; the log law diverges at 0
+	}
+	pathLoss := 10 * c.params.Exponent * math.Log10(d)
+	wallLoss := float64(geom.CrossingCount(txPos, rxPos, c.walls)) * c.params.WallLossDB
+	shadow := c.shadow.at(linkID, rxPos)
+	return txPowerAt1m - pathLoss - wallLoss + shadow
+}
+
+// SampleRSSI returns one per-packet RSSI observation: MeanRSSI plus a
+// fast-fading draw from r.
+func (c *Channel) SampleRSSI(txPowerAt1m float64, linkID uint64, txPos, rxPos geom.Point, r *rng.Source) float64 {
+	return c.MeanRSSI(txPowerAt1m, linkID, txPos, rxPos) + c.FadingDB(r)
+}
+
+// FadingDB draws the fast-fading term in dB. The envelope is Rician with
+// the configured K-factor, normalised to unit mean power, so the dB term
+// has (approximately) zero mean.
+func (c *Channel) FadingDB(r *rng.Source) float64 {
+	k := c.params.RiceK
+	// Unit mean power decomposition: LOS amplitude ν and diffuse σ with
+	// ν² + 2σ² = 1.
+	nu := math.Sqrt(k / (k + 1))
+	sigma := math.Sqrt(1 / (2 * (k + 1)))
+	env := r.Rician(nu, sigma)
+	if env < 1e-6 {
+		env = 1e-6 // deep fade floor: -120 dB
+	}
+	return 20 * math.Log10(env)
+}
+
+// ReceptionProb returns the probability that a packet at the given RSSI
+// is successfully decoded, via a logistic curve centred on the receiver
+// sensitivity.
+func (c *Channel) ReceptionProb(rssi float64) float64 {
+	x := (rssi - c.params.SensitivityDBm) / c.params.PERSlopeDB
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Received draws whether a packet at the given RSSI is decoded.
+func (c *Channel) Received(rssi float64, r *rng.Source) bool {
+	return r.Bool(c.ReceptionProb(rssi))
+}
+
+// shadowField is a frozen, spatially correlated Gaussian field: lattice
+// Gaussians from a hash of the integer cell coordinates, bilinearly
+// interpolated. Each link (transmitter) gets an independent field by
+// folding its linkID into the hash, matching the standard per-link
+// log-normal shadowing model while keeping the field deterministic in
+// space — a static receiver sees a constant shadowing value, as on real
+// hardware.
+type shadowField struct {
+	sigma float64
+	corr  float64
+	seed  uint64
+}
+
+func newShadowField(sigma, corr float64, seed uint64) *shadowField {
+	if corr <= 0 {
+		corr = 1
+	}
+	return &shadowField{sigma: sigma, corr: corr, seed: seed}
+}
+
+func (f *shadowField) at(linkID uint64, p geom.Point) float64 {
+	if f.sigma == 0 {
+		return 0
+	}
+	gx := p.X / f.corr
+	gy := p.Y / f.corr
+	x0 := math.Floor(gx)
+	y0 := math.Floor(gy)
+	tx := gx - x0
+	ty := gy - y0
+	ix, iy := int64(x0), int64(y0)
+
+	v00 := f.lattice(linkID, ix, iy)
+	v10 := f.lattice(linkID, ix+1, iy)
+	v01 := f.lattice(linkID, ix, iy+1)
+	v11 := f.lattice(linkID, ix+1, iy+1)
+
+	top := v01*(1-tx) + v11*tx
+	bot := v00*(1-tx) + v10*tx
+	raw := bot*(1-ty) + top*ty
+	// Bilinear blending of unit-variance lattice values shrinks the
+	// variance by the squared weight norm; renormalise so the field has
+	// variance sigma² at every point, not only on lattice nodes.
+	norm := math.Sqrt(((1-tx)*(1-tx) + tx*tx) * ((1-ty)*(1-ty) + ty*ty))
+	return f.sigma * raw / norm
+}
+
+// lattice returns a standard normal pseudo-random value fixed to the
+// lattice cell, derived by hashing (seed, linkID, ix, iy).
+func (f *shadowField) lattice(linkID uint64, ix, iy int64) float64 {
+	h := f.seed
+	h = mix(h ^ linkID)
+	h = mix(h ^ uint64(ix)*0x9e3779b97f4a7c15)
+	h = mix(h ^ uint64(iy)*0xc2b2ae3d27d4eb4f)
+	u1 := float64(h>>11) / (1 << 53)
+	h2 := mix(h)
+	u2 := float64(h2>>11) / (1 << 53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

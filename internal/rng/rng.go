@@ -1,0 +1,178 @@
+// Package rng provides a deterministic pseudo-random number generator and
+// the probability distributions used throughout the simulator.
+//
+// Every stochastic component in occusim draws from an explicit *rng.Source
+// seeded by the experiment, so that simulations are exactly reproducible:
+// the same seed always yields the same advertising jitter, shadowing field,
+// fading draws and movement paths.
+//
+// The generator is splitmix64-seeded xoshiro256**, a small, fast, high
+// quality PRNG that needs no external dependencies.
+package rng
+
+import "math"
+
+// Source is a deterministic random source. It is NOT safe for concurrent
+// use; derive independent child sources with Split for concurrent
+// components so the stream stays reproducible regardless of scheduling.
+type Source struct {
+	s    [4]uint64
+	seed uint64
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	// splitmix64 to spread the seed over the full state.
+	src := Source{seed: seed}
+	x := seed
+	for i := range src.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives an independent child source. The child stream is a pure
+// function of the parent's construction seed and the tag — the parent
+// stream position is not consumed or disturbed — so components created
+// with distinct tags get reproducible streams regardless of registration
+// order. Calling Split twice with the same tag yields identical children.
+func (r *Source) Split(tag uint64) *Source {
+	h := r.seed ^ (tag+1)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a draw from N(mean, sigma²) using the Box–Muller
+// transform. sigma must be >= 0; sigma == 0 returns mean exactly.
+func (r *Source) Normal(mean, sigma float64) float64 {
+	if sigma == 0 {
+		return mean
+	}
+	return mean + sigma*r.StdNormal()
+}
+
+// StdNormal returns a draw from the standard normal distribution.
+func (r *Source) StdNormal() float64 {
+	// Box–Muller; one value per call keeps the stream position simple and
+	// deterministic (no cached spare that would depend on call parity).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(N(mu, sigma²)).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns a draw from an exponential distribution with the
+// given rate (events per unit). rate must be > 0.
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential called with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Rayleigh returns a draw from a Rayleigh distribution with scale sigma.
+// The envelope of a non-line-of-sight multipath fading channel is Rayleigh
+// distributed, which is how the radio model uses it.
+func (r *Source) Rayleigh(sigma float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return sigma * math.Sqrt(-2*math.Log(u))
+}
+
+// Rician returns a draw from a Rician distribution with line-of-sight
+// component nu and scale sigma; nu = 0 degenerates to Rayleigh. Used for
+// rooms where the phone has line of sight to the beacon.
+func (r *Source) Rician(nu, sigma float64) float64 {
+	x := r.Normal(nu, sigma)
+	y := r.Normal(0, sigma)
+	return math.Hypot(x, y)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps the elements of a slice of length n using
+// the provided swap function, in the manner of sort.Slice.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

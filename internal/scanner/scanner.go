@@ -1,0 +1,286 @@
+// Package scanner layers operating-system scanning semantics on top of
+// the raw BLE link: it groups decoded advertisements into scan cycles
+// ("scan periods" in the paper's terminology) and reproduces the two
+// behaviours Section V contrasts:
+//
+//   - Android: the BLE API yields a single signal-strength measurement
+//     per beacon per scan cycle (the stack's duplicate filtering), the
+//     radio captures only a fraction of the packets on air (channel
+//     rotation and duty cycling), scans start with a short dead time, and
+//     the whole cycle is occasionally lost to a stack bug.
+//   - iOS: every received advertisement is delivered to the application,
+//     so a 2 s cycle at 30 advertisements/s yields ~60 raw samples where
+//     Android yields one.
+//
+// The per-cycle aggregated value is the mean RSSI of the advertisements
+// the stack decoded during the cycle, which is what the Radius Networks
+// library the paper uses computes per scan period.
+package scanner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"occusim/internal/ble"
+	"occusim/internal/device"
+	"occusim/internal/ibeacon"
+	"occusim/internal/mobility"
+	"occusim/internal/rng"
+	"occusim/internal/stats"
+)
+
+// Default radio capture probabilities by OS. Android listens with a low
+// duty cycle on one of three advertising channels; the iOS model is tuned
+// so that every advertisement is delivered, matching the paper's
+// "three hundred samples" example.
+const (
+	AndroidCaptureProb = 0.12
+	IOSCaptureProb     = 1.0
+)
+
+// Sample is one aggregated per-beacon measurement delivered at the end of
+// a scan cycle — the Android API's "single signal strength measurement
+// per scan".
+type Sample struct {
+	// At is the delivery time (end of the cycle).
+	At time.Duration
+	// Beacon identifies the transmitter.
+	Beacon ibeacon.BeaconID
+	// MeasuredPower is the calibrated 1 m RSSI carried by the packet.
+	MeasuredPower int8
+	// RSSI is the aggregated received strength for the cycle in dBm.
+	RSSI float64
+	// RawCount is the number of advertisements the stack decoded for
+	// this beacon during the cycle.
+	RawCount int
+}
+
+// Cycle is the result of one scan period.
+type Cycle struct {
+	// Index counts cycles from zero.
+	Index int
+	// Start and End delimit the cycle in simulated time.
+	Start, End time.Duration
+	// Samples holds one aggregated sample per beacon heard, sorted by
+	// beacon identity. Empty when nothing was heard or the cycle was
+	// dropped.
+	Samples []Sample
+	// Dropped marks a cycle lost to the Android stack bug.
+	Dropped bool
+}
+
+// Advertisement is one raw decoded packet, the unit iOS delivers to apps.
+type Advertisement struct {
+	At     time.Duration
+	Beacon ibeacon.BeaconID
+	// MeasuredPower is the calibrated 1 m RSSI from the packet.
+	MeasuredPower int8
+	RSSI          float64
+}
+
+// Config parameterises a scanner.
+type Config struct {
+	// Period is the scan period (the estimation window of the paper's
+	// footnote 1). Required.
+	Period time.Duration
+	// Profile selects the handset behaviour. Required (zero Profile
+	// fails validation).
+	Profile device.Profile
+	// Region restricts processing to matching packets, mirroring the
+	// monitoring configuration step: the app and transmitters must agree
+	// on the region UUID. A zero Region accepts everything.
+	Region ibeacon.Region
+	// CaptureProb overrides the OS default radio capture probability
+	// when non-zero.
+	CaptureProb float64
+	// OnCycle receives each completed cycle. Optional.
+	OnCycle func(Cycle)
+	// OnAdvertisement receives every decoded packet as it arrives (the
+	// iOS application experience; for Android profiles it exposes what
+	// the stack sees internally, which apps cannot observe). Optional.
+	OnAdvertisement func(Advertisement)
+}
+
+func (c Config) validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("scanner: period must be positive, got %v", c.Period)
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.CaptureProb < 0 || c.CaptureProb > 1 {
+		return fmt.Errorf("scanner: capture probability %v outside [0,1]", c.CaptureProb)
+	}
+	return nil
+}
+
+func (c Config) captureProb() float64 {
+	if c.CaptureProb != 0 {
+		return c.CaptureProb
+	}
+	if c.Profile.OS == device.IOS {
+		return IOSCaptureProb
+	}
+	return AndroidCaptureProb
+}
+
+// Scanner drives one handset's scanning. Create with Attach.
+type Scanner struct {
+	cfg        Config
+	src        *rng.Source
+	cycleStart time.Duration
+	cycleIdx   int
+	acc        map[ibeacon.BeaconID]*accum
+
+	totalRaw     int
+	totalSamples int
+	totalCycles  int
+	totalDropped int
+}
+
+type accum struct {
+	power int8
+	rssis []float64
+}
+
+// Attach registers a scanner for the given subject in the BLE world. The
+// scanner's randomness comes from src (stack-bug draws), independent of
+// the link-layer randomness.
+func Attach(w *ble.World, name string, m mobility.Model, cfg Config, src *rng.Source) (*Scanner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("scanner: %q needs a mobility model", name)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("scanner: %q needs an rng source", name)
+	}
+	s := &Scanner{
+		cfg: cfg,
+		src: src,
+		acc: make(map[ibeacon.BeaconID]*accum),
+	}
+	err := w.AddListener(&ble.Listener{
+		Name:         name,
+		Mobility:     m,
+		OffsetDB:     cfg.Profile.RSSIOffsetDB,
+		NoiseSigmaDB: cfg.Profile.NoiseSigmaDB,
+		CaptureProb:  cfg.captureProb(),
+		Handler:      s.onReception,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Engine().Ticker(cfg.Period, func(now time.Duration) bool {
+		s.closeCycle(now)
+		return true
+	})
+	return s, nil
+}
+
+// onReception handles one decoded packet from the link layer.
+func (s *Scanner) onReception(r ble.Reception) {
+	// Scan-restart dead time at the head of each cycle.
+	if r.At < s.cycleStart+s.cfg.Profile.ScanRestartOverhead {
+		return
+	}
+	pkt, err := ibeacon.Unmarshal(r.Payload)
+	if err != nil {
+		return // not an iBeacon advertisement; monitoring ignores it
+	}
+	if s.cfg.Region.UUID != (ibeacon.UUID{}) && !s.cfg.Region.Matches(pkt) {
+		return
+	}
+	id := pkt.ID()
+	a := s.acc[id]
+	if a == nil {
+		a = &accum{power: pkt.MeasuredPower}
+		s.acc[id] = a
+	}
+	a.rssis = append(a.rssis, r.RSSI)
+	s.totalRaw++
+	if s.cfg.OnAdvertisement != nil {
+		s.cfg.OnAdvertisement(Advertisement{
+			At:            r.At,
+			Beacon:        id,
+			MeasuredPower: pkt.MeasuredPower,
+			RSSI:          r.RSSI,
+		})
+	}
+}
+
+// closeCycle finalises the current scan period and begins the next.
+func (s *Scanner) closeCycle(now time.Duration) {
+	c := Cycle{Index: s.cycleIdx, Start: s.cycleStart, End: now}
+	s.cycleIdx++
+	s.totalCycles++
+
+	dropped := s.cfg.Profile.OS == device.Android && s.src.Bool(s.cfg.Profile.ScanLossProb)
+	if dropped {
+		c.Dropped = true
+		s.totalDropped++
+	} else {
+		for id, a := range s.acc {
+			c.Samples = append(c.Samples, Sample{
+				At:            now,
+				Beacon:        id,
+				MeasuredPower: a.power,
+				RSSI:          stats.Mean(a.rssis),
+				RawCount:      len(a.rssis),
+			})
+		}
+		sortSamples(c.Samples)
+		s.totalSamples += len(c.Samples)
+	}
+
+	s.acc = make(map[ibeacon.BeaconID]*accum)
+	s.cycleStart = now
+	if s.cfg.OnCycle != nil {
+		s.cfg.OnCycle(c)
+	}
+}
+
+// sortSamples orders samples by beacon identity so cycle contents are
+// deterministic despite map iteration.
+func sortSamples(samples []Sample) {
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i].Beacon, samples[j].Beacon
+		if a.UUID != b.UUID {
+			for k := range a.UUID {
+				if a.UUID[k] != b.UUID[k] {
+					return a.UUID[k] < b.UUID[k]
+				}
+			}
+		}
+		if a.Major != b.Major {
+			return a.Major < b.Major
+		}
+		return a.Minor < b.Minor
+	})
+}
+
+// Stats summarise a scanner's lifetime activity, used by the Section V
+// sample-count experiment.
+type Stats struct {
+	// RawReceptions counts every packet the stack decoded.
+	RawReceptions int
+	// DeliveredSamples counts aggregated per-beacon samples handed to
+	// the app (one per beacon per non-dropped cycle).
+	DeliveredSamples int
+	// Cycles counts completed scan periods.
+	Cycles int
+	// DroppedCycles counts cycles lost to the stack bug.
+	DroppedCycles int
+}
+
+// Stats returns the scanner's counters.
+func (s *Scanner) Stats() Stats {
+	return Stats{
+		RawReceptions:    s.totalRaw,
+		DeliveredSamples: s.totalSamples,
+		Cycles:           s.totalCycles,
+		DroppedCycles:    s.totalDropped,
+	}
+}

@@ -1,0 +1,357 @@
+// Package stats provides the small statistical toolkit used by the
+// simulator and the experiment harness: moments, order statistics,
+// histograms, error metrics and time-series summaries.
+//
+// All functions operate on plain []float64 so they compose with any
+// producer in the code base.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN for an empty
+// slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleVariance returns the unbiased (n-1) sample variance, or NaN when
+// fewer than two samples are available.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	return Variance(xs) * float64(n) / float64(n-1)
+}
+
+// Min returns the smallest element of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns NaN for an empty
+// slice and clamps p to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// RMSE returns the root mean squared error between predictions and truth.
+// The slices must have equal non-zero length.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: RMSE length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("stats: RMSE of empty series")
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("stats: MAE length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("stats: MAE of empty series")
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - truth[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// Summary holds the descriptive statistics of a sample, as printed in the
+// experiment tables.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero-count
+// summary with NaN statistics.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins spanning
+// [lo, hi). bins must be > 0 and hi > lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}, nil
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // guard against floating-point edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// Render draws the histogram as ASCII art with the given maximum bar
+// width, one bin per line.
+func (h *Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	out := ""
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		out += fmt.Sprintf("%8.2f | %-*s %d\n", h.BinCenter(i), width, repeat('#', bar), c)
+	}
+	return out
+}
+
+func repeat(ch byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}
+
+// Welford implements numerically stable streaming mean/variance
+// accumulation; it is used by long-running simulations that cannot afford
+// to retain every sample.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN when empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running population variance (NaN when empty).
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Autocorrelation returns the lag-k autocorrelation of xs, a measure of
+// how strongly consecutive samples are related. Used to verify that the
+// history filter actually smooths (raises lag-1 autocorrelation).
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - m)
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// LinearFit returns the slope and intercept of the least-squares line
+// through (xs, ys). The slices must be the same length with at least two
+// points.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("stats: LinearFit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinearFit needs at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: LinearFit with zero x variance")
+	}
+	slope = num / den
+	return slope, my - slope*mx, nil
+}

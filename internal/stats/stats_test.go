@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SampleVariance(xs); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want 1", got)
+	}
+	if !math.IsNaN(SampleVariance([]float64{1})) {
+		t.Fatal("SampleVariance of single sample should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); !almostEq(got, 5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 5}
+	rmse, err := RMSE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(4.0 / 3.0); !almostEq(rmse, want, 1e-12) {
+		t.Fatalf("RMSE = %v, want %v", rmse, want)
+	}
+	mae, err := MAE(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(mae, 2.0/3.0, 1e-12) {
+		t.Fatalf("MAE = %v", mae)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("RMSE length mismatch should error")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Fatal("MAE of empty should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42})
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if h.Render(20) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{4, 7, 13, 16, 1, 2, 3.5, -8}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Welford variance %v vs batch %v", w.Variance(), Variance(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) {
+		t.Fatal("empty Welford should be NaN")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A constant-increment ramp has high lag-1 autocorrelation.
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if ac := Autocorrelation(ramp, 1); ac < 0.9 {
+		t.Errorf("ramp lag-1 autocorrelation = %v, want > 0.9", ac)
+	}
+	// Alternating series has strongly negative lag-1 autocorrelation.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	if ac := Autocorrelation(alt, 1); ac > -0.9 {
+		t.Errorf("alternating lag-1 autocorrelation = %v, want < -0.9", ac)
+	}
+	if !math.IsNaN(Autocorrelation(ramp, 0)) {
+		t.Error("lag 0 should be NaN")
+	}
+	if !math.IsNaN(Autocorrelation(ramp, len(ramp))) {
+		t.Error("lag >= n should be NaN")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v x + %v, want 2x + 1", slope, intercept)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("zero x variance should error")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-9 && m <= Max(clean)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is non-negative.
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		return Variance(clean) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(clean, pa) <= Percentile(clean, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

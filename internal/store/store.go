@@ -1,0 +1,201 @@
+// Package store is the Building Management Server's data layer: a
+// thread-safe in-memory store for device observations, fingerprint
+// samples and the trained classification model, with per-device indices
+// and bounded retention. The paper's prototype kept the same data in a
+// database on the Raspberry Pi server.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"occusim/internal/fingerprint"
+	"occusim/internal/ibeacon"
+)
+
+// BeaconDistance is one ranged beacon inside an observation.
+type BeaconDistance struct {
+	ID       ibeacon.BeaconID
+	Distance float64
+	RSSI     float64
+}
+
+// Observation is one report from a device: the beacons it currently
+// ranges and their estimated distances.
+type Observation struct {
+	Device  string
+	At      time.Duration
+	Beacons []BeaconDistance
+}
+
+// Store is safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	maxPerDevice int
+	observations map[string][]Observation
+
+	fingerprints []fingerprint.Sample
+	beaconOrder  []ibeacon.BeaconID
+	beaconSeen   map[ibeacon.BeaconID]bool
+
+	model        []byte
+	modelVersion int
+}
+
+// New creates a store retaining at most maxPerDevice observations per
+// device (oldest evicted first). maxPerDevice must be positive.
+func New(maxPerDevice int) (*Store, error) {
+	if maxPerDevice < 1 {
+		return nil, fmt.Errorf("store: maxPerDevice must be positive, got %d", maxPerDevice)
+	}
+	return &Store{
+		maxPerDevice: maxPerDevice,
+		observations: map[string][]Observation{},
+		beaconSeen:   map[ibeacon.BeaconID]bool{},
+	}, nil
+}
+
+// AddObservation appends an observation for its device, evicting the
+// oldest beyond the retention bound. Devices must be named.
+func (s *Store) AddObservation(o Observation) error {
+	if o.Device == "" {
+		return fmt.Errorf("store: observation without device")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obs := append(s.observations[o.Device], o)
+	if len(obs) > s.maxPerDevice {
+		obs = obs[len(obs)-s.maxPerDevice:]
+	}
+	s.observations[o.Device] = obs
+	for _, b := range o.Beacons {
+		s.noteBeacon(b.ID)
+	}
+	return nil
+}
+
+// noteBeacon records first sight of a beacon; callers hold the lock.
+func (s *Store) noteBeacon(id ibeacon.BeaconID) {
+	if !s.beaconSeen[id] {
+		s.beaconSeen[id] = true
+		s.beaconOrder = append(s.beaconOrder, id)
+	}
+}
+
+// Latest returns the most recent observation of the device.
+func (s *Store) Latest(device string) (Observation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obs := s.observations[device]
+	if len(obs) == 0 {
+		return Observation{}, false
+	}
+	return obs[len(obs)-1], true
+}
+
+// History returns a copy of the device's retained observations in
+// arrival order.
+func (s *Store) History(device string) []Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Observation(nil), s.observations[device]...)
+}
+
+// Devices returns all device names, sorted.
+func (s *Store) Devices() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.observations))
+	for d := range s.observations {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddFingerprint stores one labelled sample from the collection phase.
+func (s *Store) AddFingerprint(sample fingerprint.Sample) error {
+	if sample.Room == "" {
+		return fmt.Errorf("store: fingerprint without room label")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fingerprints = append(s.fingerprints, sample)
+	for id := range sample.Distances {
+		s.noteBeacon(id)
+	}
+	return nil
+}
+
+// FingerprintCount returns the stored sample count.
+func (s *Store) FingerprintCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.fingerprints)
+}
+
+// FingerprintDataset materialises the stored samples as a dataset whose
+// beacon order is the order beacons were first seen.
+func (s *Store) FingerprintDataset() *fingerprint.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := fingerprint.New(s.beaconOrder)
+	for _, sample := range s.fingerprints {
+		d.Add(sample)
+	}
+	return d
+}
+
+// Beacons returns the beacons seen so far in first-seen order.
+func (s *Store) Beacons() []ibeacon.BeaconID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ibeacon.BeaconID(nil), s.beaconOrder...)
+}
+
+// SetModel stores the serialised classification model and bumps the
+// version.
+func (s *Store) SetModel(blob []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = append([]byte(nil), blob...)
+	s.modelVersion++
+	return s.modelVersion
+}
+
+// Model returns the current model blob and version (nil, 0 when absent).
+func (s *Store) Model() ([]byte, int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.model == nil {
+		return nil, 0
+	}
+	return append([]byte(nil), s.model...), s.modelVersion
+}
+
+// PruneBefore drops observations older than cutoff. It returns the
+// number removed.
+func (s *Store) PruneBefore(cutoff time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for dev, obs := range s.observations {
+		keep := obs[:0]
+		for _, o := range obs {
+			if o.At >= cutoff {
+				keep = append(keep, o)
+			} else {
+				removed++
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.observations, dev)
+		} else {
+			s.observations[dev] = append([]Observation(nil), keep...)
+		}
+	}
+	return removed
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"occusim/internal/fingerprint"
+	"occusim/internal/ibeacon"
+)
+
+var (
+	idA = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 1}
+	idB = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 2}
+)
+
+func obs(device string, at time.Duration, ids ...ibeacon.BeaconID) Observation {
+	o := Observation{Device: device, At: at}
+	for _, id := range ids {
+		o.Beacons = append(o.Beacons, BeaconDistance{ID: id, Distance: 2, RSSI: -65})
+	}
+	return o
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero retention should fail")
+	}
+}
+
+func TestAddAndLatest(t *testing.T) {
+	s, _ := New(10)
+	if err := s.AddObservation(obs("p", time.Second, idA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObservation(obs("p", 2*time.Second, idB)); err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := s.Latest("p")
+	if !ok || latest.At != 2*time.Second {
+		t.Fatalf("latest = %+v, %v", latest, ok)
+	}
+	if _, ok := s.Latest("ghost"); ok {
+		t.Fatal("latest of unknown device")
+	}
+	if err := s.AddObservation(Observation{}); err == nil {
+		t.Fatal("empty device should fail")
+	}
+}
+
+func TestRetentionEvictsOldest(t *testing.T) {
+	s, _ := New(3)
+	for i := 1; i <= 5; i++ {
+		_ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+	}
+	h := s.History("p")
+	if len(h) != 3 {
+		t.Fatalf("history = %d", len(h))
+	}
+	if h[0].At != 3*time.Second || h[2].At != 5*time.Second {
+		t.Fatalf("kept wrong window: %v .. %v", h[0].At, h[2].At)
+	}
+}
+
+func TestDevices(t *testing.T) {
+	s, _ := New(5)
+	_ = s.AddObservation(obs("zed", time.Second))
+	_ = s.AddObservation(obs("amy", time.Second))
+	d := s.Devices()
+	if len(d) != 2 || d[0] != "amy" || d[1] != "zed" {
+		t.Fatalf("devices = %v", d)
+	}
+}
+
+func TestFingerprints(t *testing.T) {
+	s, _ := New(5)
+	if err := s.AddFingerprint(fingerprint.Sample{Room: ""}); err == nil {
+		t.Fatal("unlabelled fingerprint should fail")
+	}
+	_ = s.AddFingerprint(fingerprint.Sample{
+		Room:      "kitchen",
+		Distances: map[ibeacon.BeaconID]float64{idA: 2},
+	})
+	_ = s.AddFingerprint(fingerprint.Sample{
+		Room:      "living",
+		Distances: map[ibeacon.BeaconID]float64{idB: 3},
+	})
+	if s.FingerprintCount() != 2 {
+		t.Fatalf("count = %d", s.FingerprintCount())
+	}
+	ds := s.FingerprintDataset()
+	if ds.Len() != 2 {
+		t.Fatalf("dataset len = %d", ds.Len())
+	}
+	if len(ds.Beacons) != 2 {
+		t.Fatalf("dataset beacons = %v", ds.Beacons)
+	}
+}
+
+func TestBeaconOrderIsFirstSeen(t *testing.T) {
+	s, _ := New(5)
+	_ = s.AddObservation(obs("p", time.Second, idB))
+	_ = s.AddObservation(obs("p", 2*time.Second, idA, idB))
+	bs := s.Beacons()
+	if len(bs) != 2 || bs[0] != idB || bs[1] != idA {
+		t.Fatalf("beacon order = %v", bs)
+	}
+}
+
+func TestModelVersioning(t *testing.T) {
+	s, _ := New(5)
+	if blob, v := s.Model(); blob != nil || v != 0 {
+		t.Fatal("fresh store should have no model")
+	}
+	v1 := s.SetModel([]byte("model-1"))
+	v2 := s.SetModel([]byte("model-2"))
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions = %d, %d", v1, v2)
+	}
+	blob, v := s.Model()
+	if string(blob) != "model-2" || v != 2 {
+		t.Fatalf("model = %q v%d", blob, v)
+	}
+	// Stored blob is a copy.
+	blob[0] = 'X'
+	again, _ := s.Model()
+	if string(again) != "model-2" {
+		t.Fatal("model aliases caller memory")
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	s, _ := New(10)
+	for i := 1; i <= 5; i++ {
+		_ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+	}
+	_ = s.AddObservation(obs("old", time.Second))
+	removed := s.PruneBefore(3 * time.Second)
+	if removed != 3 { // p@1s, p@2s, old@1s
+		t.Fatalf("removed = %d", removed)
+	}
+	if len(s.History("p")) != 3 {
+		t.Fatalf("p history = %d", len(s.History("p")))
+	}
+	if _, ok := s.Latest("old"); ok {
+		t.Fatal("old device should be gone")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := New(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dev := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				_ = s.AddObservation(obs(dev, time.Duration(i)*time.Millisecond, idA))
+				s.Latest(dev)
+				s.Devices()
+				s.FingerprintDataset()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(s.Devices()) != 8 {
+		t.Fatalf("devices = %d", len(s.Devices()))
+	}
+}
+
+// Property: history length never exceeds the retention bound.
+func TestQuickRetentionBound(t *testing.T) {
+	f := func(n uint8, cap uint8) bool {
+		c := int(cap%20) + 1
+		s, err := New(c)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			_ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+		}
+		return len(s.History("p")) <= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package svm implements the supervised classifier of Section VI from
+// scratch: a soft-margin Support Vector Machine trained with the SMO
+// (sequential minimal optimisation) algorithm, with the Radial Basis
+// Function kernel the paper uses ("Our implementation used Support Vector
+// Machines with the Radial Basis Function kernel"), linear kernels for
+// ablation, a one-vs-one multi-class reduction with majority voting, a
+// feature standardiser and a small cross-validated grid search.
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-definite similarity function between feature
+// vectors.
+type Kernel interface {
+	// Compute returns K(a, b). Implementations may assume equal lengths.
+	Compute(a, b []float64) float64
+	// Name identifies the kernel in reports and serialised models.
+	Name() string
+}
+
+// Linear is the inner-product kernel.
+type Linear struct{}
+
+// Compute implements Kernel.
+func (Linear) Compute(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// RBF is the Gaussian radial basis function kernel
+// K(a, b) = exp(−γ‖a−b‖²).
+type RBF struct {
+	// Gamma is the inverse-width parameter γ > 0.
+	Gamma float64
+}
+
+// Compute implements Kernel.
+func (k RBF) Compute(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-k.Gamma * d2)
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }

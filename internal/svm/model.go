@@ -1,0 +1,303 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Model is a trained multi-class SVM: a one-vs-one ensemble of binary
+// machines with majority voting, plus the fitted feature scaler.
+type Model struct {
+	classes []string
+	pairs   []pair
+	scaler  *Scaler
+	kernel  Kernel
+}
+
+type pair struct {
+	a, b int // class indices; the binary machine votes a on +1, b on −1
+	m    *binary
+}
+
+// Train fits a one-vs-one multi-class SVM on the labelled rows. X and
+// labels must have equal non-zero length; at least two distinct classes
+// are required. Features are standardised internally.
+func Train(X [][]float64, labels []string, cfg TrainConfig) (*Model, error) {
+	if len(X) == 0 || len(X) != len(labels) {
+		return nil, fmt.Errorf("svm: bad training set (%d rows, %d labels)", len(X), len(labels))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	scaler, err := FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	Xs := scaler.TransformAll(X)
+
+	classSet := map[string]bool{}
+	for _, l := range labels {
+		classSet[l] = true
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", len(classes))
+	}
+	classIdx := map[string]int{}
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+
+	cfgDef := cfg.withDefaults(len(X[0]))
+	model := &Model{classes: classes, scaler: scaler, kernel: cfgDef.Kernel}
+	for a := 0; a < len(classes); a++ {
+		for b := a + 1; b < len(classes); b++ {
+			var px [][]float64
+			var py []float64
+			for i, l := range labels {
+				switch classIdx[l] {
+				case a:
+					px = append(px, Xs[i])
+					py = append(py, 1)
+				case b:
+					px = append(px, Xs[i])
+					py = append(py, -1)
+				}
+			}
+			pairCfg := cfgDef
+			// Distinct but deterministic seed per pair.
+			pairCfg.Seed = cfg.Seed ^ uint64(a*1000003+b)
+			bm, err := trainBinary(px, py, pairCfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%s, %s): %w", classes[a], classes[b], err)
+			}
+			model.pairs = append(model.pairs, pair{a: a, b: b, m: bm})
+		}
+	}
+	return model, nil
+}
+
+// Classes returns the sorted class labels the model can predict.
+func (m *Model) Classes() []string { return append([]string(nil), m.classes...) }
+
+// NumSupportVectors returns the total support-vector count across all
+// pairwise machines, a rough model-complexity measure.
+func (m *Model) NumSupportVectors() int {
+	n := 0
+	for _, p := range m.pairs {
+		n += len(p.m.SupportVectors)
+	}
+	return n
+}
+
+// Predict returns the majority-vote class for x. Vote ties break towards
+// the lexicographically smaller class label, deterministically.
+func (m *Model) Predict(x []float64) string {
+	xs := m.scaler.Transform(x)
+	votes := make([]int, len(m.classes))
+	for _, p := range m.pairs {
+		if p.m.decision(xs) >= 0 {
+			votes[p.a]++
+		} else {
+			votes[p.b]++
+		}
+	}
+	best := 0
+	for i := 1; i < len(votes); i++ {
+		if votes[i] > votes[best] {
+			best = i
+		}
+	}
+	return m.classes[best]
+}
+
+// PredictBatch maps Predict over the rows of X.
+func (m *Model) PredictBatch(X [][]float64) []string {
+	out := make([]string, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// modelJSON is the serialised form of a Model.
+type modelJSON struct {
+	Classes []string   `json:"classes"`
+	Kernel  kernelJSON `json:"kernel"`
+	Scaler  *Scaler    `json:"scaler"`
+	Pairs   []pairJSON `json:"pairs"`
+}
+
+type kernelJSON struct {
+	Type  string  `json:"type"`
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+type pairJSON struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Binary *binary `json:"machine"`
+}
+
+// MarshalJSON implements json.Marshaler so trained models can be stored
+// by the BMS and reloaded.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	kj := kernelJSON{}
+	switch k := m.kernel.(type) {
+	case RBF:
+		kj.Type = "rbf"
+		kj.Gamma = k.Gamma
+	case Linear:
+		kj.Type = "linear"
+	default:
+		return nil, fmt.Errorf("svm: kernel %q is not serialisable", m.kernel.Name())
+	}
+	mj := modelJSON{Classes: m.classes, Kernel: kj, Scaler: m.scaler}
+	for _, p := range m.pairs {
+		mj.Pairs = append(mj.Pairs, pairJSON{A: p.a, B: p.b, Binary: p.m})
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return err
+	}
+	var kernel Kernel
+	switch strings.ToLower(mj.Kernel.Type) {
+	case "rbf":
+		kernel = RBF{Gamma: mj.Kernel.Gamma}
+	case "linear":
+		kernel = Linear{}
+	default:
+		return fmt.Errorf("svm: unknown kernel type %q", mj.Kernel.Type)
+	}
+	if mj.Scaler == nil {
+		return fmt.Errorf("svm: serialised model missing scaler")
+	}
+	m.classes = mj.Classes
+	m.scaler = mj.Scaler
+	m.kernel = kernel
+	m.pairs = nil
+	for _, pj := range mj.Pairs {
+		if pj.Binary == nil {
+			return fmt.Errorf("svm: serialised pair (%d,%d) missing machine", pj.A, pj.B)
+		}
+		pj.Binary.kernel = kernel
+		m.pairs = append(m.pairs, pair{a: pj.A, b: pj.B, m: pj.Binary})
+	}
+	return nil
+}
+
+// GridPoint is one (C, gamma) candidate with its cross-validated
+// accuracy.
+type GridPoint struct {
+	C        float64
+	Gamma    float64
+	Accuracy float64
+}
+
+// GridSearch cross-validates an RBF SVM over the (C, gamma) grid with k
+// folds and returns every point evaluated plus the best configuration.
+// Folds are assigned round-robin after a deterministic shuffle seeded by
+// cfgSeed.
+func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int, cfgSeed uint64) ([]GridPoint, GridPoint, error) {
+	if folds < 2 {
+		return nil, GridPoint{}, fmt.Errorf("svm: grid search needs at least 2 folds, got %d", folds)
+	}
+	if len(X) < folds {
+		return nil, GridPoint{}, fmt.Errorf("svm: %d rows cannot fill %d folds", len(X), folds)
+	}
+	if len(cs) == 0 || len(gammas) == 0 {
+		return nil, GridPoint{}, fmt.Errorf("svm: empty grid")
+	}
+	var points []GridPoint
+	best := GridPoint{Accuracy: -1}
+	for _, c := range cs {
+		for _, g := range gammas {
+			acc, err := crossValidate(X, labels, TrainConfig{C: c, Kernel: RBF{Gamma: g}, Seed: cfgSeed}, folds)
+			if err != nil {
+				return nil, GridPoint{}, err
+			}
+			p := GridPoint{C: c, Gamma: g, Accuracy: acc}
+			points = append(points, p)
+			if p.Accuracy > best.Accuracy {
+				best = p
+			}
+		}
+	}
+	return points, best, nil
+}
+
+// crossValidate returns mean k-fold accuracy for the configuration.
+func crossValidate(X [][]float64, labels []string, cfg TrainConfig, folds int) (float64, error) {
+	n := len(X)
+	perm := permFromSeed(n, cfg.Seed)
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		var trX, teX [][]float64
+		var trY, teY []string
+		for i, pi := range perm {
+			if i%folds == f {
+				teX = append(teX, X[pi])
+				teY = append(teY, labels[pi])
+			} else {
+				trX = append(trX, X[pi])
+				trY = append(trY, labels[pi])
+			}
+		}
+		if len(trX) == 0 || len(teX) == 0 {
+			continue
+		}
+		m, err := Train(trX, trY, cfg)
+		if err != nil {
+			return 0, err
+		}
+		for i, x := range teX {
+			if m.Predict(x) == teY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("svm: cross-validation produced no test rows")
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// permFromSeed returns a deterministic pseudo-random permutation of
+// [0, n) derived from seed, without importing math/rand.
+func permFromSeed(n int, seed uint64) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s := seed*0x9e3779b97f4a7c15 + 0x1234567
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

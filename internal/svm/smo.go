@@ -1,0 +1,211 @@
+package svm
+
+import (
+	"fmt"
+
+	"occusim/internal/rng"
+)
+
+// TrainConfig parameterises the SMO solver.
+type TrainConfig struct {
+	// C is the soft-margin penalty; larger values fit the training data
+	// harder. Must be positive.
+	C float64
+	// Kernel defaults to RBF with gamma 1/dim when nil.
+	Kernel Kernel
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of consecutive full sweeps without an
+	// alpha update before the solver declares convergence (default 5).
+	MaxPasses int
+	// MaxSweeps caps the total number of sweeps as a safety net
+	// (default 1000).
+	MaxSweeps int
+	// Seed drives the SMO second-index heuristic.
+	Seed uint64
+}
+
+func (c TrainConfig) withDefaults(dim int) TrainConfig {
+	if c.Kernel == nil {
+		c.Kernel = RBF{Gamma: 1 / float64(max(dim, 1))}
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxSweeps == 0 {
+		c.MaxSweeps = 1000
+	}
+	return c
+}
+
+// Validate reports the first invalid field, or nil.
+func (c TrainConfig) Validate() error {
+	if c.C <= 0 {
+		return fmt.Errorf("svm: C must be positive, got %v", c.C)
+	}
+	if c.Tol < 0 {
+		return fmt.Errorf("svm: Tol must be non-negative, got %v", c.Tol)
+	}
+	return nil
+}
+
+// binary is a trained two-class machine: f(x) = Σ αᵢyᵢK(xᵢ,x) + b, with
+// only the support vectors (αᵢ > 0) retained.
+type binary struct {
+	SupportVectors [][]float64 `json:"supportVectors"`
+	Coefficients   []float64   `json:"coefficients"` // αᵢ·yᵢ
+	Bias           float64     `json:"bias"`
+
+	kernel Kernel
+}
+
+// decision returns the signed decision value for x.
+func (m *binary) decision(x []float64) float64 {
+	s := m.Bias
+	for i, sv := range m.SupportVectors {
+		s += m.Coefficients[i] * m.kernel.Compute(sv, x)
+	}
+	return s
+}
+
+// trainBinary runs simplified SMO (Platt's algorithm with the randomised
+// second-choice heuristic) on X with labels y ∈ {−1, +1}.
+func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("svm: %d rows vs %d labels", len(X), len(y))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(len(X[0]))
+	for _, v := range y {
+		if v != 1 && v != -1 {
+			return nil, fmt.Errorf("svm: binary label %v must be ±1", v)
+		}
+	}
+
+	n := len(X)
+	// Dense Gram matrix; pair training sets are small (hundreds).
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			k := cfg.Kernel.Compute(X[i], X[j])
+			gram[i][j] = k
+			gram[j][i] = k
+		}
+	}
+
+	alpha := make([]float64, n)
+	b := 0.0
+	src := rng.New(cfg.Seed)
+
+	f := func(i int) float64 {
+		s := b
+		for k := 0; k < n; k++ {
+			if alpha[k] != 0 {
+				s += alpha[k] * y[k] * gram[k][i]
+			}
+		}
+		return s
+	}
+
+	passes := 0
+	for sweep := 0; passes < cfg.MaxPasses && sweep < cfg.MaxSweeps; sweep++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := f(i) - y[i]
+			if !((y[i]*Ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*Ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := src.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			Ej := f(j) - y[j]
+
+			aiOld, ajOld := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = maxf(0, ajOld-aiOld)
+				hi = minf(cfg.C, cfg.C+ajOld-aiOld)
+			} else {
+				lo = maxf(0, aiOld+ajOld-cfg.C)
+				hi = minf(cfg.C, aiOld+ajOld)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
+			if eta >= 0 {
+				continue
+			}
+			aj := ajOld - y[j]*(Ei-Ej)/eta
+			if aj > hi {
+				aj = hi
+			} else if aj < lo {
+				aj = lo
+			}
+			if absf(aj-ajOld) < 1e-7 {
+				continue
+			}
+			ai := aiOld + y[i]*y[j]*(ajOld-aj)
+			alpha[i], alpha[j] = ai, aj
+
+			b1 := b - Ei - y[i]*(ai-aiOld)*gram[i][i] - y[j]*(aj-ajOld)*gram[i][j]
+			b2 := b - Ej - y[i]*(ai-aiOld)*gram[i][j] - y[j]*(aj-ajOld)*gram[j][j]
+			switch {
+			case ai > 0 && ai < cfg.C:
+				b = b1
+			case aj > 0 && aj < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m := &binary{Bias: b, kernel: cfg.Kernel}
+	for i, a := range alpha {
+		if a > 1e-9 {
+			sv := make([]float64, len(X[i]))
+			copy(sv, X[i])
+			m.SupportVectors = append(m.SupportVectors, sv)
+			m.Coefficients = append(m.Coefficients, a*y[i])
+		}
+	}
+	return m, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,279 @@
+// Package trace records and replays scan-cycle traces: the per-cycle
+// aggregated RSSI samples a phone observed, with enough metadata to
+// re-run the ranging filter and the classifiers offline. This mirrors
+// how the paper's authors analysed collected data after the fact, and it
+// lets regression tests pin down behaviour on frozen inputs.
+//
+// Two encodings are provided: JSON (lossless, self-describing) and CSV
+// (one row per sample, convenient for external plotting).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"occusim/internal/filter"
+	"occusim/internal/ibeacon"
+	"occusim/internal/scanner"
+)
+
+// Sample is one aggregated per-beacon measurement within a cycle.
+type Sample struct {
+	Beacon        ibeacon.BeaconID
+	MeasuredPower int8
+	RSSI          float64
+	RawCount      int
+}
+
+// Cycle is one recorded scan period.
+type Cycle struct {
+	Start, End time.Duration
+	Dropped    bool
+	Samples    []Sample
+}
+
+// Trace is a recorded session.
+type Trace struct {
+	// Device names the recording handset.
+	Device string
+	// ScanPeriod is the cycle length used during recording.
+	ScanPeriod time.Duration
+	// Cycles are the recorded scan periods in time order.
+	Cycles []Cycle
+}
+
+// Recorder captures scanner cycles into a Trace. Attach its Observe
+// method as (or inside) a scanner's OnCycle callback.
+type Recorder struct {
+	trace Trace
+}
+
+// NewRecorder starts an empty recording.
+func NewRecorder(device string, scanPeriod time.Duration) *Recorder {
+	return &Recorder{trace: Trace{Device: device, ScanPeriod: scanPeriod}}
+}
+
+// Observe records one scanner cycle.
+func (r *Recorder) Observe(c scanner.Cycle) {
+	rc := Cycle{Start: c.Start, End: c.End, Dropped: c.Dropped}
+	for _, s := range c.Samples {
+		rc.Samples = append(rc.Samples, Sample{
+			Beacon:        s.Beacon,
+			MeasuredPower: s.MeasuredPower,
+			RSSI:          s.RSSI,
+			RawCount:      s.RawCount,
+		})
+	}
+	r.trace.Cycles = append(r.trace.Cycles, rc)
+}
+
+// Trace returns a deep copy of the recording so far.
+func (r *Recorder) Trace() *Trace {
+	t := r.trace
+	t.Cycles = make([]Cycle, len(r.trace.Cycles))
+	for i, c := range r.trace.Cycles {
+		c.Samples = append([]Sample(nil), c.Samples...)
+		t.Cycles[i] = c
+	}
+	return &t
+}
+
+// Replay feeds the trace through a distance filter, returning the
+// estimates after every cycle — offline what the app does online.
+func (t *Trace) Replay(f filter.DistanceFilter) [][]filter.Estimate {
+	out := make([][]filter.Estimate, 0, len(t.Cycles))
+	for _, c := range t.Cycles {
+		obs := make([]filter.Observation, 0, len(c.Samples))
+		if !c.Dropped {
+			for _, s := range c.Samples {
+				obs = append(obs, filter.Observation{
+					Beacon:        s.Beacon,
+					RSSI:          s.RSSI,
+					MeasuredPower: s.MeasuredPower,
+				})
+			}
+		}
+		out = append(out, f.Update(c.End, obs))
+	}
+	return out
+}
+
+// jsonTrace is the wire form of Trace.
+type jsonTrace struct {
+	Device     string      `json:"device"`
+	ScanPeriod float64     `json:"scanPeriodSeconds"`
+	Cycles     []jsonCycle `json:"cycles"`
+}
+
+type jsonCycle struct {
+	Start   float64      `json:"startSeconds"`
+	End     float64      `json:"endSeconds"`
+	Dropped bool         `json:"dropped,omitempty"`
+	Samples []jsonSample `json:"samples,omitempty"`
+}
+
+type jsonSample struct {
+	Beacon        string  `json:"beacon"`
+	MeasuredPower int8    `json:"measuredPower"`
+	RSSI          float64 `json:"rssi"`
+	RawCount      int     `json:"rawCount"`
+}
+
+// WriteJSON serialises the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{Device: t.Device, ScanPeriod: t.ScanPeriod.Seconds()}
+	for _, c := range t.Cycles {
+		jc := jsonCycle{Start: c.Start.Seconds(), End: c.End.Seconds(), Dropped: c.Dropped}
+		for _, s := range c.Samples {
+			jc.Samples = append(jc.Samples, jsonSample{
+				Beacon:        s.Beacon.String(),
+				MeasuredPower: s.MeasuredPower,
+				RSSI:          s.RSSI,
+				RawCount:      s.RawCount,
+			})
+		}
+		jt.Cycles = append(jt.Cycles, jc)
+	}
+	return json.NewEncoder(w).Encode(jt)
+}
+
+// ReadJSON deserialises a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	t := &Trace{
+		Device:     jt.Device,
+		ScanPeriod: time.Duration(jt.ScanPeriod * float64(time.Second)),
+	}
+	for _, jc := range jt.Cycles {
+		c := Cycle{
+			Start:   time.Duration(jc.Start * float64(time.Second)),
+			End:     time.Duration(jc.End * float64(time.Second)),
+			Dropped: jc.Dropped,
+		}
+		for _, js := range jc.Samples {
+			id, err := ibeacon.ParseBeaconID(js.Beacon)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			c.Samples = append(c.Samples, Sample{
+				Beacon:        id,
+				MeasuredPower: js.MeasuredPower,
+				RSSI:          js.RSSI,
+				RawCount:      js.RawCount,
+			})
+		}
+		t.Cycles = append(t.Cycles, c)
+	}
+	return t, nil
+}
+
+// csvHeader is the column layout of the CSV encoding.
+var csvHeader = []string{"cycle", "start_s", "end_s", "dropped", "beacon", "measured_power", "rssi", "raw_count"}
+
+// WriteCSV writes one row per sample (dropped cycles appear as a single
+// row with an empty beacon column).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, c := range t.Cycles {
+		base := []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(c.Start.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(c.End.Seconds(), 'f', 3, 64),
+			strconv.FormatBool(c.Dropped),
+		}
+		if len(c.Samples) == 0 {
+			if err := cw.Write(append(base, "", "", "", "")); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range c.Samples {
+			row := append(append([]string(nil), base...),
+				s.Beacon.String(),
+				strconv.Itoa(int(s.MeasuredPower)),
+				strconv.FormatFloat(s.RSSI, 'f', 2, 64),
+				strconv.Itoa(s.RawCount),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the CSV encoding back into a trace. Device and scan
+// period are not carried by CSV and stay zero.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	t := &Trace{}
+	lastIdx := -1
+	for n, row := range rows[1:] {
+		idx, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad cycle index: %w", n+2, err)
+		}
+		if idx != lastIdx {
+			start, err1 := strconv.ParseFloat(row[1], 64)
+			end, err2 := strconv.ParseFloat(row[2], 64)
+			dropped, err3 := strconv.ParseBool(row[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: csv row %d: bad cycle fields", n+2)
+			}
+			t.Cycles = append(t.Cycles, Cycle{
+				Start:   time.Duration(start * float64(time.Second)),
+				End:     time.Duration(end * float64(time.Second)),
+				Dropped: dropped,
+			})
+			lastIdx = idx
+		}
+		if row[4] == "" {
+			continue // dropped/empty cycle marker row
+		}
+		id, err := ibeacon.ParseBeaconID(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", n+2, err)
+		}
+		power, err := strconv.Atoi(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad power: %w", n+2, err)
+		}
+		rssi, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad rssi: %w", n+2, err)
+		}
+		raw, err := strconv.Atoi(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: bad raw count: %w", n+2, err)
+		}
+		cyc := &t.Cycles[len(t.Cycles)-1]
+		cyc.Samples = append(cyc.Samples, Sample{
+			Beacon:        id,
+			MeasuredPower: int8(power),
+			RSSI:          rssi,
+			RawCount:      raw,
+		})
+	}
+	return t, nil
+}

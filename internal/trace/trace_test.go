@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"occusim/internal/filter"
+	"occusim/internal/ibeacon"
+	"occusim/internal/scanner"
+)
+
+var (
+	idA = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 1}
+	idB = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 2}
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Device:     "s3mini",
+		ScanPeriod: 2 * time.Second,
+		Cycles: []Cycle{
+			{
+				Start: 0, End: 2 * time.Second,
+				Samples: []Sample{
+					{Beacon: idA, MeasuredPower: -59, RSSI: -63.5, RawCount: 6},
+					{Beacon: idB, MeasuredPower: -59, RSSI: -78.25, RawCount: 2},
+				},
+			},
+			{Start: 2 * time.Second, End: 4 * time.Second, Dropped: true},
+			{
+				Start: 4 * time.Second, End: 6 * time.Second,
+				Samples: []Sample{
+					{Beacon: idA, MeasuredPower: -59, RSSI: -64, RawCount: 5},
+				},
+			},
+		},
+	}
+}
+
+func TestRecorderCapturesCycles(t *testing.T) {
+	r := NewRecorder("phone", 2*time.Second)
+	r.Observe(scanner.Cycle{
+		Index: 0, Start: 0, End: 2 * time.Second,
+		Samples: []scanner.Sample{
+			{Beacon: idA, MeasuredPower: -59, RSSI: -60, RawCount: 3},
+		},
+	})
+	r.Observe(scanner.Cycle{Index: 1, Start: 2 * time.Second, End: 4 * time.Second, Dropped: true})
+	tr := r.Trace()
+	if tr.Device != "phone" || tr.ScanPeriod != 2*time.Second {
+		t.Fatalf("metadata: %+v", tr)
+	}
+	if len(tr.Cycles) != 2 {
+		t.Fatalf("cycles = %d", len(tr.Cycles))
+	}
+	if tr.Cycles[0].Samples[0].Beacon != idA {
+		t.Fatal("sample not captured")
+	}
+	if !tr.Cycles[1].Dropped {
+		t.Fatal("dropped flag lost")
+	}
+	// Trace() returns a copy.
+	tr.Cycles[0].Samples[0].RSSI = 0
+	if r.Trace().Cycles[0].Samples[0].RSSI != -60 {
+		t.Fatal("Trace aliases recorder state")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Device != orig.Device || back.ScanPeriod != orig.ScanPeriod {
+		t.Fatalf("metadata: %+v", back)
+	}
+	if len(back.Cycles) != len(orig.Cycles) {
+		t.Fatalf("cycles = %d", len(back.Cycles))
+	}
+	if !back.Cycles[1].Dropped {
+		t.Fatal("dropped flag lost")
+	}
+	s := back.Cycles[0].Samples[1]
+	if s.Beacon != idB || s.RSSI != -78.25 || s.RawCount != 2 || s.MeasuredPower != -59 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"cycles":[{"samples":[{"beacon":"zzz"}]}]}`)); err == nil {
+		t.Error("bad beacon id should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cycles) != 3 {
+		t.Fatalf("cycles = %d", len(back.Cycles))
+	}
+	if len(back.Cycles[0].Samples) != 2 {
+		t.Fatalf("cycle 0 samples = %d", len(back.Cycles[0].Samples))
+	}
+	if !back.Cycles[1].Dropped || len(back.Cycles[1].Samples) != 0 {
+		t.Fatalf("dropped cycle = %+v", back.Cycles[1])
+	}
+	if back.Cycles[2].Samples[0].RSSI != -64 {
+		t.Fatalf("rssi = %v", back.Cycles[2].Samples[0].RSSI)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong column count should fail")
+	}
+	header := strings.Join(csvHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(header + "\nx,0,2,false,b,1,2,3\n")); err == nil {
+		t.Error("bad cycle index should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader(header + "\n0,0,2,false,zzz,1,2,3\n")); err == nil {
+		t.Error("bad beacon should fail")
+	}
+}
+
+func TestReplayThroughFilter(t *testing.T) {
+	tr := sampleTrace()
+	hist, err := filter.NewHistory(filter.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := tr.Replay(hist)
+	if len(states) != 3 {
+		t.Fatalf("states = %d", len(states))
+	}
+	// After cycle 0 both beacons tracked.
+	if len(states[0]) != 2 {
+		t.Fatalf("cycle 0 estimates = %d", len(states[0]))
+	}
+	// Cycle 1 is dropped: both held (first miss).
+	if len(states[1]) != 2 {
+		t.Fatalf("cycle 1 estimates = %d (expected hold)", len(states[1]))
+	}
+	// Cycle 2: A refreshed; B hits its second consecutive miss and drops.
+	if len(states[2]) != 1 || states[2][0].Beacon != idA {
+		t.Fatalf("cycle 2 estimates = %+v", states[2])
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	run := func() float64 {
+		h, _ := filter.NewHistory(filter.PaperConfig())
+		states := tr.Replay(h)
+		return states[len(states)-1][0].Distance
+	}
+	if run() != run() {
+		t.Fatal("replay not deterministic")
+	}
+}

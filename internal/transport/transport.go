@@ -1,0 +1,216 @@
+// Package transport implements the two uplink channels of Section VII
+// that carry ranging reports from the phone to the Building Management
+// Server:
+//
+//   - Wi-Fi: a direct HTTP POST to the BMS REST API ("more reliable and
+//     stable but forces to keep on the wireless adapter").
+//   - Bluetooth relay: a BLE connection to the beacon board, which
+//     forwards the report to the BMS over its wired side ("more energy
+//     [efficient], but it's less stable ... due to bugs in the BLE
+//     Android API").
+//
+// A bounded retry queue papers over transient failures on either path.
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"occusim/internal/rng"
+)
+
+// BeaconReport is one ranged beacon inside a report.
+type BeaconReport struct {
+	// ID is the beacon identity in "UUID/major/minor" form.
+	ID string `json:"id"`
+	// Distance is the filtered distance estimate in metres.
+	Distance float64 `json:"distance"`
+	// RSSI is the last aggregated RSSI in dBm.
+	RSSI float64 `json:"rssi"`
+}
+
+// Report is the payload a device uploads after each scan cycle.
+type Report struct {
+	// Device names the reporting handset.
+	Device string `json:"device"`
+	// AtSeconds is the device's observation timestamp in seconds since
+	// its epoch (simulated time in the experiments).
+	AtSeconds float64 `json:"atSeconds"`
+	// Beacons lists the currently ranged beacons.
+	Beacons []BeaconReport `json:"beacons"`
+}
+
+// Uplink carries reports to the server.
+type Uplink interface {
+	// Send delivers one report, returning an error on failure.
+	Send(Report) error
+	// Name identifies the uplink in reports.
+	Name() string
+}
+
+// HTTPUplink posts reports to the BMS observations endpoint — the Wi-Fi
+// path.
+type HTTPUplink struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client defaults to a 5-second-timeout client when nil.
+	Client *http.Client
+}
+
+// Name implements Uplink.
+func (u *HTTPUplink) Name() string { return "wifi-http" }
+
+// Send implements Uplink.
+func (u *HTTPUplink) Send(r Report) error {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("transport: marshal report: %w", err)
+	}
+	client := u.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Post(u.BaseURL+"/api/v1/observations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("transport: post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("transport: server returned %s", resp.Status)
+	}
+	return nil
+}
+
+// SendFunc adapts a function to the Uplink interface, used to wire the
+// simulated in-process BMS without HTTP.
+type SendFunc struct {
+	// F handles one report.
+	F func(Report) error
+	// Label is the uplink name.
+	Label string
+}
+
+// Send implements Uplink.
+func (s SendFunc) Send(r Report) error { return s.F(r) }
+
+// Name implements Uplink.
+func (s SendFunc) Name() string { return s.Label }
+
+// BTRelay models the Bluetooth path: the phone hands the report to the
+// beacon board over a fresh BLE connection, and the board forwards it.
+// The BLE hop is flaky (Android 4.x connection bugs), modelled as a drop
+// probability.
+type BTRelay struct {
+	next     Uplink
+	dropProb float64
+	src      *rng.Source
+
+	attempts int
+	drops    int
+}
+
+// NewBTRelay wraps the board's onward uplink. dropProb ∈ [0, 1] is the
+// BLE connection failure probability.
+func NewBTRelay(next Uplink, dropProb float64, src *rng.Source) (*BTRelay, error) {
+	if next == nil {
+		return nil, fmt.Errorf("transport: BT relay needs an onward uplink")
+	}
+	if dropProb < 0 || dropProb > 1 {
+		return nil, fmt.Errorf("transport: drop probability %v outside [0,1]", dropProb)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("transport: BT relay needs an rng source")
+	}
+	return &BTRelay{next: next, dropProb: dropProb, src: src}, nil
+}
+
+// Name implements Uplink.
+func (b *BTRelay) Name() string { return "bluetooth-relay" }
+
+// Send implements Uplink.
+func (b *BTRelay) Send(r Report) error {
+	b.attempts++
+	if b.src.Bool(b.dropProb) {
+		b.drops++
+		return fmt.Errorf("transport: BLE connection to beacon board failed")
+	}
+	return b.next.Send(r)
+}
+
+// Stats returns (attempts, drops) over the relay's lifetime.
+func (b *BTRelay) Stats() (attempts, drops int) { return b.attempts, b.drops }
+
+// Queue is a bounded store-and-forward retry queue in front of an
+// uplink: failed reports are retried on subsequent flushes until their
+// attempt budget is exhausted.
+type Queue struct {
+	uplink      Uplink
+	maxLen      int
+	maxAttempts int
+
+	pending []queued
+	sent    int
+	dropped int
+}
+
+type queued struct {
+	report   Report
+	attempts int
+}
+
+// NewQueue builds a queue of at most maxLen reports, each retried at
+// most maxAttempts times.
+func NewQueue(uplink Uplink, maxLen, maxAttempts int) (*Queue, error) {
+	if uplink == nil {
+		return nil, fmt.Errorf("transport: queue needs an uplink")
+	}
+	if maxLen < 1 || maxAttempts < 1 {
+		return nil, fmt.Errorf("transport: queue bounds must be positive (len=%d, attempts=%d)", maxLen, maxAttempts)
+	}
+	return &Queue{uplink: uplink, maxLen: maxLen, maxAttempts: maxAttempts}, nil
+}
+
+// Enqueue adds a report, evicting the oldest when full. It returns true
+// when an eviction happened.
+func (q *Queue) Enqueue(r Report) bool {
+	evicted := false
+	if len(q.pending) >= q.maxLen {
+		q.pending = q.pending[1:]
+		q.dropped++
+		evicted = true
+	}
+	q.pending = append(q.pending, queued{report: r})
+	return evicted
+}
+
+// Flush attempts to send every pending report in order. Reports that
+// fail stay queued unless their attempt budget is exhausted. It returns
+// the number delivered during this flush.
+func (q *Queue) Flush() int {
+	delivered := 0
+	var remaining []queued
+	for _, item := range q.pending {
+		item.attempts++
+		if err := q.uplink.Send(item.report); err != nil {
+			if item.attempts >= q.maxAttempts {
+				q.dropped++
+			} else {
+				remaining = append(remaining, item)
+			}
+			continue
+		}
+		delivered++
+		q.sent++
+	}
+	q.pending = remaining
+	return delivered
+}
+
+// Pending returns the queued report count.
+func (q *Queue) Pending() int { return len(q.pending) }
+
+// Stats returns lifetime (sent, dropped) counts.
+func (q *Queue) Stats() (sent, dropped int) { return q.sent, q.dropped }

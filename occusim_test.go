@@ -1,0 +1,114 @@
+package occusim_test
+
+import (
+	"testing"
+	"time"
+
+	"occusim"
+)
+
+// TestFacadeEndToEnd exercises the whole public API surface the way the
+// README quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	scn, err := occusim.NewScenario(occusim.ScenarioConfig{
+		Building:        occusim.PaperHouse(),
+		Seed:            7,
+		TrackerDebounce: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone, err := scn.AddPhone("alice", occusim.Static{P: occusim.Pt(2, 2)}, occusim.PhoneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn.Run(2 * time.Minute)
+
+	if phone.Stats().ReportsSent == 0 {
+		t.Fatal("no reports sent")
+	}
+	snap := scn.Server().Occupancy()
+	if snap.Devices["alice"] != "kitchen" {
+		t.Fatalf("alice located in %q, want kitchen", snap.Devices["alice"])
+	}
+}
+
+func TestFacadeClassifierTraining(t *testing.T) {
+	scn, err := occusim.NewScenario(occusim.ScenarioConfig{Building: occusim.PaperHouse(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := scn.CollectFingerprints(occusim.CollectConfig{
+		PointsPerRoom:  3,
+		DwellPerPoint:  6 * time.Second,
+		IncludeOutside: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svmClassifier, err := occusim.TrainSceneSVM(train, occusim.SVMConfig{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prox := occusim.NewProximity(scn.Building(), 0)
+	test, err := scn.RunLabelledWalk(occusim.WalkConfig{Duration: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := scn.Building().ClassLabels()
+	svmRes, err := occusim.EvaluateClassifier(svmClassifier, test, labels, occusim.Outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxRes, err := occusim.EvaluateClassifier(prox, test, labels, occusim.Outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svmRes.Accuracy <= 0.4 || proxRes.Accuracy <= 0.3 {
+		t.Fatalf("degenerate accuracies: svm=%v prox=%v", svmRes.Accuracy, proxRes.Accuracy)
+	}
+}
+
+func TestFacadeHVACComparison(t *testing.T) {
+	events := []occusim.OccupancyEvent{}
+	scn, err := occusim.NewScenario(occusim.ScenarioConfig{
+		Building:        occusim.OfficeFloor(),
+		Seed:            4,
+		TrackerDebounce: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scn.AddPhone("worker", occusim.Static{P: occusim.Pt(2, 14)}, occusim.PhoneConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	scn.Run(3 * time.Minute)
+	events = scn.Server().Events()
+	if len(events) == 0 {
+		t.Fatal("no occupancy events")
+	}
+	cmp, err := occusim.CompareEnergy(scn.Building().RoomNames(), events, time.Hour, occusim.DefaultHVAC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SavingFraction <= 0 || cmp.SavingFraction > 1 {
+		t.Fatalf("saving = %v", cmp.SavingFraction)
+	}
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	power, err := occusim.CalibrateMeasuredPower([]float64{-58, -59, -60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power != -59 {
+		t.Fatalf("calibrated = %d", power)
+	}
+	u, err := occusim.ParseUUID("C0FFEE00-BEEF-4A11-8000-000000000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occusim.NewRegion(u).Major != -1 {
+		t.Fatal("region should wildcard major")
+	}
+}
