@@ -1,0 +1,30 @@
+# Development entry points. The repo is plain `go build`-able; these
+# targets just name the common invocations (CI runs the same ones).
+
+GO ?= go
+PR ?= 1
+
+.PHONY: all build vet test test-short bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# bench writes BENCH_PR$(PR).json — the per-PR performance snapshot of
+# every figure-regeneration benchmark (ns/op plus the custom metrics).
+bench:
+	$(GO) run ./cmd/bench -pr $(PR)
+
+# bench-smoke is the CI variant: every benchmark once, no snapshot file.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,129 @@
+// Command bench runs the repository's benchmark suite and writes a
+// machine-readable snapshot (BENCH_PR<N>.json by default) of ns/op plus
+// every custom metric each benchmark reports, so the performance
+// trajectory of the simulation substrate is tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/bench -pr 1                  # writes BENCH_PR1.json
+//	go run ./cmd/bench -out snapshot.json     # explicit path
+//	go run ./cmd/bench -bench 'Fig09' -count 3x
+//
+// The command shells out to `go test -bench`, so it measures exactly
+// what CI and developers measure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file layout.
+type Snapshot struct {
+	PR      int      `json:"pr,omitempty"`
+	Package string   `json:"package"`
+	Bench   string   `json:"bench"`
+	Count   string   `json:"benchtime"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number used in the default output name BENCH_PR<N>.json")
+	out := flag.String("out", "", "output path (default BENCH_PR<N>.json)")
+	bench := flag.String("bench", ".", "benchmark name regex passed to -bench")
+	count := flag.String("count", "3x", "value passed to -benchtime")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *count, *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{PR: *pr, Package: *pkg, Bench: *bench, Count: *count}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Results))
+}
+
+// parseLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8  10  12345678 ns/op  3.14 metric_a  2.72 metric_b
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	// The remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, r.NsPerOp > 0
+}

@@ -1,0 +1,3 @@
+module occusim
+
+go 1.24

@@ -157,6 +157,9 @@ type App struct {
 	lastPos geom.Point
 	events  []RegionEvent
 	stats   Stats
+
+	// idStrings memoises the wire form of each reported beacon identity.
+	idStrings map[ibeacon.BeaconID]string
 }
 
 // Launch attaches an app to the BLE world. The app's scan cycles start
@@ -302,13 +305,27 @@ func (a *App) onCycle(c scanner.Cycle) {
 	report := transport.Report{Device: a.name, AtSeconds: c.End.Seconds()}
 	for _, e := range estimates {
 		report.Beacons = append(report.Beacons, transport.BeaconReport{
-			ID:       e.Beacon.String(),
+			ID:       a.beaconIDString(e.Beacon),
 			Distance: e.Distance,
 			RSSI:     rssiOf(c.Samples, e.Beacon),
 		})
 	}
 	a.queue.Enqueue(report)
 	a.stats.ReportsSent += a.queue.Flush()
+}
+
+// beaconIDString renders a beacon identity for the report wire format,
+// memoised per beacon: an app reports the same few beacons every cycle.
+func (a *App) beaconIDString(id ibeacon.BeaconID) string {
+	if s, ok := a.idStrings[id]; ok {
+		return s
+	}
+	if a.idStrings == nil {
+		a.idStrings = make(map[ibeacon.BeaconID]string)
+	}
+	s := id.String()
+	a.idStrings[id] = s
+	return s
 }
 
 // rssiOf finds the cycle RSSI for a beacon (0 when the beacon was held

@@ -1,0 +1,121 @@
+package ble
+
+import (
+	"testing"
+	"time"
+
+	"occusim/internal/geom"
+	"occusim/internal/mobility"
+	"occusim/internal/sim"
+)
+
+// runRSSIs runs a one-advertiser world for dur, stepping the clock in
+// the given increments, and returns the listener's reception stream.
+func runRSSIs(t *testing.T, step, dur time.Duration) []Reception {
+	t.Helper()
+	w := NewWorld(sim.NewEngine(), testChannel(t), 123)
+	var recs []Reception
+	if err := w.AddListener(&Listener{
+		Name:     "phone",
+		Mobility: mobility.Static{P: geom.Pt(2, 0)},
+		Handler:  func(r Reception) { recs = append(recs, r) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddAdvertiser(newAdvertiser("b1", geom.Pt(0, 0), 33*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	for elapsed := time.Duration(0); elapsed < dur; elapsed += step {
+		w.Run(step)
+	}
+	return recs
+}
+
+// TestWindowPartitionInvariance pins the core property of the batched
+// delivery architecture: per-packet outcomes derive from (listener,
+// advertiser, packet index) streams, so how simulated time happens to be
+// chopped into delivery windows — by events, run deadlines, or both —
+// must not change a single reception.
+func TestWindowPartitionInvariance(t *testing.T) {
+	oneShot := runRSSIs(t, 10*time.Second, 10*time.Second)
+	chopped := runRSSIs(t, 250*time.Millisecond, 10*time.Second)
+	if len(oneShot) == 0 {
+		t.Fatal("no receptions")
+	}
+	if len(oneShot) != len(chopped) {
+		t.Fatalf("reception counts differ: %d vs %d", len(oneShot), len(chopped))
+	}
+	for i := range oneShot {
+		if oneShot[i].At != chopped[i].At || oneShot[i].RSSI != chopped[i].RSSI {
+			t.Fatalf("reception %d differs: %+v vs %+v", i, oneShot[i], chopped[i])
+		}
+	}
+}
+
+// TestRemoveListenerDoesNotPerturbOthers checks that detaching one
+// receiver leaves every other receiver's stream untouched — removal
+// must be unobservable to the remaining radios.
+func TestRemoveListenerDoesNotPerturbOthers(t *testing.T) {
+	run := func(removeSecond bool) []float64 {
+		w := NewWorld(sim.NewEngine(), testChannel(t), 55)
+		var rssis []float64
+		_ = w.AddListener(&Listener{
+			Name:     "keep",
+			Mobility: mobility.Static{P: geom.Pt(2, 0)},
+			Handler:  func(r Reception) { rssis = append(rssis, r.RSSI) },
+		})
+		second := &Listener{
+			Name:     "other",
+			Mobility: mobility.Static{P: geom.Pt(3, 0)},
+			Handler:  func(Reception) {},
+		}
+		_ = w.AddListener(second)
+		_ = w.AddAdvertiser(newAdvertiser("b1", geom.Pt(0, 0), 33*time.Millisecond))
+		w.Run(2 * time.Second)
+		if removeSecond {
+			w.RemoveListener(second)
+		}
+		w.Run(3 * time.Second)
+		return rssis
+	}
+	with, without := run(false), run(true)
+	if len(with) == 0 {
+		t.Fatal("no receptions")
+	}
+	if len(with) != len(without) {
+		t.Fatalf("reception counts differ: %d vs %d", len(with), len(without))
+	}
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("RSSI %d differs: %v vs %v", i, with[i], without[i])
+		}
+	}
+}
+
+// TestRemovedListenerHearsNothing checks removal actually silences the
+// removed radio.
+func TestRemovedListenerHearsNothing(t *testing.T) {
+	w := NewWorld(sim.NewEngine(), testChannel(t), 56)
+	n := 0
+	l := &Listener{
+		Name:     "phone",
+		Mobility: mobility.Static{P: geom.Pt(1, 0)},
+		Handler:  func(Reception) { n++ },
+	}
+	_ = w.AddListener(l)
+	_ = w.AddAdvertiser(newAdvertiser("b1", geom.Pt(0, 0), 33*time.Millisecond))
+	w.Run(2 * time.Second)
+	if n == 0 {
+		t.Fatal("expected receptions before removal")
+	}
+	w.RemoveListener(l)
+	before := n
+	w.Run(5 * time.Second)
+	if n != before {
+		t.Fatalf("removed listener still heard %d packets", n-before)
+	}
+	// Removing again (or removing a foreign listener) is a no-op.
+	w.RemoveListener(l)
+	w.RemoveListener(nil)
+	w.RemoveListener(&Listener{Name: "stranger"})
+}

@@ -92,7 +92,10 @@ type Listener struct {
 	// and listening when a packet arrives (channel rotation × scan duty
 	// cycle). 0 means "use 1.0".
 	CaptureProb float64
-	// Handler receives every decoded advertisement.
+	// Handler receives every decoded advertisement. Handlers run inside
+	// the world's batched-delivery flow, where the engine clock may lag
+	// Reception.At; they must not schedule engine events (react from a
+	// ticker or cycle callback instead — see sim.Flow).
 	Handler func(Reception)
 
 	src *rng.Source
@@ -123,12 +126,34 @@ func (l *Listener) Validate() error {
 
 // World wires advertisers, listeners, the radio channel and the event
 // engine together.
+//
+// Advertising is delivered in batches: instead of one simulation-heap
+// event per advertisement (one every ~28 ms of simulated time per beacon,
+// with a closure allocation and heap churn each), the world registers a
+// single sim.Flow. Whenever the engine is about to advance the clock past
+// a gap between discrete events, the flow enumerates the deterministic
+// advertisement times of every advertiser inside that window and samples
+// receptions in a tight loop. Per-packet randomness comes from a stream
+// derived from (listener, advertiser, packet index), so outcomes do not
+// depend on how simulated time happens to be partitioned into windows.
 type World struct {
 	engine      *sim.Engine
 	channel     *radio.Channel
 	advertisers []*Advertiser
-	listeners   []*Listener
-	src         *rng.Source
+	advStates   []advState
+	// listeners is indexed by Listener.idx; removed listeners leave a
+	// nil hole so the indices (and hence the per-packet randomness tags)
+	// of the remaining listeners never shift.
+	listeners []*Listener
+	src       *rng.Source
+
+	// meanCache memoises the deterministic per-(link, position) part of
+	// the channel response; the world is single-goroutine, so one cache
+	// serves every link.
+	meanCache *radio.MeanCache
+	// slowGen caches the channel's slow-fade generator (immutable after
+	// construction).
+	slowGen radio.SlowFade
 
 	// collisionProb[i] is the per-packet probability that advertiser i's
 	// packet overlaps another advertiser's packet on the same channel at
@@ -136,37 +161,57 @@ type World struct {
 	// of 2·airtime/interval, divided by 3 channels).
 	collisionProb []float64
 
-	// slowFade holds the per-link Ornstein–Uhlenbeck fading state,
-	// keyed by (listener, advertiser).
-	slowFade map[linkKey]*fadeState
+	// links[listener][advertiser] holds the per-link hot-path state:
+	// the Ornstein–Uhlenbeck fading value and the last receiver position
+	// with its memoised channel environment. Direct slab indexing here
+	// replaces a per-packet map lookup.
+	links [][]linkState
 }
 
-type linkKey struct {
-	listener, advertiser int
+// advState tracks one advertiser's position in its advertising train.
+type advState struct {
+	// nextAt is the time of the next advertising event.
+	nextAt time.Duration
+	// pkt counts advertising events from zero; it tags the per-packet
+	// randomness streams.
+	pkt uint64
+	// src draws the spec's pseudo-random per-event advDelay jitter.
+	src *rng.Source
 }
 
-type fadeState struct {
-	v    float64
-	last time.Duration
-	init bool
+// linkState is the per-(listener, advertiser) hot-path state.
+type linkState struct {
+	// fade is the link's Ornstein–Uhlenbeck slow-fading state.
+	fadeV    float64
+	fadeLast time.Duration
+	fadeInit bool
+	// lastRx memoises the channel environment for the most recent
+	// receiver position: a dwelling or static listener pays the channel
+	// model once per position instead of once per packet.
+	lastRx geom.Point
+	env    float64
+	envOK  bool
 }
 
 // NewWorld creates a world over the given channel. seed drives all link
 // randomness (jitter, fading draws, capture, noise).
 func NewWorld(engine *sim.Engine, channel *radio.Channel, seed uint64) *World {
-	return &World{
-		engine:   engine,
-		channel:  channel,
-		src:      rng.New(seed),
-		slowFade: map[linkKey]*fadeState{},
+	w := &World{
+		engine:    engine,
+		channel:   channel,
+		src:       rng.New(seed),
+		meanCache: radio.NewMeanCache(),
+		slowGen:   channel.SlowFade(),
 	}
+	engine.AddFlow(w.deliverWindow)
+	return w
 }
 
 // Engine returns the underlying event engine.
 func (w *World) Engine() *sim.Engine { return w.engine }
 
-// AddAdvertiser registers a beacon transmitter and schedules its
-// advertising train starting at a small random phase.
+// AddAdvertiser registers a beacon transmitter; its advertising train
+// starts at a small random phase.
 func (w *World) AddAdvertiser(a *Advertiser) error {
 	if err := a.Validate(); err != nil {
 		return err
@@ -177,8 +222,13 @@ func (w *World) AddAdvertiser(a *Advertiser) error {
 	// Random initial phase avoids artificial synchronisation between
 	// transmitters.
 	phase := time.Duration(advSrc.Uniform(0, float64(a.Interval)))
-	idx := len(w.advertisers) - 1
-	w.engine.Schedule(phase, func(e *sim.Engine) { w.advertise(e, idx, advSrc) })
+	w.advStates = append(w.advStates, advState{
+		nextAt: w.engine.Now() + phase,
+		src:    advSrc,
+	})
+	for i := range w.links {
+		w.links[i] = append(w.links[i], linkState{})
+	}
 	return nil
 }
 
@@ -190,22 +240,32 @@ func (w *World) AddListener(l *Listener) error {
 	l.src = w.src.Split(0x10000 + uint64(len(w.listeners)))
 	l.idx = len(w.listeners)
 	w.listeners = append(w.listeners, l)
+	w.links = append(w.links, make([]linkState, len(w.advertisers)))
 	return nil
 }
 
+// RemoveListener detaches a previously added receiver: the handset has
+// left the deployment and its packets need not be sampled any more.
+// Removal leaves other listeners' randomness streams untouched (per-
+// packet draws are derived from each listener's own stream and index).
+// Removing a listener that is not attached is a no-op.
+func (w *World) RemoveListener(l *Listener) {
+	if l == nil || l.idx >= len(w.listeners) || w.listeners[l.idx] != l {
+		return
+	}
+	w.listeners[l.idx] = nil
+}
+
 func (w *World) recomputeCollisions() {
+	// One aggregate pass: each advertiser's exposure is the total
+	// airtime-fraction sum minus its own contribution.
 	w.collisionProb = make([]float64, len(w.advertisers))
+	var total float64
+	for _, a := range w.advertisers {
+		total += 2 * AdvAirtime.Seconds() / a.Interval.Seconds() / 3
+	}
 	for i, a := range w.advertisers {
-		var p float64
-		for j, b := range w.advertisers {
-			if i == j {
-				continue
-			}
-			// A collision happens when the other transmitter starts
-			// within ±airtime of ours and picked the same channel.
-			p += 2 * AdvAirtime.Seconds() / b.Interval.Seconds() / 3
-		}
-		_ = a
+		p := total - 2*AdvAirtime.Seconds()/a.Interval.Seconds()/3
 		if p > 1 {
 			p = 1
 		}
@@ -213,60 +273,92 @@ func (w *World) recomputeCollisions() {
 	}
 }
 
-// advertise emits one advertising event for advertiser idx and
-// reschedules the next one.
-func (w *World) advertise(e *sim.Engine, idx int, advSrc *rng.Source) {
-	a := w.advertisers[idx]
-	now := e.Now()
-	for _, l := range w.listeners {
-		w.deliver(now, idx, a, l)
+// deliverWindow is the world's sim.Flow: it walks every advertiser's
+// train across the window (from, to] and samples receptions for each
+// listener. Windows partition simulated time exactly, and scan-cycle
+// boundaries are themselves engine events, so every reception is
+// delivered before any event with an equal or later timestamp runs — the
+// same observable order as one heap event per advertisement.
+func (w *World) deliverWindow(from, to time.Duration) {
+	for idx := range w.advertisers {
+		a := w.advertisers[idx]
+		st := &w.advStates[idx]
+		for st.nextAt <= to {
+			at := st.nextAt
+			for _, l := range w.listeners {
+				if l != nil {
+					w.deliver(at, idx, a, l, st.pkt)
+				}
+			}
+			st.nextAt = at + a.Interval + time.Duration(st.src.Uniform(0, float64(MaxAdvDelay)))
+			st.pkt++
+		}
 	}
-	next := a.Interval + time.Duration(advSrc.Uniform(0, float64(MaxAdvDelay)))
-	e.Schedule(next, func(e *sim.Engine) { w.advertise(e, idx, advSrc) })
+}
+
+// pktTag composes the derivation tag of one (advertiser, packet) pair.
+// Packet indices stay far below 2⁴⁰ for any plausible simulation length,
+// so tags never collide across advertisers.
+func pktTag(advIdx int, pkt uint64) uint64 {
+	return uint64(advIdx+1)<<40 + pkt
 }
 
 // deliver decides whether listener l decodes this advertisement and
-// invokes its handler if so.
-func (w *World) deliver(now time.Duration, advIdx int, a *Advertiser, l *Listener) {
-	// Is the radio tuned to the right channel and listening?
-	if !l.src.Bool(l.captureProb()) {
+// invokes its handler if so. All randomness comes from a per-(link,
+// packet) stream derived on the stack, so the outcome is a pure function
+// of the seed and the packet's identity.
+func (w *World) deliver(at time.Duration, advIdx int, a *Advertiser, l *Listener, pkt uint64) {
+	tag := pktTag(advIdx, pkt)
+	// Is the radio tuned to the right channel and listening? The
+	// capture test is a pure hash of the packet identity, so the ~90%
+	// of packets an Android duty cycle rejects never pay for a full
+	// derived stream.
+	if p := l.captureProb(); p < 1 && l.src.Hash01(tag) >= p {
 		return
 	}
+	var ps rng.Source
+	l.src.Derive(tag, &ps)
 	// Did another transmitter collide on the same channel?
-	if l.src.Bool(w.collisionProb[advIdx]) {
+	if ps.Bool(w.collisionProb[advIdx]) {
 		return
 	}
-	rxPos := l.Mobility.Position(now)
-	rssi := w.channel.SampleRSSI(a.PowerAt1mDBm, a.LinkID, a.Pos, rxPos, l.src)
-	rssi += w.advanceSlowFade(linkKey{l.idx, advIdx}, now, l.src)
-	rssi += l.OffsetDB + l.src.Normal(0, l.NoiseSigmaDB)
+	rxPos := l.Mobility.Position(at)
+	st := &w.links[l.idx][advIdx]
+	if !st.envOK || rxPos != st.lastRx {
+		st.env = w.channel.EnvironmentDB(w.meanCache, a.LinkID, a.Pos, rxPos)
+		st.lastRx = rxPos
+		st.envOK = true
+	}
+	rssi := a.PowerAt1mDBm + st.env + w.channel.FadingDB(&ps)
+	// One Box–Muller pair serves both the slow-fade innovation and the
+	// measurement noise.
+	n1, n2 := ps.StdNormal2()
+	rssi += w.advanceSlowFade(st, at, n1, &ps)
+	rssi += l.OffsetDB + l.NoiseSigmaDB*n2
 	// Sensitivity: can the radio decode at this level?
-	if !w.channel.Received(rssi-l.OffsetDB, l.src) {
+	if !w.channel.Received(rssi-l.OffsetDB, &ps) {
 		return
 	}
-	l.Handler(Reception{At: now, From: a.Name, Payload: a.Payload, RSSI: rssi})
+	l.Handler(Reception{At: at, From: a.Name, Payload: a.Payload, RSSI: rssi})
 }
 
 // advanceSlowFade steps the link's Ornstein–Uhlenbeck fading state to
-// now and returns its current value in dB.
-func (w *World) advanceSlowFade(key linkKey, now time.Duration, src *rng.Source) float64 {
-	gen := w.channel.SlowFade()
+// now and returns its current value in dB. n is the packet's
+// standard-normal innovation; src only seeds the stationary initial
+// draw.
+func (w *World) advanceSlowFade(st *linkState, now time.Duration, n float64, src *rng.Source) float64 {
+	gen := w.slowGen
 	if gen.SigmaDB == 0 {
 		return 0
 	}
-	st := w.slowFade[key]
-	if st == nil {
-		st = &fadeState{}
-		w.slowFade[key] = st
-	}
-	if !st.init {
-		st.v = gen.Init(src)
-		st.init = true
+	if !st.fadeInit {
+		st.fadeV = gen.Init(src)
+		st.fadeInit = true
 	} else {
-		st.v = gen.Next(st.v, (now - st.last).Seconds(), src)
+		st.fadeV = gen.Step(st.fadeV, (now - st.fadeLast).Seconds(), n)
 	}
-	st.last = now
-	return st.v
+	st.fadeLast = now
+	return st.fadeV
 }
 
 // Run advances the simulation until the given duration of simulated time

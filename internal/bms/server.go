@@ -34,7 +34,18 @@ type Server struct {
 	tracker    *occupancy.Tracker
 	classifier classify.Classifier
 	sceneSVM   *classify.SceneSVM
+
+	// idCache interns parsed beacon identities. A deployment sees the
+	// same handful of beacon-id strings on every report, so ingest pays
+	// the UUID/major/minor parse once per distinct string rather than
+	// once per report line. Bounded: a client sending ever-fresh ids
+	// resets the cache instead of growing it without limit.
+	idMu    sync.RWMutex
+	idCache map[string]ibeacon.BeaconID
 }
+
+// idCacheMaxEntries bounds the beacon-id intern cache.
+const idCacheMaxEntries = 4096
 
 // NewServer builds a BMS for the given building. Until a model is
 // trained, observations are classified with the proximity technique, as
@@ -82,7 +93,7 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 		Distances: map[ibeacon.BeaconID]float64{},
 	}
 	for _, b := range r.Beacons {
-		id, err := ibeacon.ParseBeaconID(b.ID)
+		id, err := s.parseBeaconID(b.ID)
 		if err != nil {
 			return "", fmt.Errorf("bms: %w", err)
 		}
@@ -97,6 +108,27 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 	room := s.classifier.Predict(sample)
 	s.tracker.Observe(at, r.Device, room)
 	return room, nil
+}
+
+// parseBeaconID is ibeacon.ParseBeaconID behind the intern cache.
+func (s *Server) parseBeaconID(raw string) (ibeacon.BeaconID, error) {
+	s.idMu.RLock()
+	id, ok := s.idCache[raw]
+	s.idMu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	id, err := ibeacon.ParseBeaconID(raw)
+	if err != nil {
+		return id, err
+	}
+	s.idMu.Lock()
+	if s.idCache == nil || len(s.idCache) >= idCacheMaxEntries {
+		s.idCache = make(map[string]ibeacon.BeaconID)
+	}
+	s.idCache[raw] = id
+	s.idMu.Unlock()
+	return id, nil
 }
 
 // AddFingerprint stores one labelled sample (the collection phase).

@@ -341,7 +341,7 @@ func (s *Scenario) CollectFingerprints(cc CollectConfig) (*fingerprint.Dataset, 
 	collecting := true
 	start := s.engine.Now()
 	s.phones++
-	_, err = scanner.Attach(s.world, fmt.Sprintf("collector-%d", s.phones), offsetModel{walk, start}, scanner.Config{
+	scn, err := scanner.Attach(s.world, fmt.Sprintf("collector-%d", s.phones), offsetModel{walk, start}, scanner.Config{
 		Period:  cc.ScanPeriod,
 		Profile: cc.Profile,
 		Region:  ibeacon.NewRegion(deploymentUUID(b)),
@@ -366,6 +366,9 @@ func (s *Scenario) CollectFingerprints(cc CollectConfig) (*fingerprint.Dataset, 
 	}
 	s.Run(walk.End() + cc.ScanPeriod)
 	collecting = false
+	// The operator leaves with the survey handset; stop sampling its
+	// radio for the rest of the scenario.
+	scn.Detach()
 	return ds, nil
 }
 
@@ -447,7 +450,7 @@ func (s *Scenario) RunLabelledWalk(wc WalkConfig) (*fingerprint.Dataset, error) 
 	walking := true
 	lastRoom := ""
 	settle := 0
-	_, err = scanner.Attach(s.world, fmt.Sprintf("subject-%d", s.phones), offsetModel{tour, start}, scanner.Config{
+	scn, err := scanner.Attach(s.world, fmt.Sprintf("subject-%d", s.phones), offsetModel{tour, start}, scanner.Config{
 		Period:  wc.ScanPeriod,
 		Profile: wc.Profile,
 		Region:  ibeacon.NewRegion(deploymentUUID(b)),
@@ -481,6 +484,8 @@ func (s *Scenario) RunLabelledWalk(wc WalkConfig) (*fingerprint.Dataset, error) 
 	}
 	s.Run(wc.Duration)
 	walking = false
+	// The test subject's tour is over; stop sampling their radio.
+	scn.Detach()
 	return ds, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"occusim/internal/building"
 	"occusim/internal/classify"
 	"occusim/internal/core"
+	"occusim/internal/par"
 )
 
 // Fig9Result reproduces Figure 9: the accuracy of the scene-analysis SVM
@@ -60,6 +61,10 @@ const Fig9Trials = 3
 
 // Fig9 runs the classification experiment. seeds selects the trials;
 // pass nil for the default three.
+//
+// Trials are fully independent (each builds its own scenario, channel
+// and classifiers from its seed), so they fan out across CPU cores;
+// aggregation walks the seed order, keeping the result deterministic.
 func Fig9(seeds []uint64) (*Fig9Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{11, 22, 33}
@@ -69,9 +74,10 @@ func Fig9(seeds []uint64) (*Fig9Result, error) {
 		Trials: len(seeds),
 		Pooled: classify.NewConfusionMatrix(b.ClassLabels()),
 	}
-	for _, seed := range seeds {
+	trials := make([]*core.TrialResult, len(seeds))
+	err := par.ForEach(len(seeds), func(i int) error {
 		trial, err := core.RunClassificationTrial(core.TrialConfig{
-			Scenario: core.ScenarioConfig{Building: building.PaperHouse(), Seed: seed},
+			Scenario: core.ScenarioConfig{Building: building.PaperHouse(), Seed: seeds[i]},
 			Collect: core.CollectConfig{
 				PointsPerRoom:  6,
 				DwellPerPoint:  10 * time.Second,
@@ -80,8 +86,15 @@ func Fig9(seeds []uint64) (*Fig9Result, error) {
 			Walk: core.WalkConfig{Duration: 10 * time.Minute, IncludeOutside: true},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		trials[i] = trial
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, trial := range trials {
 		res.SVMAccuracy += trial.SVM.Accuracy
 		res.ProximityAccuracy += trial.Proximity.Accuracy
 		res.KNNAccuracy += trial.KNN.Accuracy

@@ -11,6 +11,7 @@ import (
 	"occusim/internal/energy"
 	"occusim/internal/geom"
 	"occusim/internal/mobility"
+	"occusim/internal/par"
 )
 
 // Fig10Result reproduces Figure 10: the battery level of a Galaxy S3
@@ -130,11 +131,20 @@ func Fig10(runs int, seed uint64) (*Fig10Result, error) {
 		var sumEnergy float64
 		var sumLife time.Duration
 		sumComp := map[string]float64{}
-		for r := 0; r < runs; r++ {
-			run, err := sample(kind, seed+uint64(r)*977)
+		// Repetitions are independent simulations; fan them out and
+		// aggregate in run order so the mean stays deterministic.
+		outs := make([]runOut, runs)
+		if err := par.ForEach(runs, func(r int) error {
+			out, err := sample(kind, seed+uint64(r)*977)
 			if err != nil {
-				return Series{}, 0, 0, nil, err
+				return err
 			}
+			outs[r] = out
+			return nil
+		}); err != nil {
+			return Series{}, 0, 0, nil, err
+		}
+		for _, run := range outs {
 			if sumLevels == nil {
 				sumLevels = make([]float64, len(run.levels))
 				times = run.times

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -158,8 +159,21 @@ func ParseBeaconID(s string) (BeaconID, error) {
 	if err != nil {
 		return id, fmt.Errorf("ibeacon: bad beacon id %q: %w", s, err)
 	}
-	var major, minor int
-	if _, err := fmt.Sscanf(s[36:], "/%d/%d", &major, &minor); err != nil {
+	rest := s[36:]
+	if len(rest) == 0 || rest[0] != '/' {
+		return id, fmt.Errorf("ibeacon: bad beacon id %q", s)
+	}
+	rest = rest[1:]
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return id, fmt.Errorf("ibeacon: bad beacon id %q", s)
+	}
+	major, err := strconv.Atoi(rest[:slash])
+	if err != nil {
+		return id, fmt.Errorf("ibeacon: bad beacon id %q: %w", s, err)
+	}
+	minor, err := strconv.Atoi(rest[slash+1:])
+	if err != nil {
 		return id, fmt.Errorf("ibeacon: bad beacon id %q: %w", s, err)
 	}
 	if major < 0 || major > math.MaxUint16 || minor < 0 || minor > math.MaxUint16 {

@@ -4,11 +4,7 @@
 // the paper cites for its kernel choice is itself fingerprint-kNN-like).
 package knn
 
-import (
-	"fmt"
-	"math"
-	"sort"
-)
+import "fmt"
 
 // Classifier is a trained (memorised) k-NN model.
 type Classifier struct {
@@ -48,36 +44,51 @@ func (c *Classifier) K() int { return c.k }
 // Predict returns the majority label among the k nearest training points
 // (Euclidean distance). Ties break towards the label of the closest
 // tied-vote neighbour, making predictions deterministic.
+//
+// The k nearest are found by partial selection — a bounded insertion
+// into a k-sized buffer ordered by (squared distance, index) — instead
+// of materialising and sorting the full distance list; k is tiny next to
+// the training-set size, so selection is O(n·k) with no allocation
+// beyond the buffer, versus O(n·log n) and an n-sized slice for a sort.
 func (c *Classifier) Predict(x []float64) string {
 	type neighbour struct {
-		dist  float64
+		d2    float64
 		index int
 	}
-	ns := make([]neighbour, len(c.points))
+	ns := make([]neighbour, 0, c.k)
 	for i, p := range c.points {
 		var d2 float64
 		for j := range p {
 			d := p[j] - x[j]
 			d2 += d * d
 		}
-		ns[i] = neighbour{dist: math.Sqrt(d2), index: i}
-	}
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].dist != ns[j].dist {
-			return ns[i].dist < ns[j].dist
+		if len(ns) == c.k {
+			last := ns[c.k-1]
+			if d2 > last.d2 || (d2 == last.d2 && i > last.index) {
+				continue
+			}
+			ns = ns[:c.k-1]
 		}
-		return ns[i].index < ns[j].index
-	})
+		// Insert keeping (d2, index) order; equal squared distances keep
+		// the lower index first, matching a stable full sort.
+		pos := len(ns)
+		for pos > 0 && (ns[pos-1].d2 > d2 || (ns[pos-1].d2 == d2 && ns[pos-1].index > i)) {
+			pos--
+		}
+		ns = append(ns, neighbour{})
+		copy(ns[pos+1:], ns[pos:])
+		ns[pos] = neighbour{d2: d2, index: i}
+	}
 	votes := map[string]int{}
 	first := map[string]int{} // rank of each label's closest neighbour
-	for rank := 0; rank < c.k; rank++ {
+	for rank := range ns {
 		l := c.labels[ns[rank].index]
 		votes[l]++
 		if _, seen := first[l]; !seen {
 			first[l] = rank
 		}
 	}
-	best, bestVotes, bestFirst := "", -1, len(ns)
+	best, bestVotes, bestFirst := "", -1, len(c.points)
 	for l, v := range votes {
 		if v > bestVotes || (v == bestVotes && first[l] < bestFirst) {
 			best, bestVotes, bestFirst = l, v, first[l]

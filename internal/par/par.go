@@ -1,0 +1,60 @@
+// Package par provides the minimal deterministic fan-out helper used to
+// spread independent simulation trials (separate seeds, cross-validation
+// folds, repeated energy runs) across CPU cores.
+//
+// Determinism is preserved by construction: callers write results into
+// index-addressed slots, so aggregation order never depends on
+// scheduling, and ForEach reports the lowest-index error.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a bounded worker pool
+// and waits for all of them. fn must be safe to call concurrently and
+// should write its result into an index-addressed slot owned by the
+// caller. The returned error is the one produced by the lowest index
+// that failed, or nil.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

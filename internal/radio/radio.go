@@ -115,11 +115,20 @@ func (f SlowFade) Next(v, dt float64, r *rng.Source) float64 {
 	if f.SigmaDB == 0 {
 		return 0
 	}
+	return f.Step(v, dt, r.StdNormal())
+}
+
+// Step is Next with a caller-supplied standard-normal innovation, for
+// hot paths that batch their normal draws (see rng.StdNormal2).
+func (f SlowFade) Step(v, dt, n float64) float64 {
+	if f.SigmaDB == 0 {
+		return 0
+	}
 	if dt < 0 {
 		dt = 0
 	}
 	rho := math.Exp(-dt / f.Tau)
-	return rho*v + f.SigmaDB*math.Sqrt(1-rho*rho)*r.StdNormal()
+	return rho*v + f.SigmaDB*math.Sqrt(1-rho*rho)*n
 }
 
 // SlowFade returns the channel's slow-fading generator.
@@ -133,6 +142,7 @@ func (c *Channel) SlowFade() SlowFade {
 type Channel struct {
 	params Params
 	walls  []geom.Segment
+	index  *geom.SegmentIndex
 	shadow *shadowField
 }
 
@@ -146,6 +156,7 @@ func NewChannel(params Params, walls []geom.Segment, seed uint64) (*Channel, err
 	return &Channel{
 		params: params,
 		walls:  walls,
+		index:  geom.NewSegmentIndex(walls, 2),
 		shadow: newShadowField(params.ShadowSigmaDB, params.ShadowCorrLen, seed),
 	}, nil
 }
@@ -159,14 +170,71 @@ func (c *Channel) Params() Params { return c.params }
 // 1 m); linkID isolates the shadowing field per transmitter so co-located
 // receivers see link-consistent shadowing.
 func (c *Channel) MeanRSSI(txPowerAt1m float64, linkID uint64, txPos, rxPos geom.Point) float64 {
+	return txPowerAt1m + c.meanEnvironment(linkID, txPos, rxPos)
+}
+
+// meanEnvironment is the transmit-power-independent part of MeanRSSI:
+// −pathLoss − wallLoss + shadow. It is a pure function of the link and
+// the two positions, which is what makes it memoisable.
+func (c *Channel) meanEnvironment(linkID uint64, txPos, rxPos geom.Point) float64 {
 	d := txPos.Dist(rxPos)
 	if d < 0.1 {
 		d = 0.1 // clamp inside near field; the log law diverges at 0
 	}
 	pathLoss := 10 * c.params.Exponent * math.Log10(d)
-	wallLoss := float64(geom.CrossingCount(txPos, rxPos, c.walls)) * c.params.WallLossDB
+	wallLoss := float64(c.index.CrossingCount(txPos, rxPos)) * c.params.WallLossDB
 	shadow := c.shadow.at(linkID, rxPos)
-	return txPowerAt1m - pathLoss - wallLoss + shadow
+	return -pathLoss - wallLoss + shadow
+}
+
+// MeanCache memoises the deterministic environment term of MeanRSSI per
+// (link, transmitter position, receiver position). Dwell-heavy mobility
+// (static probes, operators standing at survey points, walkers pausing
+// for tens of seconds) revisits exactly the same receiver position for
+// many consecutive packets, so the path-loss logarithm, the wall
+// segment-intersection count and the shadow-field hashing are paid once
+// per dwell position instead of once per packet.
+//
+// A MeanCache belongs to one caller (it is not safe for concurrent use);
+// the Channel itself stays safe for concurrent reads.
+type MeanCache struct {
+	m map[meanCacheKey]float64
+}
+
+type meanCacheKey struct {
+	linkID             uint64
+	txX, txY, rxX, rxY uint64 // float bit patterns: exact-position keying
+}
+
+// meanCacheMaxEntries bounds the memo; when a pathological workload
+// (every packet at a fresh position) fills it, the cache resets rather
+// than growing without bound.
+const meanCacheMaxEntries = 1 << 17
+
+// NewMeanCache returns an empty memo.
+func NewMeanCache() *MeanCache {
+	return &MeanCache{m: make(map[meanCacheKey]float64)}
+}
+
+// EnvironmentDB returns the memoised environment term of the link:
+// −pathLoss − wallLoss + shadow. MeanRSSI is txPowerAt1m plus this;
+// results are bit-identical (the cache keys on the exact position bits,
+// so no quantisation error is introduced).
+func (c *Channel) EnvironmentDB(mc *MeanCache, linkID uint64, txPos, rxPos geom.Point) float64 {
+	key := meanCacheKey{
+		linkID: linkID,
+		txX:    math.Float64bits(txPos.X), txY: math.Float64bits(txPos.Y),
+		rxX: math.Float64bits(rxPos.X), rxY: math.Float64bits(rxPos.Y),
+	}
+	env, ok := mc.m[key]
+	if !ok {
+		env = c.meanEnvironment(linkID, txPos, rxPos)
+		if len(mc.m) >= meanCacheMaxEntries {
+			clear(mc.m)
+		}
+		mc.m[key] = env
+	}
+	return env
 }
 
 // SampleRSSI returns one per-packet RSSI observation: MeanRSSI plus a

@@ -23,17 +23,35 @@ type Source struct {
 // New returns a Source seeded from seed. Two Sources created with the same
 // seed produce identical streams.
 func New(seed uint64) *Source {
-	// splitmix64 to spread the seed over the full state.
-	src := Source{seed: seed}
+	src := &Source{}
+	src.Seed(seed)
+	return src
+}
+
+// Seed (re-)initialises the source from seed in place, using splitmix64
+// to spread the seed over the full state. A source seeded twice with the
+// same value replays the same stream.
+func (r *Source) Seed(seed uint64) {
+	r.seed = seed
 	x := seed
-	for i := range src.s {
+	for i := range r.s {
 		x += 0x9e3779b97f4a7c15
 		z := x
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		r.s[i] = z ^ (z >> 31)
 	}
-	return &src
+}
+
+// splitSeed derives the construction seed of the child stream for tag.
+func (r *Source) splitSeed(tag uint64) uint64 {
+	h := r.seed ^ (tag+1)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // Split derives an independent child source. The child stream is a pure
@@ -42,13 +60,30 @@ func New(seed uint64) *Source {
 // with distinct tags get reproducible streams regardless of registration
 // order. Calling Split twice with the same tag yields identical children.
 func (r *Source) Split(tag uint64) *Source {
-	h := r.seed ^ (tag+1)*0x9e3779b97f4a7c15
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return New(h)
+	return New(r.splitSeed(tag))
+}
+
+// Derive seeds out with the same child stream Split(tag) would return,
+// without allocating. Hot loops that need a fresh short-lived stream per
+// item (for example one per delivered radio packet) reuse a stack Source
+// through this method.
+func (r *Source) Derive(tag uint64, out *Source) {
+	out.Seed(r.splitSeed(tag))
+}
+
+// Hash01 returns a uniform value in [0, 1) that is a pure function of
+// the source's construction seed and tag; no stream state is consumed.
+// It is the cheap pre-test companion of Derive: a rejection decision
+// (such as a radio duty-cycle capture test) can be taken from Hash01
+// before paying for the full derived stream. The value is decorrelated
+// from the Derive(tag) stream by an extra mixing round with a distinct
+// constant.
+func (r *Source) Hash01(tag uint64) float64 {
+	x := r.splitSeed(tag) ^ 0xd1b54a32d192ed03
+	z := (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -117,6 +152,22 @@ func (r *Source) StdNormal() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// StdNormal2 returns two independent standard-normal draws from a single
+// Box–Muller pair (the cosine and sine projections of one radius), at
+// roughly half the transcendental cost of two StdNormal calls. Hot paths
+// that need two innovations per item (fast-fading quadratures, a
+// slow-fade step plus measurement noise) use this.
+func (r *Source) StdNormal2() (float64, float64) {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u1))
+	s, c := math.Sincos(2 * math.Pi * u2)
+	return rad * c, rad * s
+}
+
 // LogNormal returns exp(N(mu, sigma²)).
 func (r *Source) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(r.Normal(mu, sigma))
@@ -148,11 +199,12 @@ func (r *Source) Rayleigh(sigma float64) float64 {
 
 // Rician returns a draw from a Rician distribution with line-of-sight
 // component nu and scale sigma; nu = 0 degenerates to Rayleigh. Used for
-// rooms where the phone has line of sight to the beacon.
+// rooms where the phone has line of sight to the beacon. The two
+// quadrature components come from one Box–Muller pair, which yields the
+// same distribution as two independent Normal draws at half the cost.
 func (r *Source) Rician(nu, sigma float64) float64 {
-	x := r.Normal(nu, sigma)
-	y := r.Normal(0, sigma)
-	return math.Hypot(x, y)
+	n1, n2 := r.StdNormal2()
+	return math.Hypot(nu+sigma*n1, sigma*n2)
 }
 
 // Perm returns a random permutation of [0, n).

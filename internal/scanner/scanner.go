@@ -99,6 +99,9 @@ type Config struct {
 	// OnAdvertisement receives every decoded packet as it arrives (the
 	// iOS application experience; for Android profiles it exposes what
 	// the stack sees internally, which apps cannot observe). Optional.
+	// It runs inside the link layer's batched-delivery flow, where the
+	// engine clock may lag the packet time: accumulate here and react
+	// from OnCycle, do not schedule engine events (see ble.Listener).
 	OnAdvertisement func(Advertisement)
 }
 
@@ -129,6 +132,9 @@ func (c Config) captureProb() float64 {
 type Scanner struct {
 	cfg        Config
 	src        *rng.Source
+	world      *ble.World
+	listener   *ble.Listener
+	detached   bool
 	cycleStart time.Duration
 	cycleIdx   int
 	acc        map[ibeacon.BeaconID]*accum
@@ -158,26 +164,44 @@ func Attach(w *ble.World, name string, m mobility.Model, cfg Config, src *rng.So
 		return nil, fmt.Errorf("scanner: %q needs an rng source", name)
 	}
 	s := &Scanner{
-		cfg: cfg,
-		src: src,
-		acc: make(map[ibeacon.BeaconID]*accum),
+		cfg:   cfg,
+		src:   src,
+		world: w,
+		acc:   make(map[ibeacon.BeaconID]*accum),
 	}
-	err := w.AddListener(&ble.Listener{
+	s.listener = &ble.Listener{
 		Name:         name,
 		Mobility:     m,
 		OffsetDB:     cfg.Profile.RSSIOffsetDB,
 		NoiseSigmaDB: cfg.Profile.NoiseSigmaDB,
 		CaptureProb:  cfg.captureProb(),
 		Handler:      s.onReception,
-	})
-	if err != nil {
+	}
+	if err := w.AddListener(s.listener); err != nil {
 		return nil, err
 	}
 	w.Engine().Ticker(cfg.Period, func(now time.Duration) bool {
+		if s.detached {
+			return false
+		}
 		s.closeCycle(now)
 		return true
 	})
 	return s, nil
+}
+
+// Detach stops the scanner: its listener leaves the BLE world (so its
+// packets are no longer sampled) and its cycle ticker winds down at the
+// next tick. A workload whose measurement phase has ended — the operator
+// walking out with the survey handset, say — detaches its scanner so the
+// rest of the simulation does not pay for a radio nobody reads. Counters
+// freeze at their current values; Detach is idempotent.
+func (s *Scanner) Detach() {
+	if s.detached {
+		return
+	}
+	s.detached = true
+	s.world.RemoveListener(s.listener)
 }
 
 // onReception handles one decoded packet from the link layer.
@@ -196,9 +220,10 @@ func (s *Scanner) onReception(r ble.Reception) {
 	id := pkt.ID()
 	a := s.acc[id]
 	if a == nil {
-		a = &accum{power: pkt.MeasuredPower}
+		a = &accum{}
 		s.acc[id] = a
 	}
+	a.power = pkt.MeasuredPower
 	a.rssis = append(a.rssis, r.RSSI)
 	s.totalRaw++
 	if s.cfg.OnAdvertisement != nil {
@@ -223,6 +248,9 @@ func (s *Scanner) closeCycle(now time.Duration) {
 		s.totalDropped++
 	} else {
 		for id, a := range s.acc {
+			if len(a.rssis) == 0 {
+				continue // beacon heard in an earlier cycle only
+			}
 			c.Samples = append(c.Samples, Sample{
 				At:            now,
 				Beacon:        id,
@@ -235,7 +263,12 @@ func (s *Scanner) closeCycle(now time.Duration) {
 		s.totalSamples += len(c.Samples)
 	}
 
-	s.acc = make(map[ibeacon.BeaconID]*accum)
+	// Keep the accumulator entries (the beacon population is small and
+	// stable) and reset their sample slices in place; the steady-state
+	// cycle then allocates nothing but its outgoing samples.
+	for _, a := range s.acc {
+		a.rssis = a.rssis[:0]
+	}
 	s.cycleStart = now
 	if s.cfg.OnCycle != nil {
 		s.cfg.OnCycle(c)

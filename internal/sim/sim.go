@@ -57,6 +57,17 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Flow is a continuous process coupled to the engine clock. The engine
+// invokes it with contiguous, non-overlapping half-open intervals
+// (from, to] that exactly cover simulated time, immediately before the
+// clock advances past to. Flows let high-rate processes (such as BLE
+// advertising trains) run in a tight loop between discrete events instead
+// of scheduling one heap event per occurrence.
+//
+// A flow callback must not assume Engine.Now() has advanced to `to`, and
+// must not schedule events inside the interval it is being flushed for.
+type Flow func(from, to time.Duration)
+
 // Engine is the simulation kernel. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
@@ -64,6 +75,9 @@ type Engine struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+
+	flows   []Flow
+	flushed time.Duration
 
 	// Horizon, when non-zero, is the hard end of simulated time: events
 	// scheduled past it are silently dropped and Run returns when the
@@ -129,6 +143,35 @@ func (e *Engine) Cancel(ev *Event) {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// AddFlow registers a continuous process. Flows run in registration
+// order at every flush, keeping simulations deterministic.
+func (e *Engine) AddFlow(f Flow) {
+	if f == nil {
+		panic("sim: AddFlow with nil flow")
+	}
+	e.flows = append(e.flows, f)
+}
+
+// flush advances the flows to `to`, clamped to the horizon when one is
+// set. Intervals past the horizon are consumed without being delivered,
+// mirroring how events past the horizon are dropped.
+func (e *Engine) flush(to time.Duration) {
+	if to <= e.flushed {
+		return
+	}
+	from := e.flushed
+	e.flushed = to
+	if e.Horizon > 0 && to > e.Horizon {
+		to = e.Horizon
+	}
+	if to <= from {
+		return
+	}
+	for _, f := range e.flows {
+		f(from, to)
+	}
+}
+
 // Run processes events until the queue is empty, Stop is called, or the
 // clock passes the horizon (when set). It returns the number of events
 // executed.
@@ -138,9 +181,11 @@ func (e *Engine) Run() int {
 	for len(e.queue) > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*Event)
 		if e.Horizon > 0 && ev.At > e.Horizon {
+			e.flush(e.Horizon)
 			e.now = e.Horizon
 			break
 		}
+		e.flush(ev.At)
 		e.now = ev.At
 		ev.Action(e)
 		executed++
@@ -159,10 +204,12 @@ func (e *Engine) RunUntil(deadline time.Duration) int {
 			break
 		}
 		ev := heap.Pop(&e.queue).(*Event)
+		e.flush(ev.At)
 		e.now = ev.At
 		ev.Action(e)
 		executed++
 	}
+	e.flush(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}

@@ -1,0 +1,112 @@
+package svm
+
+import "math"
+
+// kernelRowCacheBudget bounds the memory the lazy Gram cache may hold,
+// in float64 entries (8 MB). Training sets small enough to fit keep every
+// row; larger ones evict least-recently-used rows.
+const kernelRowCacheBudget = 1 << 20
+
+// kernelMatrix serves rows of the Gram matrix K(i, j) on demand. Rows
+// are computed lazily — the SMO loop touches rows in a data-dependent
+// order and many configurations converge before visiting them all — and
+// retained in an LRU cache bounded by kernelRowCacheBudget.
+//
+// For the RBF kernel the squared row norms are precomputed once so each
+// entry costs one dot product instead of a subtract-square-accumulate
+// pass: ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b.
+type kernelMatrix struct {
+	X      [][]float64
+	kernel Kernel
+
+	// gamma is set (with rbf=true) when the kernel is RBF; norms then
+	// holds the precomputed squared norms ‖X_i‖².
+	rbf   bool
+	gamma float64
+	norms []float64
+
+	rows     [][]float64
+	lastUsed []int64
+	clock    int64
+	live     int
+	maxRows  int
+}
+
+func newKernelMatrix(X [][]float64, k Kernel) *kernelMatrix {
+	n := len(X)
+	km := &kernelMatrix{
+		X:        X,
+		kernel:   k,
+		rows:     make([][]float64, n),
+		lastUsed: make([]int64, n),
+		maxRows:  n,
+	}
+	if n > 0 {
+		if byBudget := kernelRowCacheBudget / n; byBudget < km.maxRows {
+			km.maxRows = byBudget
+		}
+		if km.maxRows < 2 {
+			// The SMO update needs two live rows at a time.
+			km.maxRows = 2
+		}
+	}
+	if rbf, ok := k.(RBF); ok {
+		km.rbf = true
+		km.gamma = rbf.Gamma
+		km.norms = make([]float64, n)
+		for i, x := range X {
+			var s float64
+			for _, v := range x {
+				s += v * v
+			}
+			km.norms[i] = s
+		}
+	}
+	return km
+}
+
+// row returns the i-th Gram row, computing and caching it if needed.
+func (m *kernelMatrix) row(i int) []float64 {
+	m.clock++
+	if r := m.rows[i]; r != nil {
+		m.lastUsed[i] = m.clock
+		return r
+	}
+	if m.live >= m.maxRows {
+		m.evict()
+	}
+	r := make([]float64, len(m.X))
+	xi := m.X[i]
+	if m.rbf {
+		ni := m.norms[i]
+		for j, xj := range m.X {
+			var dot float64
+			for d := range xi {
+				dot += xi[d] * xj[d]
+			}
+			r[j] = math.Exp(-m.gamma * (ni + m.norms[j] - 2*dot))
+		}
+	} else {
+		for j, xj := range m.X {
+			r[j] = m.kernel.Compute(xi, xj)
+		}
+	}
+	m.rows[i] = r
+	m.lastUsed[i] = m.clock
+	m.live++
+	return r
+}
+
+// evict drops the least-recently-used cached row.
+func (m *kernelMatrix) evict() {
+	victim, oldest := -1, int64(math.MaxInt64)
+	for i, r := range m.rows {
+		if r != nil && m.lastUsed[i] < oldest {
+			victim, oldest = i, m.lastUsed[i]
+		}
+	}
+	if victim >= 0 {
+		m.rows[victim] = nil
+		m.live--
+	}
+}

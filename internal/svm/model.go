@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"occusim/internal/par"
 )
 
 // Model is a trained multi-class SVM: a one-vs-one ensemble of binary
@@ -209,6 +211,10 @@ type GridPoint struct {
 // folds and returns every point evaluated plus the best configuration.
 // Folds are assigned round-robin after a deterministic shuffle seeded by
 // cfgSeed.
+//
+// Grid points are independent training problems, so they fan out across
+// CPU cores; the result slice keeps grid order and the best point is
+// chosen by an in-order scan, so the selection is deterministic.
 func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int, cfgSeed uint64) ([]GridPoint, GridPoint, error) {
 	if folds < 2 {
 		return nil, GridPoint{}, fmt.Errorf("svm: grid search needs at least 2 folds, got %d", folds)
@@ -219,19 +225,23 @@ func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int,
 	if len(cs) == 0 || len(gammas) == 0 {
 		return nil, GridPoint{}, fmt.Errorf("svm: empty grid")
 	}
-	var points []GridPoint
+	points := make([]GridPoint, len(cs)*len(gammas))
+	err := par.ForEach(len(points), func(i int) error {
+		c, g := cs[i/len(gammas)], gammas[i%len(gammas)]
+		acc, err := crossValidate(X, labels, TrainConfig{C: c, Kernel: RBF{Gamma: g}, Seed: cfgSeed}, folds)
+		if err != nil {
+			return err
+		}
+		points[i] = GridPoint{C: c, Gamma: g, Accuracy: acc}
+		return nil
+	})
+	if err != nil {
+		return nil, GridPoint{}, err
+	}
 	best := GridPoint{Accuracy: -1}
-	for _, c := range cs {
-		for _, g := range gammas {
-			acc, err := crossValidate(X, labels, TrainConfig{C: c, Kernel: RBF{Gamma: g}, Seed: cfgSeed}, folds)
-			if err != nil {
-				return nil, GridPoint{}, err
-			}
-			p := GridPoint{C: c, Gamma: g, Accuracy: acc}
-			points = append(points, p)
-			if p.Accuracy > best.Accuracy {
-				best = p
-			}
+	for _, p := range points {
+		if p.Accuracy > best.Accuracy {
+			best = p
 		}
 	}
 	return points, best, nil

@@ -91,36 +91,22 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 	}
 
 	n := len(X)
-	// Dense Gram matrix; pair training sets are small (hundreds).
-	gram := make([][]float64, n)
-	for i := range gram {
-		gram[i] = make([]float64, n)
-		for j := 0; j <= i; j++ {
-			k := cfg.Kernel.Compute(X[i], X[j])
-			gram[i][j] = k
-			gram[j][i] = k
-		}
-	}
+	km := newKernelMatrix(X, cfg.Kernel)
 
 	alpha := make([]float64, n)
 	b := 0.0
 	src := rng.New(cfg.Seed)
 
-	f := func(i int) float64 {
-		s := b
-		for k := 0; k < n; k++ {
-			if alpha[k] != 0 {
-				s += alpha[k] * y[k] * gram[k][i]
-			}
-		}
-		return s
-	}
+	// fval[i] caches Σ_k α_k·y_k·K(k,i) (the decision value without the
+	// bias). Maintaining it incrementally turns the KKT sweep's per-index
+	// check into O(1) instead of a fresh O(n) kernel sum.
+	fval := make([]float64, n)
 
 	passes := 0
 	for sweep := 0; passes < cfg.MaxPasses && sweep < cfg.MaxSweeps; sweep++ {
 		changed := 0
 		for i := 0; i < n; i++ {
-			Ei := f(i) - y[i]
+			Ei := fval[i] + b - y[i]
 			if !((y[i]*Ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*Ei > cfg.Tol && alpha[i] > 0)) {
 				continue
 			}
@@ -128,7 +114,7 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 			if j >= i {
 				j++
 			}
-			Ej := f(j) - y[j]
+			Ej := fval[j] + b - y[j]
 
 			aiOld, ajOld := alpha[i], alpha[j]
 			var lo, hi float64
@@ -142,7 +128,8 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 			if lo == hi {
 				continue
 			}
-			eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
+			rowI, rowJ := km.row(i), km.row(j)
+			eta := 2*rowI[j] - rowI[i] - rowJ[j]
 			if eta >= 0 {
 				continue
 			}
@@ -158,8 +145,8 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 			ai := aiOld + y[i]*y[j]*(ajOld-aj)
 			alpha[i], alpha[j] = ai, aj
 
-			b1 := b - Ei - y[i]*(ai-aiOld)*gram[i][i] - y[j]*(aj-ajOld)*gram[i][j]
-			b2 := b - Ej - y[i]*(ai-aiOld)*gram[i][j] - y[j]*(aj-ajOld)*gram[j][j]
+			b1 := b - Ei - y[i]*(ai-aiOld)*rowI[i] - y[j]*(aj-ajOld)*rowI[j]
+			b2 := b - Ej - y[i]*(ai-aiOld)*rowI[j] - y[j]*(aj-ajOld)*rowJ[j]
 			switch {
 			case ai > 0 && ai < cfg.C:
 				b = b1
@@ -167,6 +154,10 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 				b = b2
 			default:
 				b = (b1 + b2) / 2
+			}
+			di, dj := (ai-aiOld)*y[i], (aj-ajOld)*y[j]
+			for k := 0; k < n; k++ {
+				fval[k] += di*rowI[k] + dj*rowJ[k]
 			}
 			changed++
 		}
