@@ -4,7 +4,7 @@
 GO ?= go
 PR ?= 1
 
-.PHONY: all build vet test test-short bench bench-smoke
+.PHONY: all build vet test test-short test-race bench bench-smoke
 
 all: vet build test
 
@@ -19,6 +19,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# test-race mirrors the CI race job: striping/batching regressions in
+# the concurrent ingest pipeline surface here.
+test-race:
+	$(GO) test -race ./...
 
 # bench writes BENCH_PR$(PR).json — the per-PR performance snapshot of
 # every figure-regeneration benchmark (ns/op plus the custom metrics).

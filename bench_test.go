@@ -220,3 +220,19 @@ func BenchmarkCounting(b *testing.B) {
 		b.ReportMetric(100*res.DeviceAccuracy, "placement_pct")
 	}
 }
+
+// BenchmarkCrowdIngest measures the server-side scale axis: 32 devices
+// streaming coalesced report batches into one BMS concurrently (striped
+// store/tracker, lock-free scene-analysis classification). rep_per_s is
+// the ingest throughput; placement_pct sanity-checks the outcome.
+func BenchmarkCrowdIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdIngest(32, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "rep_per_s")
+		b.ReportMetric(float64(res.Reports), "reports")
+		b.ReportMetric(100*res.PlacementAccuracy, "placement_pct")
+	}
+}

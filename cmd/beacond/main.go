@@ -31,6 +31,7 @@ func main() {
 	phones := flag.Int("phones", 3, "number of simulated occupants")
 	duration := flag.Duration("duration", 2*time.Minute, "simulated duration")
 	seed := flag.Uint64("seed", 1, "random seed")
+	batch := flag.Float64("batch", 10, "coalesce each phone's reports for this many seconds before posting to the batch endpoint (0 posts per report)")
 	flag.Parse()
 
 	b := building.PaperHouse()
@@ -38,23 +39,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	uplink := &transport.HTTPUplink{BaseURL: *serverURL}
+	httpUplink := &transport.HTTPUplink{BaseURL: *serverURL}
 
 	src := rng.New(*seed)
+	var flushAtEnd []*transport.BatchingUplink
 	for i := 0; i < *phones; i++ {
 		tour, err := mobility.NewTour(roomRects(b), mobility.DefaultWalk(), *duration, src.Split(uint64(i)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		name := fmt.Sprintf("phone-%d", i+1)
+		var uplink transport.Uplink = httpUplink
+		if *batch > 0 {
+			bu, err := transport.NewBatchingUplink(httpUplink, transport.BatchConfig{FlushSeconds: *batch})
+			if err != nil {
+				log.Fatal(err)
+			}
+			flushAtEnd = append(flushAtEnd, bu)
+			uplink = bu
+		}
 		if _, err := scn.AddPhone(name, tour, core.PhoneConfig{Uplink: uplink}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	log.Printf("beacond: %d beacons advertising, %d phones walking for %v, reporting to %s",
-		len(b.Beacons), *phones, *duration, *serverURL)
+	log.Printf("beacond: %d beacons advertising, %d phones walking for %v, reporting to %s (batch window %.0fs)",
+		len(b.Beacons), *phones, *duration, *serverURL, *batch)
 	scn.Run(*duration)
+	for _, bu := range flushAtEnd {
+		if err := bu.Flush(); err != nil {
+			log.Printf("beacond: final flush: %v", err)
+		}
+	}
 
 	resp, err := http.Get(*serverURL + "/api/v1/occupancy")
 	if err != nil {

@@ -1,13 +1,15 @@
 // Command bench runs the repository's benchmark suite and writes a
-// machine-readable snapshot (BENCH_PR<N>.json by default) of ns/op plus
-// every custom metric each benchmark reports, so the performance
-// trajectory of the simulation substrate is tracked across PRs.
+// machine-readable snapshot (BENCH_PR<N>.json by default) of ns/op,
+// allocation counters and every custom metric each benchmark reports, so
+// the performance trajectory of the simulation substrate is tracked
+// across PRs.
 //
 // Usage:
 //
 //	go run ./cmd/bench -pr 1                  # writes BENCH_PR1.json
 //	go run ./cmd/bench -out snapshot.json     # explicit path
 //	go run ./cmd/bench -bench 'Fig09' -count 3x
+//	go run ./cmd/bench -pr 2 -diff BENCH_PR1.json   # + before/after table
 //
 // The command shells out to `go test -bench`, so it measures exactly
 // what CI and developers measure.
@@ -21,16 +23,21 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. BytesPerOp/AllocsPerOp are pointers so
+// a captured zero (a genuinely allocation-free benchmark) stays
+// distinguishable from a snapshot taken without -benchmem.
 type Result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"nsPerOp"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *float64           `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *float64           `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the file layout.
@@ -48,6 +55,8 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark name regex passed to -bench")
 	count := flag.String("count", "3x", "value passed to -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	benchmem := flag.Bool("benchmem", true, "capture B/op and allocs/op into the snapshot")
+	diff := flag.String("diff", "", "previous snapshot to print a before/after table against")
 	flag.Parse()
 
 	path := *out
@@ -55,7 +64,12 @@ func main() {
 		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *count, *pkg)
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *count}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -87,11 +101,68 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Results))
+
+	if *diff != "" {
+		if err := printDiff(os.Stdout, *diff, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: diff: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printDiff renders a before/after table of the new snapshot against a
+// previous one: ns/op and speedup, plus the allocation delta when both
+// snapshots carry it. Benchmarks present on only one side are marked.
+func printDiff(w *os.File, prevPath string, cur Snapshot) error {
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		return err
+	}
+	var prev Snapshot
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("%s: %w", prevPath, err)
+	}
+	prevBy := map[string]Result{}
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+
+	fmt.Fprintf(w, "\n%-34s %14s %14s %9s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs/op")
+	for _, r := range cur.Results {
+		p, ok := prevBy[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %14s %14.0f %9s %12s\n",
+				strings.TrimPrefix(r.Name, "Benchmark"), "(new)", r.NsPerOp, "", allocCell(r))
+			continue
+		}
+		delete(prevBy, r.Name)
+		speedup := p.NsPerOp / r.NsPerOp
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %8.2fx %12s\n",
+			strings.TrimPrefix(r.Name, "Benchmark"), p.NsPerOp, r.NsPerOp, speedup, allocCell(r))
+	}
+	missing := make([]string, 0, len(prevBy))
+	for name := range prevBy {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-34s %14.0f %14s %9s %12s\n",
+			strings.TrimPrefix(name, "Benchmark"), prevBy[name].NsPerOp, "(gone)", "", "-")
+	}
+	return nil
+}
+
+// allocCell formats the allocation column ("-" when not captured).
+func allocCell(r Result) string {
+	if r.AllocsPerOp == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*r.AllocsPerOp, 'f', 0, 64)
 }
 
 // parseLine parses one `go test -bench` result line of the form
 //
-//	BenchmarkName-8  10  12345678 ns/op  3.14 metric_a  2.72 metric_b
+//	BenchmarkName-8  10  12345678 ns/op  512 B/op  7 allocs/op  3.14 metric_a
 func parseLine(line string) (Result, bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
 		return Result{}, false
@@ -115,15 +186,21 @@ func parseLine(line string) (Result, bool) {
 		if err != nil {
 			return Result{}, false
 		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
 			r.NsPerOp = v
-			continue
+		case "B/op":
+			v := v
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := v
+			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
 		}
-		if r.Metrics == nil {
-			r.Metrics = map[string]float64{}
-		}
-		r.Metrics[unit] = v
 	}
 	return r, r.NsPerOp > 0
 }

@@ -134,8 +134,12 @@ func TestLifecycleBootMonitorRange(t *testing.T) {
 
 func TestRegionExitWhenOutOfRange(t *testing.T) {
 	w := testWorld(t, 3)
-	// Walk from beside the beacon to far outside radio range.
-	walk, err := mobility.NewPath([]geom.Point{geom.Pt(1.5, 3), geom.Pt(400, 3)}, 10)
+	// Dwell beside the beacon long enough for a certain region entry,
+	// then walk far outside radio range.
+	walk, err := mobility.NewStops([]mobility.Stop{
+		{P: geom.Pt(1.5, 3), Dwell: 10 * time.Second},
+		{P: geom.Pt(400, 3), Dwell: time.Second},
+	}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package ble
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"occusim/internal/geom"
@@ -100,6 +101,14 @@ type Listener struct {
 
 	src *rng.Source
 	idx int
+	// capProb is captureProb() resolved once at attach time; lnMissProb
+	// is ln(1−capProb), the geometric skip-sampling scale.
+	capProb    float64
+	lnMissProb float64
+	// cullBelowDBm is the mean-RSSI level under which packets to this
+	// listener are hopeless (sensitivity minus the fading-tail margin);
+	// see radio.(*Channel).CullMarginDB.
+	cullBelowDBm float64
 }
 
 func (l *Listener) captureProb() float64 {
@@ -166,6 +175,19 @@ type World struct {
 	// with its memoised channel environment. Direct slab indexing here
 	// replaces a per-packet map lookup.
 	links [][]linkState
+
+	// pktBuf is the reused per-window packet-time buffer of
+	// deliverWindow.
+	pktBuf []time.Duration
+
+	// cullEnabled gates hopeless-link culling: packets whose memoised
+	// mean RSSI sits below the listener's cull threshold skip the fading
+	// draws and the decode test entirely. Enabled by default; tests
+	// disable it to compare against the exhaustive path.
+	cullEnabled bool
+	// culled counts packets skipped by the cull, for benchmarks and the
+	// culling regression tests.
+	culled uint64
 }
 
 // advState tracks one advertiser's position in its advertising train.
@@ -191,21 +213,36 @@ type linkState struct {
 	lastRx geom.Point
 	env    float64
 	envOK  bool
+	// capNext is the next packet index of this advertiser that passes
+	// the listener's capture test, advanced by geometric gap draws
+	// (capGap tags them); see the capture notes on deliverWindow.
+	capNext uint64
+	capGap  uint64
+	capInit bool
 }
 
 // NewWorld creates a world over the given channel. seed drives all link
 // randomness (jitter, fading draws, capture, noise).
 func NewWorld(engine *sim.Engine, channel *radio.Channel, seed uint64) *World {
 	w := &World{
-		engine:    engine,
-		channel:   channel,
-		src:       rng.New(seed),
-		meanCache: radio.NewMeanCache(),
-		slowGen:   channel.SlowFade(),
+		engine:      engine,
+		channel:     channel,
+		src:         rng.New(seed),
+		meanCache:   radio.NewMeanCache(),
+		slowGen:     channel.SlowFade(),
+		cullEnabled: true,
 	}
 	engine.AddFlow(w.deliverWindow)
 	return w
 }
+
+// SetCulling enables or disables hopeless-link culling. Culling is on by
+// default; the regression tests turn it off to compare the culled run
+// against the exhaustive one.
+func (w *World) SetCulling(enabled bool) { w.cullEnabled = enabled }
+
+// Culled returns the number of packets skipped by hopeless-link culling.
+func (w *World) Culled() uint64 { return w.culled }
 
 // Engine returns the underlying event engine.
 func (w *World) Engine() *sim.Engine { return w.engine }
@@ -239,6 +276,11 @@ func (w *World) AddListener(l *Listener) error {
 	}
 	l.src = w.src.Split(0x10000 + uint64(len(w.listeners)))
 	l.idx = len(w.listeners)
+	l.capProb = l.captureProb()
+	if l.capProb < 1 {
+		l.lnMissProb = math.Log(1 - l.capProb)
+	}
+	l.cullBelowDBm = w.channel.Params().SensitivityDBm - w.channel.CullMarginDB(l.NoiseSigmaDB)
 	w.listeners = append(w.listeners, l)
 	w.links = append(w.links, make([]linkState, len(w.advertisers)))
 	return nil
@@ -279,21 +321,80 @@ func (w *World) recomputeCollisions() {
 // boundaries are themselves engine events, so every reception is
 // delivered before any event with an equal or later timestamp runs — the
 // same observable order as one heap event per advertisement.
+// Sampling runs in two passes per advertiser: the packet times of the
+// window are enumerated once into a reused buffer (the jitter stream
+// depends only on the advertiser), then each listener walks the buffer.
+// The capture test is geometric skip-ahead sampling: the packets a
+// duty-cycled radio captures form an iid Bernoulli(p) process over the
+// advertiser's packet indices, so instead of hashing a decision per
+// packet each link stores the index of its next capture and draws the
+// geometric gap to the following one only when it fires — a duty-cycled
+// listener costs O(captured packets), not O(packets on air). Gap draws
+// are tagged by their ordinal, so the sequence of capture indices is a
+// pure function of the seed: independent of window partitioning and of
+// other listeners, exactly like the per-packet streams. Within a window
+// receptions are enumerated per listener (cross-listener order is
+// unobservable: handlers only accumulate per-listener state and react
+// at engine events).
 func (w *World) deliverWindow(from, to time.Duration) {
+	listeners := w.listeners
 	for idx := range w.advertisers {
 		a := w.advertisers[idx]
 		st := &w.advStates[idx]
+		if st.nextAt > to {
+			continue
+		}
+		buf := w.pktBuf[:0]
+		firstPkt := st.pkt
 		for st.nextAt <= to {
-			at := st.nextAt
-			for _, l := range w.listeners {
-				if l != nil {
-					w.deliver(at, idx, a, l, st.pkt)
-				}
-			}
-			st.nextAt = at + a.Interval + time.Duration(st.src.Uniform(0, float64(MaxAdvDelay)))
+			buf = append(buf, st.nextAt)
+			st.nextAt += a.Interval + time.Duration(st.src.Uniform(0, float64(MaxAdvDelay)))
 			st.pkt++
 		}
+		w.pktBuf = buf
+		n := uint64(len(buf))
+		for _, l := range listeners {
+			if l == nil {
+				continue
+			}
+			ls := &w.links[l.idx][idx]
+			if l.capProb >= 1 {
+				for i, at := range buf {
+					w.deliver(at, idx, a, l, ls, pktTag(idx, firstPkt+uint64(i)))
+				}
+				continue
+			}
+			if !ls.capInit {
+				ls.capInit = true
+				// First capture: the success index offset from here is
+				// geometric-minus-one.
+				ls.capNext = firstPkt + w.captureGap(l, idx, ls) - 1
+			}
+			for ls.capNext-firstPkt < n {
+				w.deliver(buf[ls.capNext-firstPkt], idx, a, l, ls, pktTag(idx, ls.capNext))
+				ls.capNext += w.captureGap(l, idx, ls)
+			}
+		}
 	}
+}
+
+// captureGap draws the geometric gap (≥ 1) to the link's next captured
+// packet via inversion: ceil(ln(1−U)/ln(1−p)). The uniform comes from a
+// pure hash of the gap ordinal, so no stream state lives in the link.
+func (w *World) captureGap(l *Listener, advIdx int, ls *linkState) uint64 {
+	u := l.src.Hash01(capTag(advIdx, ls.capGap))
+	ls.capGap++
+	gap := math.Ceil(math.Log1p(-u) / l.lnMissProb)
+	if gap < 1 {
+		return 1
+	}
+	return uint64(gap)
+}
+
+// capTag composes the derivation tag of one (advertiser, gap ordinal)
+// pair, in a space disjoint from pktTag's.
+func capTag(advIdx int, gap uint64) uint64 {
+	return 1<<63 | uint64(advIdx+1)<<40 + gap
 }
 
 // pktTag composes the derivation tag of one (advertiser, packet) pair.
@@ -303,17 +404,28 @@ func pktTag(advIdx int, pkt uint64) uint64 {
 	return uint64(advIdx+1)<<40 + pkt
 }
 
-// deliver decides whether listener l decodes this advertisement and
-// invokes its handler if so. All randomness comes from a per-(link,
-// packet) stream derived on the stack, so the outcome is a pure function
-// of the seed and the packet's identity.
-func (w *World) deliver(at time.Duration, advIdx int, a *Advertiser, l *Listener, pkt uint64) {
-	tag := pktTag(advIdx, pkt)
-	// Is the radio tuned to the right channel and listening? The
-	// capture test is a pure hash of the packet identity, so the ~90%
-	// of packets an Android duty cycle rejects never pay for a full
-	// derived stream.
-	if p := l.captureProb(); p < 1 && l.src.Hash01(tag) >= p {
+// deliver decides whether a capture-passing listener decodes this
+// advertisement and invokes its handler if so. All randomness comes from
+// a per-(link, packet) stream derived on the stack, so the outcome is a
+// pure function of the seed and the packet's identity.
+//
+// The deterministic mean of the link is resolved (through the memoised
+// environment) before any stream is derived: when the mean sits below
+// the listener's cull threshold the packet is hopeless — even the upper
+// tail of the combined fading cannot lift it to a plausible decode — and
+// the whole Rician/OU/noise sampling chain is skipped. For links that
+// never cull, the draw order is unchanged, so receptions are
+// bit-identical to the exhaustive path.
+func (w *World) deliver(at time.Duration, advIdx int, a *Advertiser, l *Listener, st *linkState, tag uint64) {
+	rxPos := l.Mobility.Position(at)
+	if !st.envOK || rxPos != st.lastRx {
+		st.env = w.channel.EnvironmentDB(w.meanCache, a.LinkID, a.Pos, rxPos)
+		st.lastRx = rxPos
+		st.envOK = true
+	}
+	mean := a.PowerAt1mDBm + st.env
+	if w.cullEnabled && mean < l.cullBelowDBm {
+		w.culled++
 		return
 	}
 	var ps rng.Source
@@ -322,21 +434,14 @@ func (w *World) deliver(at time.Duration, advIdx int, a *Advertiser, l *Listener
 	if ps.Bool(w.collisionProb[advIdx]) {
 		return
 	}
-	rxPos := l.Mobility.Position(at)
-	st := &w.links[l.idx][advIdx]
-	if !st.envOK || rxPos != st.lastRx {
-		st.env = w.channel.EnvironmentDB(w.meanCache, a.LinkID, a.Pos, rxPos)
-		st.lastRx = rxPos
-		st.envOK = true
-	}
-	rssi := a.PowerAt1mDBm + st.env + w.channel.FadingDB(&ps)
+	rssi := mean + w.channel.FadingDB(&ps)
 	// One Box–Muller pair serves both the slow-fade innovation and the
 	// measurement noise.
 	n1, n2 := ps.StdNormal2()
 	rssi += w.advanceSlowFade(st, at, n1, &ps)
 	rssi += l.OffsetDB + l.NoiseSigmaDB*n2
 	// Sensitivity: can the radio decode at this level?
-	if !w.channel.Received(rssi-l.OffsetDB, &ps) {
+	if !w.channel.ReceivedFast(rssi-l.OffsetDB, &ps) {
 		return
 	}
 	l.Handler(Reception{At: at, From: a.Name, Payload: a.Payload, RSSI: rssi})

@@ -4,11 +4,21 @@
 // trains the scene-analysis SVM on demand, answers occupancy queries, and
 // feeds the demand-response HVAC/lighting controllers that motivate the
 // whole system.
+//
+// The report path is built for crowds: observations arrive one at a time
+// (POST /api/v1/observations) or in coalesced batches
+// (POST /api/v1/observations:batch, fed by transport.BatchingUplink).
+// Store and tracker state are lock-striped per device, classification
+// runs outside any lock against an immutable model snapshot, and the
+// HTTP handlers decode and encode through pooled buffers, so concurrent
+// ingest from many devices does not serialise on a single mutex.
 package bms
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -30,18 +40,26 @@ type Server struct {
 	bld *building.Building
 	st  *store.Store
 
-	mu         sync.Mutex
-	tracker    *occupancy.Tracker
+	// clsMu guards only the classifier identity: Train swaps the
+	// pointer, ingest takes a snapshot and predicts lock-free (trained
+	// models are immutable).
+	clsMu      sync.RWMutex
 	classifier classify.Classifier
 	sceneSVM   *classify.SceneSVM
+
+	// tracker is striped per device; see occupancy.Sharded.
+	tracker *occupancy.Sharded
 
 	// idCache interns parsed beacon identities. A deployment sees the
 	// same handful of beacon-id strings on every report, so ingest pays
 	// the UUID/major/minor parse once per distinct string rather than
-	// once per report line. Bounded: a client sending ever-fresh ids
-	// resets the cache instead of growing it without limit.
+	// once per report line. Bounded FIFO: a client sending ever-fresh
+	// ids evicts the oldest entry instead of growing the cache (or
+	// dumping the hot entries wholesale).
 	idMu    sync.RWMutex
 	idCache map[string]ibeacon.BeaconID
+	idRing  []string
+	idHead  int
 }
 
 // idCacheMaxEntries bounds the beacon-id intern cache.
@@ -58,7 +76,7 @@ func NewServer(b *building.Building, st *store.Store, debounce int) (*Server, er
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("bms: %w", err)
 	}
-	tr, err := occupancy.NewTracker(debounce)
+	tr, err := occupancy.NewSharded(debounce)
 	if err != nil {
 		return nil, err
 	}
@@ -72,9 +90,43 @@ func NewServer(b *building.Building, st *store.Store, debounce int) (*Server, er
 
 // Classifier returns the name of the classifier currently in use.
 func (s *Server) Classifier() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.classifier.Name()
+	return s.classifierSnapshot().Name()
+}
+
+// classifierSnapshot returns the live classifier; predictions against it
+// are lock-free because trained models are immutable.
+func (s *Server) classifierSnapshot() classify.Classifier {
+	s.clsMu.RLock()
+	defer s.clsMu.RUnlock()
+	return s.classifier
+}
+
+// buildObservation converts one wire report into the store form plus the
+// classification sample. dists becomes the sample's distance map; pass a
+// cleared scratch map to avoid the per-report allocation on batch paths.
+func (s *Server) buildObservation(r transport.Report, dists map[ibeacon.BeaconID]float64) (store.Observation, fingerprint.Sample, error) {
+	if r.Device == "" {
+		return store.Observation{}, fingerprint.Sample{}, fmt.Errorf("bms: report without device")
+	}
+	at := time.Duration(r.AtSeconds * float64(time.Second))
+	obs := store.Observation{Device: r.Device, At: at}
+	if len(r.Beacons) > 0 {
+		obs.Beacons = make([]store.BeaconDistance, 0, len(r.Beacons))
+	}
+	for _, b := range r.Beacons {
+		id, err := s.parseBeaconID(b.ID)
+		if err != nil {
+			return store.Observation{}, fingerprint.Sample{}, fmt.Errorf("bms: %w", err)
+		}
+		obs.Beacons = append(obs.Beacons, store.BeaconDistance{ID: id, Distance: b.Distance, RSSI: b.RSSI})
+		dists[id] = b.Distance
+	}
+	sample := fingerprint.Sample{
+		Room:      "", // unknown; this is what we predict
+		At:        at,
+		Distances: dists,
+	}
+	return obs, sample, nil
 }
 
 // Ingest processes one report exactly as the POST /api/v1/observations
@@ -82,32 +134,78 @@ func (s *Server) Classifier() string {
 // predicted room. Exposed for in-process (non-HTTP) wiring in the
 // simulator.
 func (s *Server) Ingest(r transport.Report) (string, error) {
-	if r.Device == "" {
-		return "", fmt.Errorf("bms: report without device")
-	}
-	at := time.Duration(r.AtSeconds * float64(time.Second))
-	obs := store.Observation{Device: r.Device, At: at}
-	sample := fingerprint.Sample{
-		Room:      "", // unknown; this is what we predict
-		At:        at,
-		Distances: map[ibeacon.BeaconID]float64{},
-	}
-	for _, b := range r.Beacons {
-		id, err := s.parseBeaconID(b.ID)
-		if err != nil {
-			return "", fmt.Errorf("bms: %w", err)
-		}
-		obs.Beacons = append(obs.Beacons, store.BeaconDistance{ID: id, Distance: b.Distance, RSSI: b.RSSI})
-		sample.Distances[id] = b.Distance
+	obs, sample, err := s.buildObservation(r, make(map[ibeacon.BeaconID]float64, len(r.Beacons)))
+	if err != nil {
+		return "", err
 	}
 	if err := s.st.AddObservation(obs); err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	room := s.classifier.Predict(sample)
-	s.tracker.Observe(at, r.Device, room)
+	room := s.classifierSnapshot().Predict(sample)
+	s.tracker.Observe(obs.At, r.Device, room)
 	return room, nil
+}
+
+// IngestBatch processes many reports in one pass: the whole batch is
+// validated and parsed first (a malformed report rejects the batch
+// before anything is stored), observations land in the store with one
+// stripe-lock acquisition per run of same-device reports, every sample
+// is classified against one immutable model snapshot, and tracker
+// transitions apply shard by shard. It returns the predicted room per
+// report, in order.
+//
+// Reports of one device must be ordered by time within the batch (the
+// coalescing uplink preserves send order); different devices may
+// interleave freely.
+func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
+	if len(reports) == 0 {
+		return nil, nil
+	}
+	obs := make([]store.Observation, len(reports))
+	// One scratch distance map serves the whole batch: each sample is
+	// classified before the map is cleared for the next report.
+	dists := make(map[ibeacon.BeaconID]float64, 8)
+	cls := s.classifierSnapshot()
+	rooms := make([]string, len(reports))
+	track := make([]occupancy.Classification, len(reports))
+
+	for i, r := range reports {
+		clear(dists)
+		o, sample, err := s.buildObservation(r, dists)
+		if err != nil {
+			return nil, fmt.Errorf("bms: batch report %d: %w", i, err)
+		}
+		obs[i] = o
+		rooms[i] = cls.Predict(sample)
+		track[i] = occupancy.Classification{At: o.At, Device: o.Device, Room: rooms[i]}
+	}
+	if err := s.st.AddObservationBatch(obs); err != nil {
+		return nil, err
+	}
+	s.tracker.ObserveBatch(track)
+	return rooms, nil
+}
+
+// DirectUplink delivers reports straight into an in-process Server,
+// standing in for the Wi-Fi HTTP path without a socket. It implements
+// transport.Uplink and transport.BatchSender, so a
+// transport.BatchingUplink wrapped around it hands whole batches to
+// IngestBatch in one call.
+type DirectUplink struct{ Server *Server }
+
+// Name implements transport.Uplink.
+func (u DirectUplink) Name() string { return "bms-direct" }
+
+// Send implements transport.Uplink.
+func (u DirectUplink) Send(r transport.Report) error {
+	_, err := u.Server.Ingest(r)
+	return err
+}
+
+// SendBatch implements transport.BatchSender.
+func (u DirectUplink) SendBatch(reports []transport.Report) error {
+	_, err := u.Server.IngestBatch(reports)
+	return err
 }
 
 // parseBeaconID is ibeacon.ParseBeaconID behind the intern cache.
@@ -123,10 +221,21 @@ func (s *Server) parseBeaconID(raw string) (ibeacon.BeaconID, error) {
 		return id, err
 	}
 	s.idMu.Lock()
-	if s.idCache == nil || len(s.idCache) >= idCacheMaxEntries {
+	if s.idCache == nil {
 		s.idCache = make(map[string]ibeacon.BeaconID)
 	}
-	s.idCache[raw] = id
+	if _, present := s.idCache[raw]; !present {
+		if len(s.idCache) >= idCacheMaxEntries {
+			// Evict the oldest interned id; the ring slot is about to be
+			// reused for the newcomer.
+			delete(s.idCache, s.idRing[s.idHead])
+			s.idRing[s.idHead] = raw
+			s.idHead = (s.idHead + 1) % idCacheMaxEntries
+		} else {
+			s.idRing = append(s.idRing, raw)
+		}
+		s.idCache[raw] = id
+	}
 	s.idMu.Unlock()
 	return id, nil
 }
@@ -181,10 +290,10 @@ func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
 	}
 	version := s.st.SetModel(blob)
 
-	s.mu.Lock()
+	s.clsMu.Lock()
 	s.sceneSVM = scene
 	s.classifier = scene
-	s.mu.Unlock()
+	s.clsMu.Unlock()
 
 	return TrainResult{
 		Samples:        ds.Len(),
@@ -202,8 +311,6 @@ type OccupancySnapshot struct {
 
 // Occupancy returns the current per-room head counts and device rooms.
 func (s *Server) Occupancy() OccupancySnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	snap := OccupancySnapshot{Rooms: s.tracker.Counts(), Devices: map[string]string{}}
 	for _, d := range s.tracker.Devices() {
 		snap.Devices[d] = s.tracker.RoomOf(d)
@@ -211,10 +318,9 @@ func (s *Server) Occupancy() OccupancySnapshot {
 	return snap
 }
 
-// Events returns all committed occupancy events so far.
+// Events returns all committed occupancy events so far, in nondecreasing
+// time order.
 func (s *Server) Events() []occupancy.Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.tracker.Events()
 }
 
@@ -225,6 +331,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "building": s.bld.Name})
 	})
 	mux.HandleFunc("POST /api/v1/observations", s.handleObservation)
+	mux.HandleFunc("POST /api/v1/observations:batch", s.handleObservationBatch)
 	mux.HandleFunc("POST /api/v1/fingerprints", s.handleFingerprint)
 	mux.HandleFunc("POST /api/v1/train", s.handleTrain)
 	mux.HandleFunc("GET /api/v1/occupancy", func(w http.ResponseWriter, r *http.Request) {
@@ -310,7 +417,7 @@ func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 	var rep transport.Report
-	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+	if err := decodeJSON(r.Body, &rep); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
@@ -322,6 +429,25 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"room": room})
 }
 
+// handleObservationBatch ingests a JSON array of reports in one pass and
+// returns the predicted room per report, in order.
+func (s *Server) handleObservationBatch(w http.ResponseWriter, r *http.Request) {
+	var reports []transport.Report
+	if err := decodeJSON(r.Body, &reports); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	rooms, err := s.IngestBatch(reports)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if rooms == nil {
+		rooms = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+}
+
 // fingerprintRequest is the POST /api/v1/fingerprints payload.
 type fingerprintRequest struct {
 	Room      string             `json:"room"`
@@ -331,7 +457,7 @@ type fingerprintRequest struct {
 
 func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	var req fingerprintRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeJSON(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
@@ -365,7 +491,7 @@ type trainRequest struct {
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req trainRequest
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := decodeJSON(r.Body, &req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 			return
 		}
@@ -397,9 +523,7 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown device %q", device))
 		return
 	}
-	s.mu.Lock()
 	room := s.tracker.RoomOf(device)
-	s.mu.Unlock()
 	beacons := make([]transport.BeaconReport, 0, len(obs.Beacons))
 	for _, b := range obs.Beacons {
 		beacons = append(beacons, transport.BeaconReport{
@@ -416,10 +540,47 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// bufPool holds the scratch buffers the handlers decode request bodies
+// into and encode responses from, so a busy ingest endpoint does not
+// allocate a fresh buffer (and decoder state) per request.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// pooledBufMax keeps pathological one-off giants out of the pool.
+const pooledBufMax = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= pooledBufMax {
+		b.Reset()
+		bufPool.Put(b)
+	}
+}
+
+// decodeJSON reads the whole body through a pooled buffer and
+// unmarshals it into v.
+func decodeJSON(body io.Reader, v any) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(body); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), v)
+}
+
+// writeJSON encodes v through a pooled buffer and writes it in one call.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

@@ -149,13 +149,15 @@ func (s *Scenario) Run(d time.Duration) { s.world.Run(d) }
 // ServerUplink returns an uplink that delivers reports straight into the
 // in-process BMS, standing in for the Wi-Fi HTTP path without a socket.
 func (s *Scenario) ServerUplink() transport.Uplink {
-	return transport.SendFunc{
-		Label: "bms-direct",
-		F: func(r transport.Report) error {
-			_, err := s.server.Ingest(r)
-			return err
-		},
-	}
+	return bms.DirectUplink{Server: s.server}
+}
+
+// ServerBatchUplink returns the crowd-scale report path: a coalescing
+// uplink whose batches land in Server.IngestBatch in one pass. Reports
+// acknowledge immediately on Send and are delivered at the flush cadence
+// (cfg zero values take the transport defaults).
+func (s *Scenario) ServerBatchUplink(cfg transport.BatchConfig) (*transport.BatchingUplink, error) {
+	return transport.NewBatchingUplink(bms.DirectUplink{Server: s.server}, cfg)
 }
 
 // BTRelayUplink returns the Bluetooth path: a flaky BLE hop into the

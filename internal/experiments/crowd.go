@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/building"
+	"occusim/internal/fingerprint"
+	"occusim/internal/geom"
+	"occusim/internal/ibeacon"
+	"occusim/internal/par"
+	"occusim/internal/rng"
+	"occusim/internal/store"
+	"occusim/internal/transport"
+)
+
+// CrowdIngestResult measures the server-side scaling axis the ROADMAP
+// targets: one BMS ingesting the coalesced report streams of a crowd of
+// devices concurrently. Unlike the figure experiments it skips the radio
+// substrate — report generation is synthetic and deterministic — so the
+// measured time is purely the report path: transport batching, striped
+// store and tracker ingest, and scene-analysis classification.
+type CrowdIngestResult struct {
+	// Devices is the crowd size; Reports the total reports ingested.
+	Devices, Reports int
+	// Elapsed is the wall-clock time of the concurrent ingest phase and
+	// Throughput the resulting reports per second (machine-dependent;
+	// tracked per PR in the benchmark snapshots).
+	Elapsed    time.Duration
+	Throughput float64
+	// DevicesTracked counts devices the BMS tracker ended up knowing;
+	// PlacementAccuracy is the fraction of devices whose final committed
+	// room matches the schedule's final room.
+	DevicesTracked    int
+	PlacementAccuracy float64
+	// EventsCommitted counts occupancy transitions across the run.
+	EventsCommitted int
+}
+
+// Render prints the headline numbers.
+func (r *CrowdIngestResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CrowdIngest: %d devices, %d reports in %v → %.0f reports/s\n",
+		r.Devices, r.Reports, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "tracked %d devices, %d events, final placement %.1f%%\n",
+		r.DevicesTracked, r.EventsCommitted, 100*r.PlacementAccuracy)
+	return b.String()
+}
+
+// crowdReportPeriod and crowdWindow shape each device's stream: one
+// report per scan period over a five-minute window, moving rooms once a
+// minute.
+const (
+	crowdReportPeriod = 2 * time.Second
+	crowdRoomDwell    = time.Minute
+	crowdWindow       = 5 * time.Minute
+)
+
+// CrowdIngest trains a scene-analysis model on synthetic fingerprints,
+// synthesises per-device report streams, and ingests them concurrently
+// (one goroutine per device, each coalescing through a BatchingUplink)
+// into one BMS. devices defaults to 32; the occupancy outcome is
+// deterministic for a given seed regardless of scheduling, because
+// tracker state is per device and cross-device event order is
+// canonicalised by time.
+func CrowdIngest(devices int, seed uint64) (*CrowdIngestResult, error) {
+	if devices <= 0 {
+		devices = 32
+	}
+	b := building.PaperHouse()
+	st, err := store.New(1000)
+	if err != nil {
+		return nil, err
+	}
+	server, err := bms.NewServer(b, st, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scene-analysis training set: distances from survey points, with
+	// deterministic jitter standing in for the radio pipeline.
+	src := rng.New(seed)
+	for _, room := range b.Rooms {
+		for k := 0; k < 8; k++ {
+			p := surveyPoint(room.Bounds, k)
+			sample := fingerprint.Sample{Room: room.Name, Distances: map[ibeacon.BeaconID]float64{}}
+			for _, bc := range b.Beacons {
+				sample.Distances[bc.ID] = clampDistance(p.Dist(bc.Pos) + src.Normal(0, 0.4))
+			}
+			if err := server.AddFingerprint(sample); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := server.Train(10, 0.03, seed); err != nil {
+		return nil, err
+	}
+
+	// Per-device schedules and report streams, synthesised up front so
+	// the measured phase is ingest alone.
+	reportsPer := int(crowdWindow / crowdReportPeriod)
+	streams := make([][]transport.Report, devices)
+	finalRoom := make([]string, devices)
+	names := make([]string, devices)
+	for d := 0; d < devices; d++ {
+		dsrc := src.Split(uint64(1000 + d))
+		names[d] = fmt.Sprintf("crowd-%03d", d)
+		streams[d] = make([]transport.Report, 0, reportsPer)
+		var room building.Room
+		var pos geom.Point
+		for i := 0; i < reportsPer; i++ {
+			at := time.Duration(i) * crowdReportPeriod
+			if i%int(crowdRoomDwell/crowdReportPeriod) == 0 {
+				room = b.Rooms[dsrc.Intn(len(b.Rooms))]
+				pos = geom.Pt(
+					dsrc.Uniform(room.Bounds.Min.X+0.3, room.Bounds.Max.X-0.3),
+					dsrc.Uniform(room.Bounds.Min.Y+0.3, room.Bounds.Max.Y-0.3),
+				)
+				finalRoom[d] = room.Name
+			}
+			rep := transport.Report{Device: names[d], AtSeconds: at.Seconds()}
+			for _, bc := range b.Beacons {
+				d := clampDistance(pos.Dist(bc.Pos) + dsrc.Normal(0, 0.6))
+				rep.Beacons = append(rep.Beacons, transport.BeaconReport{
+					ID: bc.ID.String(), Distance: d, RSSI: -60 - 2*d,
+				})
+			}
+			streams[d] = append(streams[d], rep)
+		}
+	}
+
+	// The measured phase: every device streams through its own
+	// coalescing uplink into the shared server, concurrently.
+	start := time.Now()
+	err = par.ForEach(devices, func(d int) error {
+		uplink, err := transport.NewBatchingUplink(bms.DirectUplink{Server: server}, transport.BatchConfig{
+			FlushSeconds: 20,
+		})
+		if err != nil {
+			return err
+		}
+		for _, rep := range streams[d] {
+			if err := uplink.Send(rep); err != nil {
+				return err
+			}
+		}
+		return uplink.Flush()
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	res := &CrowdIngestResult{
+		Devices:    devices,
+		Reports:    devices * reportsPer,
+		Elapsed:    elapsed,
+		Throughput: float64(devices*reportsPer) / elapsed.Seconds(),
+	}
+	snap := server.Occupancy()
+	res.DevicesTracked = len(snap.Devices)
+	hits := 0
+	for d, name := range names {
+		if snap.Devices[name] == finalRoom[d] {
+			hits++
+		}
+	}
+	res.PlacementAccuracy = float64(hits) / float64(devices)
+	res.EventsCommitted = len(server.Events())
+	return res, nil
+}
+
+// surveyPoint spreads k over the room on the shared survey grid.
+func surveyPoint(r geom.Rect, k int) geom.Point {
+	f := surveyGrid[k%len(surveyGrid)]
+	return geom.Pt(r.Min.X+f[0]*r.Width(), r.Min.Y+f[1]*r.Height())
+}
+
+var surveyGrid = [9][2]float64{
+	{0.5, 0.5}, {0.25, 0.25}, {0.75, 0.25}, {0.25, 0.75}, {0.75, 0.75},
+	{0.5, 0.25}, {0.5, 0.75}, {0.25, 0.5}, {0.75, 0.5},
+}
+
+// clampDistance keeps synthetic distances inside the estimator's range.
+func clampDistance(d float64) float64 {
+	if d < 0.1 {
+		return 0.1
+	}
+	if d > 20 {
+		return 20
+	}
+	return d
+}

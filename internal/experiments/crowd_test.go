@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCrowdIngest checks the crowd workload end to end: every device is
+// tracked, transitions commit, and the final placements overwhelmingly
+// match the synthetic schedules (the streams are low-noise).
+func TestCrowdIngest(t *testing.T) {
+	res, err := CrowdIngest(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DevicesTracked != 12 {
+		t.Fatalf("tracked %d of 12 devices", res.DevicesTracked)
+	}
+	if res.Reports != 12*150 {
+		t.Fatalf("reports = %d", res.Reports)
+	}
+	if res.EventsCommitted == 0 {
+		t.Fatal("no occupancy events committed")
+	}
+	if res.PlacementAccuracy < 0.7 {
+		t.Fatalf("placement accuracy %.2f below 0.7", res.PlacementAccuracy)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+}
+
+// TestCrowdIngestDeterministicOutcome pins that the occupancy outcome is
+// independent of goroutine scheduling: two runs with the same seed must
+// agree on every tracked placement and accuracy, even though ingest
+// interleaves differently.
+func TestCrowdIngestDeterministicOutcome(t *testing.T) {
+	a, err := CrowdIngest(10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrowdIngest(10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Elapsed, b.Elapsed = 0, 0
+	a.Throughput, b.Throughput = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("outcome depends on scheduling:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"occusim/internal/geom"
 	"occusim/internal/mobility"
 	"occusim/internal/par"
+	"occusim/internal/transport"
 )
 
 // Fig10Result reproduces Figure 10: the battery level of a Galaxy S3
@@ -98,18 +99,32 @@ func Fig10(runs int, seed uint64) (*Fig10Result, error) {
 			return runOut{}, err
 		}
 		pc := core.PhoneConfig{ScanPeriod: 5 * time.Second, UplinkKind: kind}
+		var batched *transport.BatchingUplink
 		if kind == energy.Bluetooth {
 			uplink, err := scn.BTRelayUplink(0.05)
 			if err != nil {
 				return runOut{}, err
 			}
 			pc.Uplink = uplink
+		} else {
+			// The Wi-Fi path coalesces reports the way a deployed client
+			// would against the BMS batch endpoint. Radio energy is
+			// charged per report on the client, so the batching is
+			// invisible to the Figure 10 metrics.
+			batched, err = scn.ServerBatchUplink(transport.BatchConfig{FlushSeconds: 30})
+			if err != nil {
+				return runOut{}, err
+			}
+			pc.Uplink = batched
 		}
 		a, err := scn.AddPhone(fmt.Sprintf("s3mini-%s", kind), mobility.Static{P: geom.Pt(2.5, 3)}, pc)
 		if err != nil {
 			return runOut{}, err
 		}
 		scn.Run(fig10Window)
+		if batched != nil {
+			_ = batched.Flush()
+		}
 		entries := a.BatteryLog().Entries()
 		out := runOut{
 			levels: make([]float64, len(entries)),

@@ -147,6 +147,33 @@ func (id BeaconID) String() string {
 	return fmt.Sprintf("%s/%d/%d", id.UUID, id.Major, id.Minor)
 }
 
+// Compare orders beacon identities lexicographically by (UUID, major,
+// minor), returning −1, 0 or +1. Components that iterate sets of beacons
+// sort by it so their outputs do not depend on map iteration order.
+func (id BeaconID) Compare(other BeaconID) int {
+	for k := range id.UUID {
+		if id.UUID[k] != other.UUID[k] {
+			if id.UUID[k] < other.UUID[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case id.Major != other.Major:
+		if id.Major < other.Major {
+			return -1
+		}
+		return 1
+	case id.Minor != other.Minor:
+		if id.Minor < other.Minor {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // ParseBeaconID parses the "UUID/major/minor" form produced by
 // BeaconID.String; it is the wire representation used by the REST API and
 // the dataset files.

@@ -1,0 +1,164 @@
+package occupancy
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"occusim/internal/stripe"
+)
+
+// trackerShards is the lock-stripe count of a Sharded tracker (power of
+// two). Devices hash onto stripes, so concurrent ingest from a crowd
+// contends on 16 mutexes instead of one.
+const trackerShards = 16
+
+// Classification is one (device, room) observation entering a Sharded
+// tracker, the batch-ingest analogue of Tracker.Observe's arguments.
+type Classification struct {
+	At     time.Duration
+	Device string
+	Room   string
+}
+
+// trackerShard is one stripe: its mutex guards its tracker.
+type trackerShard struct {
+	mu sync.Mutex
+	tr *Tracker
+}
+
+// Sharded stripes Tracker state across device shards so that concurrent
+// observations from different devices do not serialise on one mutex.
+// Observations of one device must still arrive in nondecreasing time
+// order (each device reports its own timeline); observations of
+// different devices may race freely.
+type Sharded struct {
+	shards [trackerShards]trackerShard
+}
+
+// NewSharded builds a striped tracker with the given debounce (see
+// NewTracker).
+func NewSharded(debounce int) (*Sharded, error) {
+	s := &Sharded{}
+	for i := range s.shards {
+		tr, err := NewTracker(debounce)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].tr = tr
+	}
+	return s, nil
+}
+
+// shardFor maps a device name onto its stripe.
+func (s *Sharded) shardFor(device string) *trackerShard {
+	return &s.shards[stripe.Index(device, trackerShards)]
+}
+
+// Observe records one classification, locking only the device's stripe.
+// It returns the committed events, as Tracker.Observe does.
+func (s *Sharded) Observe(at time.Duration, device, room string) []Event {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tr.Observe(at, device, room)
+}
+
+// ObserveBatch applies many classifications, taking each touched stripe
+// lock once per run of same-stripe devices. Input order is preserved
+// within a stripe, so per-device time ordering carries through. It
+// returns all committed events in input order.
+func (s *Sharded) ObserveBatch(batch []Classification) []Event {
+	var events []Event
+	for i := 0; i < len(batch); {
+		sh := s.shardFor(batch[i].Device)
+		j := i + 1
+		for j < len(batch) && s.shardFor(batch[j].Device) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		for _, c := range batch[i:j] {
+			events = append(events, sh.tr.Observe(c.At, c.Device, c.Room)...)
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+	return events
+}
+
+// RoomOf returns the committed room of the device ("" when unknown).
+func (s *Sharded) RoomOf(device string) string {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tr.RoomOf(device)
+}
+
+// Dwell returns how long the device has been accounted to each room.
+func (s *Sharded) Dwell(device string) map[string]time.Duration {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tr.Dwell(device)
+}
+
+// Counts returns the head count per room across all shards.
+func (s *Sharded) Counts() map[string]int {
+	out := map[string]int{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for room, n := range sh.tr.Counts() {
+			out[room] += n
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Devices returns all known devices, sorted.
+func (s *Sharded) Devices() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.tr.Devices()...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Occupants returns the devices committed to the room, sorted.
+func (s *Sharded) Occupants(room string) []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.tr.Occupants(room)...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns all committed events merged across shards in
+// nondecreasing time order (the order the energy controllers require).
+// Events with equal timestamps order by device name; one device's
+// exit/enter pair at the same instant keeps its in-shard order.
+func (s *Sharded) Events() []Event {
+	var all []Event
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		all = append(all, sh.tr.Events()...)
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Device < all[j].Device
+	})
+	return all
+}

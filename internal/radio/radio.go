@@ -195,10 +195,19 @@ func (c *Channel) meanEnvironment(linkID uint64, txPos, rxPos geom.Point) float6
 // segment-intersection count and the shadow-field hashing are paid once
 // per dwell position instead of once per packet.
 //
+// The memo is a fixed-size direct-mapped table rather than a Go map: a
+// lookup is one multiplicative hash, one slot index and one key compare,
+// with no per-insert allocation and no growth — a walker generating a
+// fresh position per packet just overwrites slots instead of churning a
+// map. Hash collisions evict the previous occupant, which only costs a
+// recompute; results stay bit-identical because the full key is verified
+// on every hit.
+//
 // A MeanCache belongs to one caller (it is not safe for concurrent use);
 // the Channel itself stays safe for concurrent reads.
 type MeanCache struct {
-	m map[meanCacheKey]float64
+	slots []meanCacheSlot
+	used  int
 }
 
 type meanCacheKey struct {
@@ -206,14 +215,37 @@ type meanCacheKey struct {
 	txX, txY, rxX, rxY uint64 // float bit patterns: exact-position keying
 }
 
-// meanCacheMaxEntries bounds the memo; when a pathological workload
-// (every packet at a fresh position) fills it, the cache resets rather
-// than growing without bound.
-const meanCacheMaxEntries = 1 << 17
+type meanCacheSlot struct {
+	key  meanCacheKey
+	env  float64
+	used bool
+}
+
+// meanCacheMinSlots and meanCacheMaxSlots bound the direct-mapped table
+// (powers of two). The table starts small — a single-room scenario must
+// not pay a megabyte of zeroed slab per world — and doubles while its
+// occupancy exceeds half, up to ~1 MiB. Growth simply drops the old
+// table: evicted entries are recomputed on their next miss, which is
+// bit-identical, merely once more.
+const (
+	meanCacheMinSlots = 1 << 8
+	meanCacheMaxSlots = 1 << 14
+)
 
 // NewMeanCache returns an empty memo.
 func NewMeanCache() *MeanCache {
-	return &MeanCache{m: make(map[meanCacheKey]float64)}
+	return &MeanCache{slots: make([]meanCacheSlot, meanCacheMinSlots)}
+}
+
+// slotIndex hashes the key into a table of the given size (power of
+// two).
+func (k *meanCacheKey) slotIndex(slots int) uint64 {
+	h := k.linkID
+	h = mix(h ^ k.txX*0x9e3779b97f4a7c15)
+	h = mix(h ^ k.txY*0xc2b2ae3d27d4eb4f)
+	h = mix(h ^ k.rxX*0x9e3779b97f4a7c15)
+	h = mix(h ^ k.rxY*0xc2b2ae3d27d4eb4f)
+	return h & uint64(slots-1)
 }
 
 // EnvironmentDB returns the memoised environment term of the link:
@@ -226,14 +258,23 @@ func (c *Channel) EnvironmentDB(mc *MeanCache, linkID uint64, txPos, rxPos geom.
 		txX:    math.Float64bits(txPos.X), txY: math.Float64bits(txPos.Y),
 		rxX: math.Float64bits(rxPos.X), rxY: math.Float64bits(rxPos.Y),
 	}
-	env, ok := mc.m[key]
-	if !ok {
-		env = c.meanEnvironment(linkID, txPos, rxPos)
-		if len(mc.m) >= meanCacheMaxEntries {
-			clear(mc.m)
-		}
-		mc.m[key] = env
+	slot := &mc.slots[key.slotIndex(len(mc.slots))]
+	if slot.used && slot.key == key {
+		return slot.env
 	}
+	env := c.meanEnvironment(linkID, txPos, rxPos)
+	if !slot.used {
+		mc.used++
+		if mc.used*2 > len(mc.slots) && len(mc.slots) < meanCacheMaxSlots {
+			mc.slots = make([]meanCacheSlot, len(mc.slots)*2)
+			mc.used = 0
+			slot = &mc.slots[key.slotIndex(len(mc.slots))]
+			mc.used++
+		}
+	}
+	slot.key = key
+	slot.env = env
+	slot.used = true
 	return env
 }
 
@@ -270,6 +311,63 @@ func (c *Channel) ReceptionProb(rssi float64) float64 {
 // Received draws whether a packet at the given RSSI is decoded.
 func (c *Channel) Received(rssi float64, r *rng.Source) bool {
 	return r.Bool(c.ReceptionProb(rssi))
+}
+
+// ReceivedFast is Received for hot paths: it takes the same decision on
+// the same rng stream but evaluates the logistic lazily. Far from the
+// sensitivity the outcome is decided by cheap probability bounds
+// (sigmoid(7) > 0.999, sigmoid(−7) < 0.001) and the exponential is only
+// paid when the uniform draw lands inside the 0.1% ambiguous band.
+// Stream consumption matches Received except for |x| so large that the
+// logistic rounds to exactly 0 or 1 — callers must not depend on draws
+// after this decision (the per-packet streams of the link layer do not).
+func (c *Channel) ReceivedFast(rssi float64, r *rng.Source) bool {
+	x := (rssi - c.params.SensitivityDBm) / c.params.PERSlopeDB
+	switch {
+	case x >= 7:
+		if u := r.Float64(); u >= 0.999 {
+			return u < c.ReceptionProb(rssi)
+		}
+		return true
+	case x <= -7:
+		if u := r.Float64(); u < 0.001 {
+			return u < c.ReceptionProb(rssi)
+		}
+		return false
+	default:
+		return r.Bool(c.ReceptionProb(rssi))
+	}
+}
+
+// cullEpsilon is the per-packet decode probability below which a link is
+// considered hopeless: at most one in 10⁷ culled packets would have
+// decoded, orders of magnitude under the packet counts of any workload.
+const cullEpsilon = 1e-7
+
+// rayleighSigmaDB bounds the standard deviation of the per-packet fast
+// fading in dB. The Rayleigh case (K = 0) is the widest: the dB power of
+// a unit-mean exponential has variance (10/ln10)²·π²/6 ≈ (5.57 dB)².
+// Rician fading with K > 0 is strictly narrower, so using the Rayleigh
+// value for every K keeps the margin conservative.
+const rayleighSigmaDB = 5.57
+
+// CullMarginDB returns the margin M (in dB) such that a packet whose
+// mean RSSI sits more than M below the receiver sensitivity decodes with
+// probability at most cullEpsilon, accounting for the combined tails of
+// fast fading, slow fading and per-sample measurement noise at the given
+// listener noise sigma. The link layer skips the fading draws entirely
+// for such packets (hopeless-link culling).
+//
+// Derivation: with total fading F ≈ N(0, σ²) the decode probability is
+// E[sigmoid((F − M)/s)] ≤ exp(−M/s)·E[exp(F/s)] = exp(−M/s + σ²/(2s²)),
+// so M = s·ln(1/ε) + σ²/(2s) guarantees the bound. The Gaussian tail
+// model is validated empirically by TestCullMarginStatistical.
+func (c *Channel) CullMarginDB(noiseSigmaDB float64) float64 {
+	s := c.params.PERSlopeDB
+	sigma2 := rayleighSigmaDB*rayleighSigmaDB +
+		c.params.SlowFadeSigmaDB*c.params.SlowFadeSigmaDB +
+		noiseSigmaDB*noiseSigmaDB
+	return s*math.Log(1/cullEpsilon) + sigma2/(2*s)
 }
 
 // shadowField is a frozen, spatially correlated Gaussian field: lattice

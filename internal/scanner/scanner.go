@@ -139,6 +139,23 @@ type Scanner struct {
 	cycleIdx   int
 	acc        map[ibeacon.BeaconID]*accum
 
+	// pkts memoises ibeacon.Unmarshal per distinct payload buffer:
+	// beacon boards advertise one fixed payload slice for their whole
+	// lifetime, so the stack parses each buffer once instead of once per
+	// reception. The key is the buffer's first-byte address — an 8-byte
+	// hash instead of a full payload hash; the map reference keeps the
+	// buffer alive, so an address can never be reused while cached. A
+	// caller handing over freshly built slices merely misses the cache
+	// and pays the parse, as before.
+	pkts map[*byte]parsedPkt
+
+	// lastPkt short-circuits the cache for runs of receptions from the
+	// same advertiser; lastID/lastAcc do the same for the accumulator.
+	lastPay *byte
+	lastPkt parsedPkt
+	lastID  ibeacon.BeaconID
+	lastAcc *accum
+
 	totalRaw     int
 	totalSamples int
 	totalCycles  int
@@ -148,6 +165,13 @@ type Scanner struct {
 type accum struct {
 	power int8
 	rssis []float64
+}
+
+// parsedPkt is one memoised ibeacon.Unmarshal outcome; invalid buffers
+// are remembered too, so non-iBeacon advertisers stay cheap to ignore.
+type parsedPkt struct {
+	pkt   ibeacon.Packet
+	valid bool
 }
 
 // Attach registers a scanner for the given subject in the BLE world. The
@@ -210,18 +234,42 @@ func (s *Scanner) onReception(r ble.Reception) {
 	if r.At < s.cycleStart+s.cfg.Profile.ScanRestartOverhead {
 		return
 	}
-	pkt, err := ibeacon.Unmarshal(r.Payload)
-	if err != nil {
+	if len(r.Payload) == 0 {
+		return
+	}
+	key := &r.Payload[0]
+	var pp parsedPkt
+	if key == s.lastPay {
+		pp = s.lastPkt
+	} else {
+		var ok bool
+		pp, ok = s.pkts[key]
+		if !ok {
+			pkt, err := ibeacon.Unmarshal(r.Payload)
+			pp = parsedPkt{pkt: pkt, valid: err == nil}
+			if s.pkts == nil {
+				s.pkts = make(map[*byte]parsedPkt)
+			}
+			s.pkts[key] = pp
+		}
+		s.lastPay, s.lastPkt = key, pp
+	}
+	if !pp.valid {
 		return // not an iBeacon advertisement; monitoring ignores it
 	}
+	pkt := pp.pkt
 	if s.cfg.Region.UUID != (ibeacon.UUID{}) && !s.cfg.Region.Matches(pkt) {
 		return
 	}
 	id := pkt.ID()
-	a := s.acc[id]
-	if a == nil {
-		a = &accum{}
-		s.acc[id] = a
+	a := s.lastAcc
+	if a == nil || id != s.lastID {
+		a = s.acc[id]
+		if a == nil {
+			a = &accum{}
+			s.acc[id] = a
+		}
+		s.lastID, s.lastAcc = id, a
 	}
 	a.power = pkt.MeasuredPower
 	a.rssis = append(a.rssis, r.RSSI)
@@ -279,18 +327,7 @@ func (s *Scanner) closeCycle(now time.Duration) {
 // deterministic despite map iteration.
 func sortSamples(samples []Sample) {
 	sort.Slice(samples, func(i, j int) bool {
-		a, b := samples[i].Beacon, samples[j].Beacon
-		if a.UUID != b.UUID {
-			for k := range a.UUID {
-				if a.UUID[k] != b.UUID[k] {
-					return a.UUID[k] < b.UUID[k]
-				}
-			}
-		}
-		if a.Major != b.Major {
-			return a.Major < b.Major
-		}
-		return a.Minor < b.Minor
+		return samples[i].Beacon.Compare(samples[j].Beacon) < 0
 	})
 }
 

@@ -3,6 +3,11 @@
 // samples and the trained classification model, with per-device indices
 // and bounded retention. The paper's prototype kept the same data in a
 // database on the Raspberry Pi server.
+//
+// Observations are lock-striped across device shards so that concurrent
+// ingest from many devices does not serialise on one mutex; fingerprints
+// and the model keep their own lock (they are written rarely, during the
+// collection and training phases).
 package store
 
 import (
@@ -13,6 +18,7 @@ import (
 
 	"occusim/internal/fingerprint"
 	"occusim/internal/ibeacon"
+	"occusim/internal/stripe"
 )
 
 // BeaconDistance is one ranged beacon inside an observation.
@@ -30,13 +36,23 @@ type Observation struct {
 	Beacons []BeaconDistance
 }
 
+// obsShards is the observation lock-stripe count (power of two). 16
+// stripes keep the per-stripe collision probability low for the crowd
+// sizes the CrowdIngest workload measures, at 16 mutexes of footprint.
+const obsShards = 16
+
+// obsShard holds the observations of the devices hashing to one stripe.
+type obsShard struct {
+	mu           sync.RWMutex
+	observations map[string][]Observation
+}
+
 // Store is safe for concurrent use.
 type Store struct {
-	mu sync.RWMutex
-
 	maxPerDevice int
-	observations map[string][]Observation
+	shards       [obsShards]obsShard
 
+	mu           sync.RWMutex // guards fingerprints, beacon order, model
 	fingerprints []fingerprint.Sample
 	beaconOrder  []ibeacon.BeaconID
 	beaconSeen   map[ibeacon.BeaconID]bool
@@ -51,11 +67,16 @@ func New(maxPerDevice int) (*Store, error) {
 	if maxPerDevice < 1 {
 		return nil, fmt.Errorf("store: maxPerDevice must be positive, got %d", maxPerDevice)
 	}
-	return &Store{
-		maxPerDevice: maxPerDevice,
-		observations: map[string][]Observation{},
-		beaconSeen:   map[ibeacon.BeaconID]bool{},
-	}, nil
+	s := &Store{maxPerDevice: maxPerDevice, beaconSeen: map[ibeacon.BeaconID]bool{}}
+	for i := range s.shards {
+		s.shards[i].observations = map[string][]Observation{}
+	}
+	return s, nil
+}
+
+// shardFor maps a device name onto its stripe.
+func (s *Store) shardFor(device string) *obsShard {
+	return &s.shards[stripe.Index(device, obsShards)]
 }
 
 // AddObservation appends an observation for its device, evicting the
@@ -64,20 +85,76 @@ func (s *Store) AddObservation(o Observation) error {
 	if o.Device == "" {
 		return fmt.Errorf("store: observation without device")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obs := append(s.observations[o.Device], o)
-	if len(obs) > s.maxPerDevice {
-		obs = obs[len(obs)-s.maxPerDevice:]
+	sh := s.shardFor(o.Device)
+	sh.mu.Lock()
+	s.appendLocked(sh, o)
+	sh.mu.Unlock()
+	s.noteBeacons(o.Beacons)
+	return nil
+}
+
+// AddObservationBatch appends many observations, taking each touched
+// stripe lock once per run of same-stripe devices rather than once per
+// report. Per-device arrival order is preserved. The batch is validated
+// up front: either every observation is named and the whole batch is
+// stored, or nothing is.
+func (s *Store) AddObservationBatch(obs []Observation) error {
+	for i := range obs {
+		if obs[i].Device == "" {
+			return fmt.Errorf("store: observation %d without device", i)
+		}
 	}
-	s.observations[o.Device] = obs
-	for _, b := range o.Beacons {
-		s.noteBeacon(b.ID)
+	for i := 0; i < len(obs); {
+		sh := s.shardFor(obs[i].Device)
+		j := i + 1
+		for j < len(obs) && s.shardFor(obs[j].Device) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		for _, o := range obs[i:j] {
+			s.appendLocked(sh, o)
+		}
+		sh.mu.Unlock()
+		i = j
+	}
+	for _, o := range obs {
+		s.noteBeacons(o.Beacons)
 	}
 	return nil
 }
 
-// noteBeacon records first sight of a beacon; callers hold the lock.
+// appendLocked stores one observation; callers hold the stripe lock.
+func (s *Store) appendLocked(sh *obsShard, o Observation) {
+	obs := append(sh.observations[o.Device], o)
+	if len(obs) > s.maxPerDevice {
+		obs = obs[len(obs)-s.maxPerDevice:]
+	}
+	sh.observations[o.Device] = obs
+}
+
+// noteBeacons records first sight of each beacon. The read-locked
+// already-seen check keeps steady-state ingest off the write lock.
+func (s *Store) noteBeacons(beacons []BeaconDistance) {
+	allSeen := true
+	s.mu.RLock()
+	for _, b := range beacons {
+		if !s.beaconSeen[b.ID] {
+			allSeen = false
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if allSeen {
+		return
+	}
+	s.mu.Lock()
+	for _, b := range beacons {
+		s.noteBeacon(b.ID)
+	}
+	s.mu.Unlock()
+}
+
+// noteBeacon records first sight of a beacon; callers hold s.mu.
 func (s *Store) noteBeacon(id ibeacon.BeaconID) {
 	if !s.beaconSeen[id] {
 		s.beaconSeen[id] = true
@@ -87,9 +164,10 @@ func (s *Store) noteBeacon(id ibeacon.BeaconID) {
 
 // Latest returns the most recent observation of the device.
 func (s *Store) Latest(device string) (Observation, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obs := s.observations[device]
+	sh := s.shardFor(device)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obs := sh.observations[device]
 	if len(obs) == 0 {
 		return Observation{}, false
 	}
@@ -99,32 +177,46 @@ func (s *Store) Latest(device string) (Observation, bool) {
 // History returns a copy of the device's retained observations in
 // arrival order.
 func (s *Store) History(device string) []Observation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]Observation(nil), s.observations[device]...)
+	sh := s.shardFor(device)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]Observation(nil), sh.observations[device]...)
 }
 
 // Devices returns all device names, sorted.
 func (s *Store) Devices() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.observations))
-	for d := range s.observations {
-		out = append(out, d)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for d := range sh.observations {
+			out = append(out, d)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
 // AddFingerprint stores one labelled sample from the collection phase.
+// New beacons are noted in sorted identity order, not map iteration
+// order: first-seen order defines the feature columns of the training
+// matrix, and a column permutation would reorder the floating-point
+// accumulations enough to flip boundary predictions between otherwise
+// identical runs.
 func (s *Store) AddFingerprint(sample fingerprint.Sample) error {
 	if sample.Room == "" {
 		return fmt.Errorf("store: fingerprint without room label")
 	}
+	ids := make([]ibeacon.BeaconID, 0, len(sample.Distances))
+	for id := range sample.Distances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fingerprints = append(s.fingerprints, sample)
-	for id := range sample.Distances {
+	for _, id := range ids {
 		s.noteBeacon(id)
 	}
 	return nil
@@ -179,23 +271,26 @@ func (s *Store) Model() ([]byte, int) {
 // PruneBefore drops observations older than cutoff. It returns the
 // number removed.
 func (s *Store) PruneBefore(cutoff time.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for dev, obs := range s.observations {
-		keep := obs[:0]
-		for _, o := range obs {
-			if o.At >= cutoff {
-				keep = append(keep, o)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for dev, obs := range sh.observations {
+			keep := obs[:0]
+			for _, o := range obs {
+				if o.At >= cutoff {
+					keep = append(keep, o)
+				} else {
+					removed++
+				}
+			}
+			if len(keep) == 0 {
+				delete(sh.observations, dev)
 			} else {
-				removed++
+				sh.observations[dev] = append([]Observation(nil), keep...)
 			}
 		}
-		if len(keep) == 0 {
-			delete(s.observations, dev)
-		} else {
-			s.observations[dev] = append([]Observation(nil), keep...)
-		}
+		sh.mu.Unlock()
 	}
 	return removed
 }

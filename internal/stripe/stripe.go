@@ -1,0 +1,16 @@
+// Package stripe provides the key → lock-stripe mapping shared by the
+// lock-striped server components (the store's observation shards, the
+// occupancy tracker's device shards). Keeping the hash in one place
+// means the layers cannot silently drift apart in how they coalesce
+// same-device runs.
+package stripe
+
+// Index maps key onto [0, n) with FNV-1a. n must be a power of two.
+func Index(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h) & (n - 1)
+}

@@ -51,6 +51,15 @@ type Uplink interface {
 	Name() string
 }
 
+// BatchSender is implemented by uplinks that can deliver many reports in
+// one exchange (the BMS batch-ingest endpoint). BatchingUplink uses it
+// when available and falls back to per-report Send otherwise.
+type BatchSender interface {
+	// SendBatch delivers the reports in order. An error means none of
+	// them were acknowledged.
+	SendBatch([]Report) error
+}
+
 // HTTPUplink posts reports to the BMS observations endpoint — the Wi-Fi
 // path.
 type HTTPUplink struct {
@@ -69,11 +78,25 @@ func (u *HTTPUplink) Send(r Report) error {
 	if err != nil {
 		return fmt.Errorf("transport: marshal report: %w", err)
 	}
+	return u.post("/api/v1/observations", body)
+}
+
+// SendBatch implements BatchSender against the BMS batch-ingest
+// endpoint: one POST carries the whole slice.
+func (u *HTTPUplink) SendBatch(reports []Report) error {
+	body, err := json.Marshal(reports)
+	if err != nil {
+		return fmt.Errorf("transport: marshal batch: %w", err)
+	}
+	return u.post("/api/v1/observations:batch", body)
+}
+
+func (u *HTTPUplink) post(path string, body []byte) error {
 	client := u.Client
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	resp, err := client.Post(u.BaseURL+"/api/v1/observations", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(u.BaseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("transport: post: %w", err)
 	}
