@@ -3,8 +3,10 @@
 
 GO ?= go
 PR ?= 1
+# DIFF_BASE is the previous snapshot bench-diff compares against.
+DIFF_BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test test-short test-race bench bench-smoke
+.PHONY: all build vet test test-short test-race bench bench-smoke bench-diff
 
 all: vet build test
 
@@ -33,3 +35,8 @@ bench:
 # bench-smoke is the CI variant: every benchmark once, no snapshot file.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-diff records BENCH_PR$(PR).json and prints the before/after
+# table against DIFF_BASE (ns/op, speedup, allocs).
+bench-diff:
+	$(GO) run ./cmd/bench -pr $(PR) -diff $(DIFF_BASE)

@@ -82,7 +82,12 @@ func BenchmarkFig08DynamicFilter(b *testing.B) {
 
 // BenchmarkFig09Classification regenerates Figure 9: scene-analysis SVM
 // accuracy versus the proximity technique (paper: ~94% vs ~84%), with
-// the room-level false-positive/false-negative balance.
+// the room-level false-positive/false-negative balance. The seed family
+// here is deliberately the one every BENCH_PR*.json snapshot has used —
+// SMO solve time is seed-sensitive, so cross-PR ns/op stays
+// apples-to-apples. The paper-matching canonical family (3311/3322/
+// 3333) is asserted by the test suite and used by `Fig9(nil)`; the
+// accuracy metrics reported below are informational.
 func BenchmarkFig09Classification(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig9([]uint64{uint64(i)*3 + 11, uint64(i)*3 + 22, uint64(i)*3 + 33})

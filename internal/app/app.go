@@ -160,6 +160,13 @@ type App struct {
 
 	// idStrings memoises the wire form of each reported beacon identity.
 	idStrings map[ibeacon.BeaconID]string
+
+	// obsBuf is the reused per-cycle observation scratch fed to the
+	// filter (the filter copies what it keeps).
+	obsBuf []filter.Observation
+
+	// Per-cycle meter components, resolved once at launch.
+	cBase, cScan, cCPU energy.Component
 }
 
 // Launch attaches an app to the BLE world. The app's scan cycles start
@@ -190,13 +197,17 @@ func Launch(w *ble.World, name string, m mobility.Model, cfg Config, src *rng.So
 		moving:  m,
 		state:   Booting,
 		lastPos: m.Position(0),
+		cBase:   meter.Component("phone-base"),
+		cScan:   meter.Component("ble-scan"),
+		cCPU:    meter.Component("cpu"),
 	}
 	// Reports pay their radio energy per send attempt — a failed BLE
 	// connection still costs its connection energy.
+	cUplink := meter.Component("uplink")
 	charged := transport.SendFunc{
 		Label: cfg.Uplink.Name(),
 		F: func(r transport.Report) error {
-			if err := meter.DrawEnergy("uplink", cfg.Power.ReportEnergyJ(cfg.UplinkKind)); err != nil {
+			if err := cUplink.DrawEnergy(cfg.Power.ReportEnergyJ(cfg.UplinkKind)); err != nil {
 				return err
 			}
 			if err := cfg.Uplink.Send(r); err != nil {
@@ -244,7 +255,7 @@ func (a *App) onCycle(c scanner.Cycle) {
 	}
 	if c.End <= a.cfg.BootDelay {
 		// Still booting: only the base phone load applies.
-		_ = a.meter.Draw("phone-base", a.cfg.Power.BasePhoneMW, c.End-c.Start)
+		_ = a.cBase.Draw(a.cfg.Power.BasePhoneMW, c.End-c.Start)
 		return
 	}
 	if a.state == Booting {
@@ -264,12 +275,12 @@ func (a *App) onCycle(c scanner.Cycle) {
 		scanMW *= 0.2
 	}
 	base := a.cfg.Power.ContinuousPowerMW(a.cfg.UplinkKind) - a.cfg.Power.BLEScanMW
-	_ = a.meter.Draw("phone-base", base, period)
-	_ = a.meter.Draw("ble-scan", scanMW, period)
-	_ = a.meter.DrawEnergy("cpu", a.cfg.Power.CPUPerCycleJ)
+	_ = a.cBase.Draw(base, period)
+	_ = a.cScan.Draw(scanMW, period)
+	_ = a.cCPU.DrawEnergy(a.cfg.Power.CPUPerCycleJ)
 
 	// Ranging: feed the history filter.
-	obs := make([]filter.Observation, 0, len(c.Samples))
+	obs := a.obsBuf[:0]
 	for _, s := range c.Samples {
 		obs = append(obs, filter.Observation{
 			Beacon:        s.Beacon,
@@ -277,6 +288,7 @@ func (a *App) onCycle(c scanner.Cycle) {
 			MeasuredPower: s.MeasuredPower,
 		})
 	}
+	a.obsBuf = obs
 	estimates := a.filt.Update(c.End, obs)
 
 	// Region transitions (the monitoring service callback).

@@ -105,6 +105,18 @@ type Listener struct {
 	// is ln(1−capProb), the geometric skip-sampling scale.
 	capProb    float64
 	lnMissProb float64
+	// gapCDF[k-1] = P(gap ≤ k) = 1 − (1−capProb)^k, the geometric
+	// capture-gap CDF prefix; gapGuide[j] is the Chen–Asau guide table
+	// (the first CDF index whose value exceeds j/gapGuideLen). Gap draws
+	// resolve by one guide lookup plus on average about one compare,
+	// instead of paying a logarithm per captured packet; only the deep
+	// tail past the CDF table falls back to inversion.
+	gapCDF   []float64
+	gapGuide []uint8
+	// staticPos holds the listener's position when its mobility model is
+	// mobility.Static, hoisting the per-packet interface call out of the
+	// gather loop; nil for genuinely mobile listeners.
+	staticPos *geom.Point
 	// cullBelowDBm is the mean-RSSI level under which packets to this
 	// listener are hopeless (sensitivity minus the fading-tail margin);
 	// see radio.(*Channel).CullMarginDB.
@@ -180,6 +192,12 @@ type World struct {
 	// deliverWindow.
 	pktBuf []time.Duration
 
+	// batch is the reused struct-of-arrays scratch of the vectorized
+	// delivery loop: one (listener, advertiser) link's captured packets
+	// of the current window, processed stage by stage (draw fill, fading
+	// chain, decode) in tight loops over the columns.
+	batch linkBatch
+
 	// cullEnabled gates hopeless-link culling: packets whose memoised
 	// mean RSSI sits below the listener's cull threshold skip the fading
 	// draws and the decode test entirely. Enabled by default; tests
@@ -199,6 +217,41 @@ type advState struct {
 	pkt uint64
 	// src draws the spec's pseudo-random per-event advDelay jitter.
 	src *rng.Source
+}
+
+// linkBatch is the struct-of-arrays buffer of one link's captured
+// packets within a delivery window. Columns are indexed per packet;
+// uni and nrm are strided (uniPerPkt / nrmPerPkt draws per packet).
+type linkBatch struct {
+	at   []time.Duration
+	mean []float64 // memoised link mean: tx power + environment
+	tag  []uint64  // per-packet stream derivation tag
+	uni  []float64 // uniforms: collision test, decode test
+	nrm  []float64 // normals: Rician I/Q, OU innovation, noise
+	rssi []float64
+}
+
+// uniPerPkt and nrmPerPkt are the per-packet draw widths of the batch:
+// two uniforms (collision, decode) and four standard normals (Rician
+// quadratures, OU innovation, measurement noise).
+const (
+	uniPerPkt = 2
+	nrmPerPkt = 4
+)
+
+// reset clears the gather columns for the next link, keeping capacity.
+func (b *linkBatch) reset() {
+	b.at = b.at[:0]
+	b.mean = b.mean[:0]
+	b.tag = b.tag[:0]
+}
+
+// sized returns buf resized to n entries, reallocating only on growth.
+func sized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // linkState is the per-(listener, advertiser) hot-path state.
@@ -279,8 +332,26 @@ func (w *World) AddListener(l *Listener) error {
 	l.capProb = l.captureProb()
 	if l.capProb < 1 {
 		l.lnMissProb = math.Log(1 - l.capProb)
+		l.gapCDF = make([]float64, gapTableLen)
+		tail := 1.0
+		for k := range l.gapCDF {
+			tail *= 1 - l.capProb
+			l.gapCDF[k] = 1 - tail
+		}
+		l.gapGuide = make([]uint8, gapGuideLen)
+		idx := 0
+		for j := range l.gapGuide {
+			for idx < gapTableLen && l.gapCDF[idx] <= float64(j)/gapGuideLen {
+				idx++
+			}
+			l.gapGuide[j] = uint8(idx)
+		}
 	}
 	l.cullBelowDBm = w.channel.Params().SensitivityDBm - w.channel.CullMarginDB(l.NoiseSigmaDB)
+	if s, ok := l.Mobility.(mobility.Static); ok {
+		p := s.P
+		l.staticPos = &p
+	}
 	w.listeners = append(w.listeners, l)
 	w.links = append(w.links, make([]linkState, len(w.advertisers)))
 	return nil
@@ -323,19 +394,20 @@ func (w *World) recomputeCollisions() {
 // same observable order as one heap event per advertisement.
 // Sampling runs in two passes per advertiser: the packet times of the
 // window are enumerated once into a reused buffer (the jitter stream
-// depends only on the advertiser), then each listener walks the buffer.
-// The capture test is geometric skip-ahead sampling: the packets a
-// duty-cycled radio captures form an iid Bernoulli(p) process over the
-// advertiser's packet indices, so instead of hashing a decision per
-// packet each link stores the index of its next capture and draws the
-// geometric gap to the following one only when it fires — a duty-cycled
-// listener costs O(captured packets), not O(packets on air). Gap draws
-// are tagged by their ordinal, so the sequence of capture indices is a
-// pure function of the seed: independent of window partitioning and of
-// other listeners, exactly like the per-packet streams. Within a window
-// receptions are enumerated per listener (cross-listener order is
-// unobservable: handlers only accumulate per-listener state and react
-// at engine events).
+// depends only on the advertiser), then each listener processes the
+// window through the struct-of-arrays link batch (gatherLink /
+// sampleLink). The capture test is geometric skip-ahead sampling: the
+// packets a duty-cycled radio captures form an iid Bernoulli(p) process
+// over the advertiser's packet indices, so instead of hashing a
+// decision per packet each link stores the index of its next capture
+// and draws the geometric gap to the following one only when it fires —
+// a duty-cycled listener costs O(captured packets), not O(packets on
+// air). Gap draws are tagged by their ordinal, so the sequence of
+// capture indices is a pure function of the seed: independent of window
+// partitioning and of other listeners, exactly like the per-packet
+// streams. Within a window receptions are enumerated per listener
+// (cross-listener order is unobservable: handlers only accumulate
+// per-listener state and react at engine events).
 func (w *World) deliverWindow(from, to time.Duration) {
 	listeners := w.listeners
 	for idx := range w.advertisers {
@@ -352,41 +424,170 @@ func (w *World) deliverWindow(from, to time.Duration) {
 			st.pkt++
 		}
 		w.pktBuf = buf
-		n := uint64(len(buf))
 		for _, l := range listeners {
 			if l == nil {
 				continue
 			}
 			ls := &w.links[l.idx][idx]
-			if l.capProb >= 1 {
-				for i, at := range buf {
-					w.deliver(at, idx, a, l, ls, pktTag(idx, firstPkt+uint64(i)))
-				}
-				continue
-			}
-			if !ls.capInit {
-				ls.capInit = true
-				// First capture: the success index offset from here is
-				// geometric-minus-one.
-				ls.capNext = firstPkt + w.captureGap(l, idx, ls) - 1
-			}
-			for ls.capNext-firstPkt < n {
-				w.deliver(buf[ls.capNext-firstPkt], idx, a, l, ls, pktTag(idx, ls.capNext))
-				ls.capNext += w.captureGap(l, idx, ls)
+			w.gatherLink(buf, firstPkt, idx, a, l, ls)
+			if len(w.batch.at) > 0 {
+				w.sampleLink(idx, a, l, ls)
 			}
 		}
 	}
 }
 
+// gatherLink fills the batch's gather columns with the link's captured,
+// non-hopeless packets of the window: reception time, derivation tag
+// and the memoised deterministic link mean. No stream state is consumed
+// here — capture gaps come from pure ordinal hashes and the mean is
+// deterministic — so culling a packet cannot shift any other packet's
+// randomness.
+func (w *World) gatherLink(buf []time.Duration, firstPkt uint64, advIdx int, a *Advertiser, l *Listener, ls *linkState) {
+	w.batch.reset()
+	if l.capProb >= 1 {
+		for i, at := range buf {
+			w.gatherPkt(at, advIdx, a, l, ls, firstPkt+uint64(i))
+		}
+		return
+	}
+	if !ls.capInit {
+		ls.capInit = true
+		// First capture: the success index offset from here is
+		// geometric-minus-one.
+		ls.capNext = firstPkt + w.captureGap(l, advIdx, ls) - 1
+	}
+	n := uint64(len(buf))
+	for ls.capNext-firstPkt < n {
+		w.gatherPkt(buf[ls.capNext-firstPkt], advIdx, a, l, ls, ls.capNext)
+		ls.capNext += w.captureGap(l, advIdx, ls)
+	}
+}
+
+// gatherPkt appends one captured packet to the batch unless the link's
+// memoised mean sits below the listener's cull threshold — then the
+// packet is hopeless (even the upper tail of the combined fading cannot
+// lift it to a plausible decode) and the whole sampling chain is
+// skipped. For links that never cull, batch contents are independent of
+// the cull setting, so receptions are bit-identical to the exhaustive
+// path.
+func (w *World) gatherPkt(at time.Duration, advIdx int, a *Advertiser, l *Listener, ls *linkState, pkt uint64) {
+	var rxPos geom.Point
+	if l.staticPos != nil {
+		rxPos = *l.staticPos
+	} else {
+		rxPos = l.Mobility.Position(at)
+	}
+	if !ls.envOK || rxPos != ls.lastRx {
+		ls.env = w.channel.EnvironmentDB(w.meanCache, a.LinkID, a.Pos, rxPos)
+		ls.lastRx = rxPos
+		ls.envOK = true
+	}
+	mean := a.PowerAt1mDBm + ls.env
+	if w.cullEnabled && mean < l.cullBelowDBm {
+		w.culled++
+		return
+	}
+	b := &w.batch
+	b.at = append(b.at, at)
+	b.mean = append(b.mean, mean)
+	b.tag = append(b.tag, pktTag(advIdx, pkt))
+}
+
+// sampleLink runs the gathered packets of one link through the fading
+// chain in stages over the batch columns:
+//
+//  1. draw fill — derive each packet's stream from its tag and bulk-fill
+//     its uniforms and ziggurat normals,
+//  2. fading chain — Rician fast fade from the packet quadratures, the
+//     OU slow-fade recurrence stepped packet to packet, device offset
+//     and measurement noise,
+//  3. decode — collision test, then the lazily evaluated logistic
+//     decision, invoking the handler in packet order.
+//
+// All randomness is a pure function of the seed and each packet's
+// (listener, advertiser, packet index) identity, so outcomes are
+// independent of window partitioning. The OU state advances at every
+// captured packet — including collided ones — which keeps stage 2 a
+// straight-line loop; its stationary init uses the first packet's
+// innovation slot, the same N(0, σ²) law as a dedicated draw.
+func (w *World) sampleLink(advIdx int, a *Advertiser, l *Listener, ls *linkState) {
+	b := &w.batch
+	n := len(b.at)
+	b.uni = sized(b.uni, uniPerPkt*n)
+	b.nrm = sized(b.nrm, nrmPerPkt*n)
+	b.rssi = sized(b.rssi, n)
+
+	var ps rng.Source
+	for k := 0; k < n; k++ {
+		l.src.Derive(b.tag[k], &ps)
+		ps.FillFloat64(b.uni[uniPerPkt*k : uniPerPkt*k+uniPerPkt])
+		ps.FillStdNormal(b.nrm[nrmPerPkt*k : nrmPerPkt*k+nrmPerPkt])
+	}
+
+	ch := w.channel
+	gen := w.slowGen
+	bias := l.OffsetDB
+	noise := l.NoiseSigmaDB
+	for k := 0; k < n; k++ {
+		nrm := b.nrm[nrmPerPkt*k : nrmPerPkt*k+nrmPerPkt]
+		rssi := b.mean[k] + ch.RicianFadeDB(nrm[0], nrm[1])
+		if gen.SigmaDB != 0 {
+			if !ls.fadeInit {
+				ls.fadeV = gen.SigmaDB * nrm[2]
+				ls.fadeInit = true
+			} else {
+				ls.fadeV = gen.Step(ls.fadeV, (b.at[k] - ls.fadeLast).Seconds(), nrm[2])
+			}
+			ls.fadeLast = b.at[k]
+			rssi += ls.fadeV
+		}
+		b.rssi[k] = rssi + bias + noise*nrm[3]
+	}
+
+	collP := w.collisionProb[advIdx]
+	for k := 0; k < n; k++ {
+		// Did another transmitter collide on the same channel?
+		if b.uni[uniPerPkt*k] < collP {
+			continue
+		}
+		// Sensitivity: can the radio decode at this level?
+		if !ch.DecideReceived(b.rssi[k]-bias, b.uni[uniPerPkt*k+1]) {
+			continue
+		}
+		l.Handler(Reception{At: b.at[k], From: a.Name, Payload: a.Payload, RSSI: b.rssi[k]})
+	}
+}
+
+// gapTableLen is the length of the precomputed capture-gap CDF and
+// gapGuideLen the resolution of its guide table. At the Android duty
+// cycle (p = 0.12) the CDF covers all but ~3·10⁻⁴ of the gap mass;
+// lower capture probabilities fall back to inversion more often but
+// remain exact.
+const (
+	gapTableLen = 64
+	gapGuideLen = 256
+)
+
 // captureGap draws the geometric gap (≥ 1) to the link's next captured
-// packet via inversion: ceil(ln(1−U)/ln(1−p)). The uniform comes from a
-// pure hash of the gap ordinal, so no stream state lives in the link.
+// packet: the guide-table equivalent of inversion ceil(ln(1−U)/ln(1−p)),
+// paying an index and a compare or two instead of a logarithm. The
+// uniform comes from a pure hash of the gap ordinal, so no stream state
+// lives in the link.
 func (w *World) captureGap(l *Listener, advIdx int, ls *linkState) uint64 {
 	u := l.src.Hash01(capTag(advIdx, ls.capGap))
 	ls.capGap++
+	for k := int(l.gapGuide[int(u*gapGuideLen)]); k < gapTableLen; k++ {
+		if u < l.gapCDF[k] {
+			return uint64(k + 1)
+		}
+	}
+	// Deep tail: inversion over the remaining mass.
 	gap := math.Ceil(math.Log1p(-u) / l.lnMissProb)
-	if gap < 1 {
-		return 1
+	if gap < gapTableLen+1 {
+		// Floating-point disagreement at the table boundary resolves in
+		// favour of the table.
+		return gapTableLen + 1
 	}
 	return uint64(gap)
 }
@@ -402,68 +603,6 @@ func capTag(advIdx int, gap uint64) uint64 {
 // so tags never collide across advertisers.
 func pktTag(advIdx int, pkt uint64) uint64 {
 	return uint64(advIdx+1)<<40 + pkt
-}
-
-// deliver decides whether a capture-passing listener decodes this
-// advertisement and invokes its handler if so. All randomness comes from
-// a per-(link, packet) stream derived on the stack, so the outcome is a
-// pure function of the seed and the packet's identity.
-//
-// The deterministic mean of the link is resolved (through the memoised
-// environment) before any stream is derived: when the mean sits below
-// the listener's cull threshold the packet is hopeless — even the upper
-// tail of the combined fading cannot lift it to a plausible decode — and
-// the whole Rician/OU/noise sampling chain is skipped. For links that
-// never cull, the draw order is unchanged, so receptions are
-// bit-identical to the exhaustive path.
-func (w *World) deliver(at time.Duration, advIdx int, a *Advertiser, l *Listener, st *linkState, tag uint64) {
-	rxPos := l.Mobility.Position(at)
-	if !st.envOK || rxPos != st.lastRx {
-		st.env = w.channel.EnvironmentDB(w.meanCache, a.LinkID, a.Pos, rxPos)
-		st.lastRx = rxPos
-		st.envOK = true
-	}
-	mean := a.PowerAt1mDBm + st.env
-	if w.cullEnabled && mean < l.cullBelowDBm {
-		w.culled++
-		return
-	}
-	var ps rng.Source
-	l.src.Derive(tag, &ps)
-	// Did another transmitter collide on the same channel?
-	if ps.Bool(w.collisionProb[advIdx]) {
-		return
-	}
-	rssi := mean + w.channel.FadingDB(&ps)
-	// One Box–Muller pair serves both the slow-fade innovation and the
-	// measurement noise.
-	n1, n2 := ps.StdNormal2()
-	rssi += w.advanceSlowFade(st, at, n1, &ps)
-	rssi += l.OffsetDB + l.NoiseSigmaDB*n2
-	// Sensitivity: can the radio decode at this level?
-	if !w.channel.ReceivedFast(rssi-l.OffsetDB, &ps) {
-		return
-	}
-	l.Handler(Reception{At: at, From: a.Name, Payload: a.Payload, RSSI: rssi})
-}
-
-// advanceSlowFade steps the link's Ornstein–Uhlenbeck fading state to
-// now and returns its current value in dB. n is the packet's
-// standard-normal innovation; src only seeds the stationary initial
-// draw.
-func (w *World) advanceSlowFade(st *linkState, now time.Duration, n float64, src *rng.Source) float64 {
-	gen := w.slowGen
-	if gen.SigmaDB == 0 {
-		return 0
-	}
-	if !st.fadeInit {
-		st.fadeV = gen.Init(src)
-		st.fadeInit = true
-	} else {
-		st.fadeV = gen.Step(st.fadeV, (now - st.fadeLast).Seconds(), n)
-	}
-	st.fadeLast = now
-	return st.fadeV
 }
 
 // Run advances the simulation until the given duration of simulated time

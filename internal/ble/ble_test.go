@@ -1,6 +1,7 @@
 package ble
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -346,4 +347,125 @@ func TestRngSource(t *testing.T) {
 		t.Fatal("listeners must get distinct rng sources")
 	}
 	_ = rng.New(0) // keep import used meaningfully in case of refactors
+}
+
+// TestCaptureGapTableMatchesInversion pins that the guide-table gap
+// draw is the same geometric distribution as analytic inversion: for a
+// sweep of uniforms the table answer must equal
+// ceil(ln(1−u)/ln(1−p)), and the guide must never start past the
+// answer.
+func TestCaptureGapTableMatchesInversion(t *testing.T) {
+	w := NewWorld(sim.NewEngine(), testChannel(t), 77)
+	for _, p := range []float64{0.02, 0.12, 0.5, 0.9} {
+		l := &Listener{
+			Name:        "probe",
+			Mobility:    mobility.Static{P: geom.Pt(1, 0)},
+			CaptureProb: p,
+			Handler:     func(Reception) {},
+		}
+		if err := w.AddListener(l); err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(1000 * p))
+		for i := 0; i < 200_000; i++ {
+			u := src.Float64()
+			want := math.Ceil(math.Log1p(-u) / l.lnMissProb)
+			if want < 1 {
+				want = 1
+			}
+			got := uint64(0)
+			for k := int(l.gapGuide[int(u*gapGuideLen)]); k < gapTableLen; k++ {
+				if u < l.gapCDF[k] {
+					got = uint64(k + 1)
+					break
+				}
+			}
+			if got == 0 {
+				// Tail fallback region: inversion must agree it is past
+				// the table.
+				if want <= gapTableLen {
+					// Floating-point disagreement exactly at the table
+					// boundary is tolerated one step either way.
+					if float64(gapTableLen)-want > 1 {
+						t.Fatalf("p=%v u=%v: table says tail, inversion says %v", p, u, want)
+					}
+				}
+				continue
+			}
+			if got != uint64(want) {
+				t.Fatalf("p=%v u=%v: table gap %d, inversion %v", p, u, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowPartitionInvarianceMobileDutyCycled extends the partition
+// pin to the fully batched path: several advertisers, a duty-cycled
+// walker (geometric skip-ahead + per-packet positions) and a full-
+// capture static listener must all see identical per-link reception
+// streams however the simulated time is chopped. Within one window
+// receptions are enumerated per (advertiser, listener), so only the
+// per-link order is observable — the comparison groups accordingly.
+func TestWindowPartitionInvarianceMobileDutyCycled(t *testing.T) {
+	run := func(step time.Duration) map[string][]Reception {
+		w := NewWorld(sim.NewEngine(), testChannel(t), 321)
+		recs := map[string][]Reception{}
+		walk, err := mobility.NewPath([]geom.Point{
+			geom.Pt(0.5, 0), geom.Pt(3, 0), geom.Pt(3, 2),
+		}, 1.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddListener(&Listener{
+			Name:         "walker",
+			Mobility:     walk,
+			CaptureProb:  0.12,
+			NoiseSigmaDB: 1,
+			Handler: func(r Reception) {
+				recs["walker/"+r.From] = append(recs["walker/"+r.From], r)
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddListener(&Listener{
+			Name:     "static",
+			Mobility: mobility.Static{P: geom.Pt(2, 1)},
+			Handler: func(r Reception) {
+				recs["static/"+r.From] = append(recs["static/"+r.From], r)
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("b%d", i)
+			if err := w.AddAdvertiser(newAdvertiser(name, geom.Pt(float64(i), 0), 33*time.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The step divides the duration exactly, so both runs simulate
+		// the same span.
+		for elapsed := time.Duration(0); elapsed < 12*time.Second; elapsed += step {
+			w.Run(step)
+		}
+		return recs
+	}
+	oneShot := run(12 * time.Second)
+	chopped := run(125 * time.Millisecond)
+	if len(oneShot) != 6 {
+		t.Fatalf("links heard = %d, want 6", len(oneShot))
+	}
+	for link, a := range oneShot {
+		b := chopped[link]
+		if len(a) == 0 {
+			t.Fatalf("link %s: no receptions", link)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("link %s: reception counts differ: %d vs %d", link, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].At != b[i].At || a[i].RSSI != b[i].RSSI {
+				t.Fatalf("link %s reception %d differs: %+v vs %+v", link, i, a[i], b[i])
+			}
+		}
+	}
 }

@@ -24,17 +24,39 @@ import (
 type Meter struct {
 	battery     device.Battery
 	usedJ       float64
-	byComponent map[string]float64
+	byComponent map[string]*float64
 }
 
 // NewMeter builds a meter over the battery.
 func NewMeter(b device.Battery) *Meter {
-	return &Meter{battery: b, byComponent: map[string]float64{}}
+	return &Meter{battery: b, byComponent: map[string]*float64{}}
 }
 
-// Draw consumes powerMW for dur, attributed to component. Negative power
-// or duration is rejected.
-func (m *Meter) Draw(component string, powerMW float64, dur time.Duration) error {
+// Component is a resolved attribution handle: callers that draw from the
+// same component every scan cycle resolve the name once and skip the
+// map lookup per draw.
+type Component struct {
+	m *Meter
+	j *float64
+}
+
+// Component returns the drawing handle for the named component.
+func (m *Meter) Component(name string) Component {
+	return Component{m: m, j: m.bucket(name)}
+}
+
+func (m *Meter) bucket(component string) *float64 {
+	p := m.byComponent[component]
+	if p == nil {
+		p = new(float64)
+		m.byComponent[component] = p
+	}
+	return p
+}
+
+// Draw consumes powerMW for dur, attributed to the component. Negative
+// power or duration is rejected.
+func (c Component) Draw(powerMW float64, dur time.Duration) error {
 	if powerMW < 0 {
 		return fmt.Errorf("energy: negative power %v mW", powerMW)
 	}
@@ -42,19 +64,30 @@ func (m *Meter) Draw(component string, powerMW float64, dur time.Duration) error
 		return fmt.Errorf("energy: negative duration %v", dur)
 	}
 	j := powerMW / 1000 * dur.Seconds()
-	m.usedJ += j
-	m.byComponent[component] += j
+	c.m.usedJ += j
+	*c.j += j
 	return nil
 }
 
 // DrawEnergy consumes a fixed energy in joules (e.g. one report burst).
-func (m *Meter) DrawEnergy(component string, joules float64) error {
+func (c Component) DrawEnergy(joules float64) error {
 	if joules < 0 {
 		return fmt.Errorf("energy: negative energy %v J", joules)
 	}
-	m.usedJ += joules
-	m.byComponent[component] += joules
+	c.m.usedJ += joules
+	*c.j += joules
 	return nil
+}
+
+// Draw consumes powerMW for dur, attributed to component. Negative power
+// or duration is rejected.
+func (m *Meter) Draw(component string, powerMW float64, dur time.Duration) error {
+	return m.Component(component).Draw(powerMW, dur)
+}
+
+// DrawEnergy consumes a fixed energy in joules (e.g. one report burst).
+func (m *Meter) DrawEnergy(component string, joules float64) error {
+	return m.Component(component).DrawEnergy(joules)
 }
 
 // UsedJ returns the total energy consumed.
@@ -84,7 +117,7 @@ func (m *Meter) Depleted() bool { return m.RemainingJ() == 0 }
 func (m *Meter) ByComponent() map[string]float64 {
 	out := make(map[string]float64, len(m.byComponent))
 	for k, v := range m.byComponent {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }

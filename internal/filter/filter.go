@@ -16,7 +16,6 @@ package filter
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"occusim/internal/ibeacon"
@@ -52,7 +51,10 @@ type Estimate struct {
 type DistanceFilter interface {
 	// Update consumes the observations of one scan cycle (empty when the
 	// cycle saw nothing) and returns the current estimates, sorted by
-	// beacon identity.
+	// beacon identity. Cycle timestamps must be strictly increasing, and
+	// the returned slice is only valid until the next Update —
+	// implementations may reuse the buffer (History does); callers that
+	// retain estimates across cycles must copy.
 	Update(at time.Duration, obs []Observation) []Estimate
 	// Snapshot returns the current estimates without consuming a cycle.
 	Snapshot() []Estimate
@@ -102,6 +104,9 @@ type History struct {
 	cfg   Config
 	est   radio.DistanceEstimator
 	state map[ibeacon.BeaconID]*Estimate
+	// snapBuf is the reused Update return buffer; see the Update
+	// contract.
+	snapBuf []Estimate
 }
 
 // NewHistory builds the paper's filter from cfg.
@@ -121,11 +126,14 @@ func (h *History) Name() string {
 	return fmt.Sprintf("history(c=%.2f,misses=%d)", h.cfg.Coeff, h.cfg.MaxMisses)
 }
 
-// Update implements DistanceFilter.
+// Update implements DistanceFilter. The returned slice is reused by the
+// next Update call — it runs every scan cycle, so it must not allocate
+// a fresh snapshot each time; callers that retain estimates across
+// cycles copy them (see trace.Run). Miss counting reads presence off
+// the per-beacon LastSeen stamp, which is why the interface requires
+// strictly increasing cycle timestamps.
 func (h *History) Update(at time.Duration, obs []Observation) []Estimate {
-	seen := make(map[ibeacon.BeaconID]bool, len(obs))
 	for _, o := range obs {
-		seen[o.Beacon] = true
 		v := h.est.Estimate(o.RSSI, float64(o.MeasuredPower))
 		s := h.state[o.Beacon]
 		if s == nil {
@@ -145,9 +153,11 @@ func (h *History) Update(at time.Duration, obs []Observation) []Estimate {
 		s.Misses = 0
 	}
 	// Beacons not present in this cycle: hold the value, count the miss,
-	// drop after MaxMisses consecutive losses.
+	// drop after MaxMisses consecutive losses. "Present" is read off the
+	// state itself (every observed beacon was just stamped with this
+	// cycle's timestamp), so no per-cycle seen-set is allocated.
 	for id, s := range h.state {
-		if seen[id] {
+		if s.LastSeen == at {
 			continue
 		}
 		s.Misses++
@@ -155,10 +165,17 @@ func (h *History) Update(at time.Duration, obs []Observation) []Estimate {
 			delete(h.state, id)
 		}
 	}
-	return h.Snapshot()
+	out := h.snapBuf[:0]
+	for _, s := range h.state {
+		out = append(out, *s)
+	}
+	sortEstimates(out)
+	h.snapBuf = out
+	return out
 }
 
-// Snapshot implements DistanceFilter.
+// Snapshot implements DistanceFilter. Unlike Update's return value, the
+// snapshot is freshly allocated and safe to retain.
 func (h *History) Snapshot() []Estimate {
 	return snapshot(h.state)
 }
@@ -172,21 +189,16 @@ func snapshot(state map[ibeacon.BeaconID]*Estimate) []Estimate {
 	return out
 }
 
+// sortEstimates orders by beacon identity with a concrete insertion
+// sort: estimate sets are a handful of beacons and this runs every scan
+// cycle, where sort.Slice's reflection-based swaps dominate the actual
+// comparisons.
 func sortEstimates(es []Estimate) {
-	sort.Slice(es, func(i, j int) bool {
-		a, b := es[i].Beacon, es[j].Beacon
-		if a.UUID != b.UUID {
-			for k := range a.UUID {
-				if a.UUID[k] != b.UUID[k] {
-					return a.UUID[k] < b.UUID[k]
-				}
-			}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Beacon.Compare(es[j-1].Beacon) < 0; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
 		}
-		if a.Major != b.Major {
-			return a.Major < b.Major
-		}
-		return a.Minor < b.Minor
-	})
+	}
 }
 
 // Nearest returns the estimate with the smallest distance, the signal the

@@ -1,0 +1,96 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"occusim/internal/rng"
+)
+
+// TestSlowFadeStepMoments validates the exact OU discretisation on the
+// batched-innovation path the link layer uses: from a fixed state v₀,
+// one step of dt must have conditional mean ρ·v₀ and conditional
+// variance σ²·(1−ρ²) with ρ = exp(−dt/τ).
+func TestSlowFadeStepMoments(t *testing.T) {
+	f := SlowFade{SigmaDB: 3, Tau: 2}
+	const (
+		v0 = 4.2
+		dt = 0.7
+		n  = 400_000
+	)
+	rho := math.Exp(-dt / f.Tau)
+	innov := make([]float64, n)
+	rng.New(42).FillStdNormal(innov)
+	var s1, s2 float64
+	for _, z := range innov {
+		v := f.Step(v0, dt, z)
+		s1 += v
+		s2 += v * v
+	}
+	mean := s1 / n
+	variance := s2/n - mean*mean
+	wantMean := rho * v0
+	wantVar := f.SigmaDB * f.SigmaDB * (1 - rho*rho)
+	if math.Abs(mean-wantMean) > 0.02 {
+		t.Errorf("conditional mean = %v, want %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.02 {
+		t.Errorf("conditional variance = %v, want %v", variance, wantVar)
+	}
+}
+
+// TestRicianFadeDBMatchesFadingDB pins that the innovation-fed batched
+// fade and the stream-drawing fade are the same function of the same
+// draws.
+func TestRicianFadeDBMatchesFadingDB(t *testing.T) {
+	ch, err := NewChannel(DefaultIndoor(), nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rng.New(17), rng.New(17)
+	for i := 0; i < 10_000; i++ {
+		n1, n2 := a.StdNormal2()
+		if got, want := ch.RicianFadeDB(n1, n2), ch.FadingDB(b); got != want {
+			t.Fatalf("draw %d: RicianFadeDB = %v, FadingDB = %v", i, got, want)
+		}
+	}
+}
+
+// TestRicianFadeDBZeroMeanPower checks the unit-mean-power
+// normalisation survives the precomputed decomposition: the linear
+// power of the fade (10^(dB/10)) must average to ≈1.
+func TestRicianFadeDBZeroMeanPower(t *testing.T) {
+	ch, err := NewChannel(DefaultIndoor(), nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Pow(10, ch.FadingDB(r)/10)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("mean linear fading power = %v, want ≈1", mean)
+	}
+}
+
+// TestDecideReceivedMatchesProb pins the batched decode decision
+// against the exact logistic across the ambiguous band and both fast
+// bounds.
+func TestDecideReceivedMatchesProb(t *testing.T) {
+	ch, err := NewChannel(DefaultIndoor(), nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	for _, rssi := range []float64{-150, -107, -99, -95, -92, -89, -78, -20} {
+		p := ch.ReceptionProb(rssi)
+		for i := 0; i < 20_000; i++ {
+			u := r.Float64()
+			if got, want := ch.DecideReceived(rssi, u), u < p; got != want {
+				t.Fatalf("rssi %v u %v: DecideReceived = %v, want %v", rssi, u, got, want)
+			}
+		}
+	}
+}

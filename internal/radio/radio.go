@@ -144,7 +144,23 @@ type Channel struct {
 	walls  []geom.Segment
 	index  *geom.SegmentIndex
 	shadow *shadowField
+	// riceNu and riceSigma are the unit-mean-power Rician decomposition
+	// of the K-factor (ν² + 2σ² = 1), resolved once at construction so
+	// the per-packet fading draw pays no square roots.
+	riceNu, riceSigma float64
+	// sigTab samples the logistic over x ∈ [−7, 7] for DecideReceived's
+	// interpolated bound; invSlope hoists the per-packet division.
+	sigTab   [sigTabLen + 1]float64
+	invSlope float64
 }
+
+// sigTabLen is the resolution of the logistic guide table; sigTabEps
+// bounds the linear-interpolation error over it (h²/8 · max|σ''| with
+// h = 14/sigTabLen, padded well past the true ≈1.5e-4).
+const (
+	sigTabLen = 128
+	sigTabEps = 5e-4
+)
 
 // NewChannel builds a channel over the given wall list. seed fixes the
 // shadowing field; two channels built with the same seed and walls are
@@ -153,12 +169,21 @@ func NewChannel(params Params, walls []geom.Segment, seed uint64) (*Channel, err
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Channel{
-		params: params,
-		walls:  walls,
-		index:  geom.NewSegmentIndex(walls, 2),
-		shadow: newShadowField(params.ShadowSigmaDB, params.ShadowCorrLen, seed),
-	}, nil
+	k := params.RiceK
+	c := &Channel{
+		params:    params,
+		walls:     walls,
+		index:     geom.NewSegmentIndex(walls, 2),
+		shadow:    newShadowField(params.ShadowSigmaDB, params.ShadowCorrLen, seed),
+		riceNu:    math.Sqrt(k / (k + 1)),
+		riceSigma: math.Sqrt(1 / (2 * (k + 1))),
+		invSlope:  1 / params.PERSlopeDB,
+	}
+	for i := range c.sigTab {
+		x := -7 + 14*float64(i)/sigTabLen
+		c.sigTab[i] = 1 / (1 + math.Exp(-x))
+	}
+	return c, nil
 }
 
 // Params returns the channel parameters.
@@ -208,6 +233,10 @@ func (c *Channel) meanEnvironment(linkID uint64, txPos, rxPos geom.Point) float6
 type MeanCache struct {
 	slots []meanCacheSlot
 	used  int
+	// hits and misses gate growth: a continuously moving receiver never
+	// revisits a position, and a table that never hits must not pay
+	// doubling reallocations just because insertions keep it full.
+	hits, misses uint64
 }
 
 type meanCacheKey struct {
@@ -260,12 +289,19 @@ func (c *Channel) EnvironmentDB(mc *MeanCache, linkID uint64, txPos, rxPos geom.
 	}
 	slot := &mc.slots[key.slotIndex(len(mc.slots))]
 	if slot.used && slot.key == key {
+		mc.hits++
 		return slot.env
 	}
+	mc.misses++
 	env := c.meanEnvironment(linkID, txPos, rxPos)
 	if !slot.used {
 		mc.used++
-		if mc.used*2 > len(mc.slots) && len(mc.slots) < meanCacheMaxSlots {
+		// Grow only while the table earns its keep (≥ ~11% hit rate):
+		// dwell-heavy workloads double up to the cap, pure walkers stay
+		// at the minimum size instead of reallocating slabs they will
+		// never read back.
+		if mc.used*2 > len(mc.slots) && len(mc.slots) < meanCacheMaxSlots &&
+			mc.hits >= mc.misses/8 {
 			mc.slots = make([]meanCacheSlot, len(mc.slots)*2)
 			mc.used = 0
 			slot = &mc.slots[key.slotIndex(len(mc.slots))]
@@ -288,16 +324,22 @@ func (c *Channel) SampleRSSI(txPowerAt1m float64, linkID uint64, txPos, rxPos ge
 // the configured K-factor, normalised to unit mean power, so the dB term
 // has (approximately) zero mean.
 func (c *Channel) FadingDB(r *rng.Source) float64 {
-	k := c.params.RiceK
-	// Unit mean power decomposition: LOS amplitude ν and diffuse σ with
-	// ν² + 2σ² = 1.
-	nu := math.Sqrt(k / (k + 1))
-	sigma := math.Sqrt(1 / (2 * (k + 1)))
-	env := r.Rician(nu, sigma)
-	if env < 1e-6 {
-		env = 1e-6 // deep fade floor: -120 dB
+	n1, n2 := r.StdNormal2()
+	return c.RicianFadeDB(n1, n2)
+}
+
+// RicianFadeDB is FadingDB with caller-supplied standard-normal
+// quadrature innovations, for hot paths that batch their draws (see
+// rng.FillStdNormal). Working on the squared envelope skips the
+// envelope root: 20·log10(√e²) = 10·log10(e²).
+func (c *Channel) RicianFadeDB(n1, n2 float64) float64 {
+	a := c.riceNu + c.riceSigma*n1
+	b := c.riceSigma * n2
+	e2 := a*a + b*b
+	if e2 < 1e-12 {
+		e2 = 1e-12 // deep fade floor: -120 dB
 	}
-	return 20 * math.Log10(env)
+	return 10 * math.Log10(e2)
 }
 
 // ReceptionProb returns the probability that a packet at the given RSSI
@@ -322,20 +364,43 @@ func (c *Channel) Received(rssi float64, r *rng.Source) bool {
 // logistic rounds to exactly 0 or 1 — callers must not depend on draws
 // after this decision (the per-packet streams of the link layer do not).
 func (c *Channel) ReceivedFast(rssi float64, r *rng.Source) bool {
-	x := (rssi - c.params.SensitivityDBm) / c.params.PERSlopeDB
+	return c.DecideReceived(rssi, r.Float64())
+}
+
+// DecideReceived is the decode decision with a caller-supplied uniform
+// draw — the batched form of ReceivedFast for hot paths that fill their
+// uniforms in bulk. The decision is exactly "u < ReceptionProb(rssi)",
+// but the exponential is almost never paid: far from the sensitivity
+// the cheap logistic bounds decide (sigmoid(7) > 0.999, sigmoid(−7) <
+// 0.001), and inside the transition the interpolated guide table
+// decides unless u lands within its error band of the curve —
+// probability 2·sigTabEps per packet.
+func (c *Channel) DecideReceived(rssi, u float64) bool {
+	x := (rssi - c.params.SensitivityDBm) * c.invSlope
 	switch {
 	case x >= 7:
-		if u := r.Float64(); u >= 0.999 {
+		if u >= 0.999 {
 			return u < c.ReceptionProb(rssi)
 		}
 		return true
 	case x <= -7:
-		if u := r.Float64(); u < 0.001 {
+		if u < 0.001 {
 			return u < c.ReceptionProb(rssi)
 		}
 		return false
 	default:
-		return r.Bool(c.ReceptionProb(rssi))
+		t := (x + 7) * (sigTabLen / 14.0)
+		i := int(t)
+		frac := t - float64(i)
+		p := c.sigTab[i] + frac*(c.sigTab[i+1]-c.sigTab[i])
+		switch {
+		case u < p-sigTabEps:
+			return true
+		case u > p+sigTabEps:
+			return false
+		default:
+			return u < c.ReceptionProb(rssi)
+		}
 	}
 }
 

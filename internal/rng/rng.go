@@ -10,7 +10,10 @@
 // quality PRNG that needs no external dependencies.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic random source. It is NOT safe for concurrent
 // use; derive independent child sources with Split for concurrent
@@ -112,7 +115,28 @@ func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) without modulo bias, via
+// Lemire's multiply-shift rejection: the 128-bit product of a raw draw
+// and n is an exact fixed-point scaling, and the rare draws falling in
+// the short first partial interval (probability n/2⁶⁴) are rejected.
+// Almost every call costs one multiply and no division. Panics if
+// n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero bound")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		// Only now is the (single) division needed: thresh = 2⁶⁴ mod n.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
 }
 
 // Uniform returns a uniform value in [lo, hi).
@@ -138,34 +162,6 @@ func (r *Source) Normal(mean, sigma float64) float64 {
 		return mean
 	}
 	return mean + sigma*r.StdNormal()
-}
-
-// StdNormal returns a draw from the standard normal distribution.
-func (r *Source) StdNormal() float64 {
-	// Box–Muller; one value per call keeps the stream position simple and
-	// deterministic (no cached spare that would depend on call parity).
-	u1 := r.Float64()
-	for u1 == 0 {
-		u1 = r.Float64()
-	}
-	u2 := r.Float64()
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-}
-
-// StdNormal2 returns two independent standard-normal draws from a single
-// Box–Muller pair (the cosine and sine projections of one radius), at
-// roughly half the transcendental cost of two StdNormal calls. Hot paths
-// that need two innovations per item (fast-fading quadratures, a
-// slow-fade step plus measurement noise) use this.
-func (r *Source) StdNormal2() (float64, float64) {
-	u1 := r.Float64()
-	for u1 == 0 {
-		u1 = r.Float64()
-	}
-	u2 := r.Float64()
-	rad := math.Sqrt(-2 * math.Log(u1))
-	s, c := math.Sincos(2 * math.Pi * u2)
-	return rad * c, rad * s
 }
 
 // LogNormal returns exp(N(mu, sigma²)).
@@ -200,8 +196,7 @@ func (r *Source) Rayleigh(sigma float64) float64 {
 // Rician returns a draw from a Rician distribution with line-of-sight
 // component nu and scale sigma; nu = 0 degenerates to Rayleigh. Used for
 // rooms where the phone has line of sight to the beacon. The two
-// quadrature components come from one Box–Muller pair, which yields the
-// same distribution as two independent Normal draws at half the cost.
+// quadrature components are independent ziggurat normals.
 func (r *Source) Rician(nu, sigma float64) float64 {
 	n1, n2 := r.StdNormal2()
 	// The quadratures are unit-scale (nu, sigma ≤ O(1); the normals are

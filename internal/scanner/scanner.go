@@ -19,7 +19,6 @@ package scanner
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"occusim/internal/ble"
@@ -139,22 +138,23 @@ type Scanner struct {
 	cycleIdx   int
 	acc        map[ibeacon.BeaconID]*accum
 
-	// pkts memoises ibeacon.Unmarshal per distinct payload buffer:
-	// beacon boards advertise one fixed payload slice for their whole
-	// lifetime, so the stack parses each buffer once instead of once per
-	// reception. The key is the buffer's first-byte address — an 8-byte
-	// hash instead of a full payload hash; the map reference keeps the
-	// buffer alive, so an address can never be reused while cached. A
-	// caller handing over freshly built slices merely misses the cache
-	// and pays the parse, as before.
-	pkts map[*byte]parsedPkt
-
-	// lastPkt short-circuits the cache for runs of receptions from the
-	// same advertiser; lastID/lastAcc do the same for the accumulator.
-	lastPay *byte
-	lastPkt parsedPkt
-	lastID  ibeacon.BeaconID
-	lastAcc *accum
+	// slots memoises the whole per-payload reception pipeline — the
+	// ibeacon.Unmarshal outcome, the region decision and the resolved
+	// cycle accumulator — per distinct payload buffer. Beacon boards
+	// advertise one fixed payload slice for their whole lifetime, so the
+	// stack resolves each buffer once and every later reception is a
+	// pointer-compare scan of this small array, with no map hashing on
+	// the hot path. The slice holds at most payloadCacheMaxEntries
+	// entries, evicting the oldest first (FIFO single victim, like the
+	// bms id intern cache) so a workload churning fresh payload buffers
+	// cannot grow it without bound; an evicted payload merely pays the
+	// parse again on its next reception. Slot references keep cached
+	// buffers alive, so a payload address can never be reused while its
+	// slot lives.
+	slots []payloadSlot
+	// lastSlot short-circuits the scan for runs of receptions from the
+	// same advertiser.
+	lastSlot int
 
 	totalRaw     int
 	totalSamples int
@@ -162,16 +162,25 @@ type Scanner struct {
 	totalDropped int
 }
 
+// payloadCacheMaxEntries bounds the payload-resolution memo. Deployments
+// have tens of beacons; the bound only matters to adversarial payload
+// churn.
+const payloadCacheMaxEntries = 128
+
 type accum struct {
 	power int8
 	rssis []float64
 }
 
-// parsedPkt is one memoised ibeacon.Unmarshal outcome; invalid buffers
-// are remembered too, so non-iBeacon advertisers stay cheap to ignore.
-type parsedPkt struct {
-	pkt   ibeacon.Packet
-	valid bool
+// payloadSlot is one memoised payload resolution, keyed by the buffer's
+// first-byte address. acc is nil when the payload is ignored (not an
+// iBeacon advertisement, or outside the monitored region), so rejects
+// stay cheap too.
+type payloadSlot struct {
+	key   *byte
+	acc   *accum
+	id    ibeacon.BeaconID
+	power int8
 }
 
 // Attach registers a scanner for the given subject in the BLE world. The
@@ -238,50 +247,59 @@ func (s *Scanner) onReception(r ble.Reception) {
 		return
 	}
 	key := &r.Payload[0]
-	var pp parsedPkt
-	if key == s.lastPay {
-		pp = s.lastPkt
+	var sl *payloadSlot
+	if i := s.lastSlot; i < len(s.slots) && s.slots[i].key == key {
+		sl = &s.slots[i]
 	} else {
-		var ok bool
-		pp, ok = s.pkts[key]
-		if !ok {
-			pkt, err := ibeacon.Unmarshal(r.Payload)
-			pp = parsedPkt{pkt: pkt, valid: err == nil}
-			if s.pkts == nil {
-				s.pkts = make(map[*byte]parsedPkt)
-			}
-			s.pkts[key] = pp
-		}
-		s.lastPay, s.lastPkt = key, pp
+		sl = s.resolvePayload(key, r.Payload)
 	}
-	if !pp.valid {
-		return // not an iBeacon advertisement; monitoring ignores it
+	if sl.acc == nil {
+		return // not an iBeacon advertisement, or outside the region
 	}
-	pkt := pp.pkt
-	if s.cfg.Region.UUID != (ibeacon.UUID{}) && !s.cfg.Region.Matches(pkt) {
-		return
-	}
-	id := pkt.ID()
-	a := s.lastAcc
-	if a == nil || id != s.lastID {
-		a = s.acc[id]
-		if a == nil {
-			a = &accum{}
-			s.acc[id] = a
-		}
-		s.lastID, s.lastAcc = id, a
-	}
-	a.power = pkt.MeasuredPower
-	a.rssis = append(a.rssis, r.RSSI)
+	sl.acc.power = sl.power
+	sl.acc.rssis = append(sl.acc.rssis, r.RSSI)
 	s.totalRaw++
 	if s.cfg.OnAdvertisement != nil {
 		s.cfg.OnAdvertisement(Advertisement{
 			At:            r.At,
-			Beacon:        id,
-			MeasuredPower: pkt.MeasuredPower,
+			Beacon:        sl.id,
+			MeasuredPower: sl.power,
 			RSSI:          r.RSSI,
 		})
 	}
+}
+
+// resolvePayload returns the payload's memo slot, scanning the cache by
+// buffer address and parsing (then caching, bounded FIFO) on a miss.
+func (s *Scanner) resolvePayload(key *byte, payload []byte) *payloadSlot {
+	for i := range s.slots {
+		if s.slots[i].key == key {
+			s.lastSlot = i
+			return &s.slots[i]
+		}
+	}
+	sl := payloadSlot{key: key}
+	if pkt, err := ibeacon.Unmarshal(payload); err == nil {
+		if s.cfg.Region.UUID == (ibeacon.UUID{}) || s.cfg.Region.Matches(pkt) {
+			sl.id = pkt.ID()
+			sl.power = pkt.MeasuredPower
+			a := s.acc[sl.id]
+			if a == nil {
+				a = &accum{}
+				s.acc[sl.id] = a
+			}
+			sl.acc = a
+		}
+	}
+	if len(s.slots) >= payloadCacheMaxEntries {
+		// FIFO single victim: drop the oldest entry, keep the rest in
+		// insertion order.
+		copy(s.slots, s.slots[1:])
+		s.slots = s.slots[:len(s.slots)-1]
+	}
+	s.slots = append(s.slots, sl)
+	s.lastSlot = len(s.slots) - 1
+	return &s.slots[s.lastSlot]
 }
 
 // closeCycle finalises the current scan period and begins the next.
@@ -324,11 +342,15 @@ func (s *Scanner) closeCycle(now time.Duration) {
 }
 
 // sortSamples orders samples by beacon identity so cycle contents are
-// deterministic despite map iteration.
+// deterministic despite map iteration. Concrete insertion sort: a cycle
+// holds a handful of beacons and runs every scan period, where
+// sort.Slice's reflection-based swaps would dominate.
 func sortSamples(samples []Sample) {
-	sort.Slice(samples, func(i, j int) bool {
-		return samples[i].Beacon.Compare(samples[j].Beacon) < 0
-	})
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j].Beacon.Compare(samples[j-1].Beacon) < 0; j-- {
+			samples[j], samples[j-1] = samples[j-1], samples[j]
+		}
+	}
 }
 
 // Stats summarise a scanner's lifetime activity, used by the Section V

@@ -354,3 +354,78 @@ func TestRestartOverheadReducesRawCount(t *testing.T) {
 		t.Fatalf("500 ms dead time should cut raw receptions ≈50%%: %v vs %v", half, none)
 	}
 }
+
+// TestPayloadCacheBoundedUnderChurn pins the payload-memo bound: a
+// workload streaming receptions from ever-fresh payload buffers (the
+// adversarial case for a pointer-keyed cache) must not grow the memo
+// past its cap, must evict FIFO (oldest first), and must keep decoding
+// correctly throughout.
+func TestPayloadCacheBoundedUnderChurn(t *testing.T) {
+	w := newWorld(t, 9)
+	s, err := Attach(w, "p", mobility.Static{P: geom.Pt(1, 0)}, Config{
+		Period:  time.Second,
+		Profile: device.IPhone5S(), // no dead time, every packet delivered
+	}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := payloadCacheMaxEntries + 500
+	for i := 0; i < total; i++ {
+		pkt := ibeacon.Packet{
+			UUID:          building.DeploymentUUID,
+			Major:         1,
+			Minor:         uint16(i % 7),
+			MeasuredPower: -59,
+		}
+		// Marshal allocates a fresh buffer per reception: every payload
+		// is a cache miss after warmup.
+		s.onReception(ble.Reception{At: time.Duration(i) * time.Millisecond, Payload: pkt.Marshal(), RSSI: -60})
+		if len(s.slots) > payloadCacheMaxEntries {
+			t.Fatalf("cache grew to %d entries after %d receptions, cap %d",
+				len(s.slots), i+1, payloadCacheMaxEntries)
+		}
+	}
+	if len(s.slots) != payloadCacheMaxEntries {
+		t.Fatalf("cache size after churn = %d, want exactly %d (incremental eviction)",
+			len(s.slots), payloadCacheMaxEntries)
+	}
+	// Every reception must still have been decoded and accumulated.
+	if s.totalRaw != total {
+		t.Fatalf("decoded %d of %d churned receptions", s.totalRaw, total)
+	}
+	// FIFO: the oldest cached payloads are gone, the newest are present.
+	for i, sl := range s.slots {
+		if sl.key == nil {
+			t.Fatalf("slot %d has nil key", i)
+		}
+	}
+}
+
+// TestPayloadCacheStableBuffersHit pins the steady-state behaviour the
+// cache is for: beacons advertising one fixed buffer never evict, and
+// repeat receptions bypass parsing entirely (slot count stays at the
+// advertiser count).
+func TestPayloadCacheStableBuffersHit(t *testing.T) {
+	w := newWorld(t, 10)
+	s, err := Attach(w, "p", mobility.Static{P: geom.Pt(1, 0)}, Config{
+		Period:  time.Second,
+		Profile: device.IPhone5S(),
+	}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, 5)
+	for i := range payloads {
+		pkt := ibeacon.Packet{UUID: building.DeploymentUUID, Major: 1, Minor: uint16(i), MeasuredPower: -59}
+		payloads[i] = pkt.Marshal()
+	}
+	for i := 0; i < 2000; i++ {
+		s.onReception(ble.Reception{At: time.Duration(i) * time.Millisecond, Payload: payloads[i%5], RSSI: -60})
+	}
+	if len(s.slots) != 5 {
+		t.Fatalf("stable advertisers filled %d slots, want 5", len(s.slots))
+	}
+	if s.totalRaw != 2000 {
+		t.Fatalf("decoded %d of 2000", s.totalRaw)
+	}
+}

@@ -30,9 +30,18 @@ type kernelMatrix struct {
 	clock    int64
 	live     int
 	maxRows  int
+	// free recycles evicted row slabs, and arena carves fresh rows from
+	// one backing slab — row churn is the SMO solver's dominant
+	// allocation source otherwise.
+	free  [][]float64
+	arena []float64
 }
 
-func newKernelMatrix(X [][]float64, k Kernel) *kernelMatrix {
+// newKernelMatrix builds the lazy Gram server. norms optionally carries
+// precomputed squared row norms for the RBF case (a caller training
+// many machines over subsets of one scaled dataset shares them); nil
+// computes them here.
+func newKernelMatrix(X [][]float64, k Kernel, norms []float64) *kernelMatrix {
 	n := len(X)
 	km := &kernelMatrix{
 		X:        X,
@@ -53,16 +62,25 @@ func newKernelMatrix(X [][]float64, k Kernel) *kernelMatrix {
 	if rbf, ok := k.(RBF); ok {
 		km.rbf = true
 		km.gamma = rbf.Gamma
-		km.norms = make([]float64, n)
-		for i, x := range X {
-			var s float64
-			for _, v := range x {
-				s += v * v
-			}
-			km.norms[i] = s
+		if norms == nil {
+			norms = squaredNorms(X)
 		}
+		km.norms = norms
 	}
 	return km
+}
+
+// squaredNorms returns ‖X_i‖² per row.
+func squaredNorms(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // row returns the i-th Gram row, computing and caching it if needed.
@@ -75,7 +93,7 @@ func (m *kernelMatrix) row(i int) []float64 {
 	if m.live >= m.maxRows {
 		m.evict()
 	}
-	r := make([]float64, len(m.X))
+	r := m.newRow()
 	xi := m.X[i]
 	if m.rbf {
 		ni := m.norms[i]
@@ -97,7 +115,33 @@ func (m *kernelMatrix) row(i int) []float64 {
 	return r
 }
 
-// evict drops the least-recently-used cached row.
+// newRow returns a zeroable row buffer: a recycled eviction victim if
+// one is free, else a carve from the arena (grown in row-batch chunks).
+func (m *kernelMatrix) newRow() []float64 {
+	if k := len(m.free); k > 0 {
+		r := m.free[k-1]
+		m.free = m.free[:k-1]
+		return r
+	}
+	n := len(m.X)
+	if len(m.arena) < n {
+		// One chunk serves many rows; 16 at a time bounds waste for
+		// machines that converge after touching a handful.
+		chunk := 16
+		if left := m.maxRows - m.live; chunk > left {
+			chunk = left
+		}
+		if chunk < 1 {
+			chunk = 1
+		}
+		m.arena = make([]float64, n*chunk)
+	}
+	r := m.arena[:n:n]
+	m.arena = m.arena[n:]
+	return r
+}
+
+// evict drops the least-recently-used cached row and recycles its slab.
 func (m *kernelMatrix) evict() {
 	victim, oldest := -1, int64(math.MaxInt64)
 	for i, r := range m.rows {
@@ -106,6 +150,7 @@ func (m *kernelMatrix) evict() {
 		}
 	}
 	if victim >= 0 {
+		m.free = append(m.free, m.rows[victim])
 		m.rows[victim] = nil
 		m.live--
 	}

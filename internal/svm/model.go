@@ -37,8 +37,16 @@ func Train(X [][]float64, labels []string, cfg TrainConfig) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	Xs := scaler.TransformAll(X)
+	return trainScaled(scaler.TransformAll(X), labels, scaler, nil, cfg)
+}
 
+// trainScaled fits the one-vs-one ensemble on rows that are already
+// standardised with scaler. norms optionally carries the rows' squared
+// norms (computed here when nil); every pairwise machine slices its
+// subset out of the shared vector instead of recomputing dot products,
+// which is what lets the grid search reuse one fold-scaling across the
+// whole (C, γ) grid.
+func trainScaled(Xs [][]float64, labels []string, scaler *Scaler, norms []float64, cfg TrainConfig) (*Model, error) {
 	classSet := map[string]bool{}
 	for _, l := range labels {
 		classSet[l] = true
@@ -56,26 +64,31 @@ func Train(X [][]float64, labels []string, cfg TrainConfig) (*Model, error) {
 		classIdx[c] = i
 	}
 
-	cfgDef := cfg.withDefaults(len(X[0]))
+	cfgDef := cfg.withDefaults(len(Xs[0]))
+	if norms == nil {
+		norms = squaredNorms(Xs)
+	}
 	model := &Model{classes: classes, scaler: scaler, kernel: cfgDef.Kernel}
 	for a := 0; a < len(classes); a++ {
 		for b := a + 1; b < len(classes); b++ {
 			var px [][]float64
-			var py []float64
+			var py, pn []float64
 			for i, l := range labels {
 				switch classIdx[l] {
 				case a:
 					px = append(px, Xs[i])
 					py = append(py, 1)
+					pn = append(pn, norms[i])
 				case b:
 					px = append(px, Xs[i])
 					py = append(py, -1)
+					pn = append(pn, norms[i])
 				}
 			}
 			pairCfg := cfgDef
 			// Distinct but deterministic seed per pair.
 			pairCfg.Seed = cfg.Seed ^ uint64(a*1000003+b)
-			bm, err := trainBinary(px, py, pairCfg)
+			bm, err := trainBinary(px, py, pn, pairCfg)
 			if err != nil {
 				return nil, fmt.Errorf("svm: pair (%s, %s): %w", classes[a], classes[b], err)
 			}
@@ -101,7 +114,13 @@ func (m *Model) NumSupportVectors() int {
 // Predict returns the majority-vote class for x. Vote ties break towards
 // the lexicographically smaller class label, deterministically.
 func (m *Model) Predict(x []float64) string {
-	xs := m.scaler.Transform(x)
+	return m.predictScaled(m.scaler.Transform(x))
+}
+
+// predictScaled is Predict for rows already standardised with the
+// model's scaler (the grid search pre-scales each fold's test rows
+// once).
+func (m *Model) predictScaled(xs []float64) string {
 	votes := make([]int, len(m.classes))
 	for _, p := range m.pairs {
 		if p.m.decision(xs) >= 0 {
@@ -207,14 +226,64 @@ type GridPoint struct {
 	Accuracy float64
 }
 
+// cvFold is one pre-resolved cross-validation fold: training and test
+// rows standardised once with the fold's own scaler (fit on the
+// training split only, as Train would), plus the training rows' squared
+// norms. Every grid point reuses these — the fold split, the scaling
+// and the norms depend on the data and the shuffle seed, not on (C, γ).
+type cvFold struct {
+	scaler *Scaler
+	trX    [][]float64
+	trY    []string
+	teX    [][]float64
+	teY    []string
+	norms  []float64
+}
+
+// buildFolds splits (X, labels) round-robin over the permutation seeded
+// by seed and resolves each fold's scaling and norms once.
+func buildFolds(X [][]float64, labels []string, folds int, seed uint64) ([]cvFold, error) {
+	perm := permFromSeed(len(X), seed)
+	out := make([]cvFold, 0, folds)
+	for f := 0; f < folds; f++ {
+		var fd cvFold
+		var trRaw, teRaw [][]float64
+		for i, pi := range perm {
+			if i%folds == f {
+				teRaw = append(teRaw, X[pi])
+				fd.teY = append(fd.teY, labels[pi])
+			} else {
+				trRaw = append(trRaw, X[pi])
+				fd.trY = append(fd.trY, labels[pi])
+			}
+		}
+		if len(trRaw) == 0 || len(teRaw) == 0 {
+			continue
+		}
+		scaler, err := FitScaler(trRaw)
+		if err != nil {
+			return nil, err
+		}
+		fd.scaler = scaler
+		fd.trX = scaler.TransformAll(trRaw)
+		fd.teX = scaler.TransformAll(teRaw)
+		fd.norms = squaredNorms(fd.trX)
+		out = append(out, fd)
+	}
+	return out, nil
+}
+
 // GridSearch cross-validates an RBF SVM over the (C, gamma) grid with k
 // folds and returns every point evaluated plus the best configuration.
 // Folds are assigned round-robin after a deterministic shuffle seeded by
-// cfgSeed.
+// cfgSeed; each fold's dataset is scaled once and its RBF squared norms
+// are shared across the whole grid, so a grid point pays only its own
+// SMO solves.
 //
 // Grid points are independent training problems, so they fan out across
-// CPU cores; the result slice keeps grid order and the best point is
-// chosen by an in-order scan, so the selection is deterministic.
+// CPU cores (the folds are read-only once built); the result slice
+// keeps grid order and the best point is chosen by an in-order scan, so
+// the selection is deterministic.
 func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int, cfgSeed uint64) ([]GridPoint, GridPoint, error) {
 	if folds < 2 {
 		return nil, GridPoint{}, fmt.Errorf("svm: grid search needs at least 2 folds, got %d", folds)
@@ -225,14 +294,30 @@ func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int,
 	if len(cs) == 0 || len(gammas) == 0 {
 		return nil, GridPoint{}, fmt.Errorf("svm: empty grid")
 	}
+	fds, err := buildFolds(X, labels, folds, cfgSeed)
+	if err != nil {
+		return nil, GridPoint{}, err
+	}
 	points := make([]GridPoint, len(cs)*len(gammas))
-	err := par.ForEach(len(points), func(i int) error {
-		c, g := cs[i/len(gammas)], gammas[i%len(gammas)]
-		acc, err := crossValidate(X, labels, TrainConfig{C: c, Kernel: RBF{Gamma: g}, Seed: cfgSeed}, folds)
-		if err != nil {
-			return err
+	err = par.ForEach(len(points), func(i int) error {
+		cfg := TrainConfig{C: cs[i/len(gammas)], Kernel: RBF{Gamma: gammas[i%len(gammas)]}, Seed: cfgSeed}
+		correct, total := 0, 0
+		for _, fd := range fds {
+			m, err := trainScaled(fd.trX, fd.trY, fd.scaler, fd.norms, cfg)
+			if err != nil {
+				return err
+			}
+			for j, x := range fd.teX {
+				if m.predictScaled(x) == fd.teY[j] {
+					correct++
+				}
+				total++
+			}
 		}
-		points[i] = GridPoint{C: c, Gamma: g, Accuracy: acc}
+		if total == 0 {
+			return fmt.Errorf("svm: cross-validation produced no test rows")
+		}
+		points[i] = GridPoint{C: cfg.C, Gamma: gammas[i%len(gammas)], Accuracy: float64(correct) / float64(total)}
 		return nil
 	})
 	if err != nil {
@@ -245,43 +330,6 @@ func GridSearch(X [][]float64, labels []string, cs, gammas []float64, folds int,
 		}
 	}
 	return points, best, nil
-}
-
-// crossValidate returns mean k-fold accuracy for the configuration.
-func crossValidate(X [][]float64, labels []string, cfg TrainConfig, folds int) (float64, error) {
-	n := len(X)
-	perm := permFromSeed(n, cfg.Seed)
-	correct, total := 0, 0
-	for f := 0; f < folds; f++ {
-		var trX, teX [][]float64
-		var trY, teY []string
-		for i, pi := range perm {
-			if i%folds == f {
-				teX = append(teX, X[pi])
-				teY = append(teY, labels[pi])
-			} else {
-				trX = append(trX, X[pi])
-				trY = append(trY, labels[pi])
-			}
-		}
-		if len(trX) == 0 || len(teX) == 0 {
-			continue
-		}
-		m, err := Train(trX, trY, cfg)
-		if err != nil {
-			return 0, err
-		}
-		for i, x := range teX {
-			if m.Predict(x) == teY[i] {
-				correct++
-			}
-			total++
-		}
-	}
-	if total == 0 {
-		return 0, fmt.Errorf("svm: cross-validation produced no test rows")
-	}
-	return float64(correct) / float64(total), nil
 }
 
 // permFromSeed returns a deterministic pseudo-random permutation of

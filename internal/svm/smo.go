@@ -72,8 +72,10 @@ func (m *binary) decision(x []float64) float64 {
 }
 
 // trainBinary runs simplified SMO (Platt's algorithm with the randomised
-// second-choice heuristic) on X with labels y ∈ {−1, +1}.
-func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
+// second-choice heuristic) on X with labels y ∈ {−1, +1}. norms
+// optionally carries the rows' squared norms for the RBF kernel (nil
+// recomputes).
+func trainBinary(X [][]float64, y []float64, norms []float64, cfg TrainConfig) (*binary, error) {
 	if len(X) == 0 {
 		return nil, fmt.Errorf("svm: empty training set")
 	}
@@ -91,7 +93,7 @@ func trainBinary(X [][]float64, y []float64, cfg TrainConfig) (*binary, error) {
 	}
 
 	n := len(X)
-	km := newKernelMatrix(X, cfg.Kernel)
+	km := newKernelMatrix(X, cfg.Kernel, norms)
 
 	alpha := make([]float64, n)
 	b := 0.0

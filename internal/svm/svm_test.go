@@ -91,7 +91,7 @@ func TestBinaryLinearlySeparable(t *testing.T) {
 		X = append(X, []float64{src.Normal(3, 0.5), src.Normal(0, 0.5)})
 		y = append(y, 1)
 	}
-	m, err := trainBinary(X, y, TrainConfig{C: 1, Kernel: Linear{}, Seed: 7})
+	m, err := trainBinary(X, y, nil, TrainConfig{C: 1, Kernel: Linear{}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestBinaryXORNeedsRBF(t *testing.T) {
 			y = append(y, q[2])
 		}
 	}
-	rbf, err := trainBinary(X, y, TrainConfig{C: 10, Kernel: RBF{Gamma: 1}, Seed: 3})
+	rbf, err := trainBinary(X, y, nil, TrainConfig{C: 10, Kernel: RBF{Gamma: 1}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestBinaryXORNeedsRBF(t *testing.T) {
 	if a := acc(rbf); a < 0.95 {
 		t.Fatalf("RBF on XOR accuracy = %v", a)
 	}
-	lin, err := trainBinary(X, y, TrainConfig{C: 10, Kernel: Linear{}, Seed: 3})
+	lin, err := trainBinary(X, y, nil, TrainConfig{C: 10, Kernel: Linear{}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,16 +154,16 @@ func TestBinaryXORNeedsRBF(t *testing.T) {
 }
 
 func TestBinaryErrors(t *testing.T) {
-	if _, err := trainBinary(nil, nil, TrainConfig{C: 1}); err == nil {
+	if _, err := trainBinary(nil, nil, nil, TrainConfig{C: 1}); err == nil {
 		t.Error("empty set should fail")
 	}
-	if _, err := trainBinary([][]float64{{1}}, []float64{1, 2}, TrainConfig{C: 1}); err == nil {
+	if _, err := trainBinary([][]float64{{1}}, []float64{1, 2}, nil, TrainConfig{C: 1}); err == nil {
 		t.Error("length mismatch should fail")
 	}
-	if _, err := trainBinary([][]float64{{1}}, []float64{0.5}, TrainConfig{C: 1}); err == nil {
+	if _, err := trainBinary([][]float64{{1}}, []float64{0.5}, nil, TrainConfig{C: 1}); err == nil {
 		t.Error("non-±1 label should fail")
 	}
-	if _, err := trainBinary([][]float64{{1}}, []float64{1}, TrainConfig{C: 0}); err == nil {
+	if _, err := trainBinary([][]float64{{1}}, []float64{1}, nil, TrainConfig{C: 0}); err == nil {
 		t.Error("invalid config should fail")
 	}
 }
@@ -331,6 +331,53 @@ func TestGridSearch(t *testing.T) {
 	for _, p := range points {
 		if p.Accuracy < 0 || p.Accuracy > 1 {
 			t.Fatalf("accuracy %v out of range", p.Accuracy)
+		}
+	}
+}
+
+// TestGridSearchMatchesNaiveCV pins that the fold-cached grid search
+// (one scaling + one norms vector per fold, shared across the grid) is
+// result-identical to training each point from scratch with Train on
+// the same fold splits.
+func TestGridSearchMatchesNaiveCV(t *testing.T) {
+	X, y := threeBlobs(18, 29)
+	cs := []float64{0.5, 5}
+	gammas := []float64{0.1, 1}
+	const folds, seed = 3, 41
+	points, _, err := GridSearch(X, y, cs, gammas, folds, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := permFromSeed(len(X), seed)
+	for pi, p := range points {
+		correct, total := 0, 0
+		for f := 0; f < folds; f++ {
+			var trX, teX [][]float64
+			var trY, teY []string
+			for i, idx := range perm {
+				if i%folds == f {
+					teX = append(teX, X[idx])
+					teY = append(teY, y[idx])
+				} else {
+					trX = append(trX, X[idx])
+					trY = append(trY, y[idx])
+				}
+			}
+			m, err := Train(trX, trY, TrainConfig{C: p.C, Kernel: RBF{Gamma: p.Gamma}, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range teX {
+				if m.Predict(x) == teY[i] {
+					correct++
+				}
+				total++
+			}
+		}
+		naive := float64(correct) / float64(total)
+		if p.Accuracy != naive {
+			t.Fatalf("point %d (C=%v γ=%v): cached CV accuracy %v != naive %v",
+				pi, p.C, p.Gamma, p.Accuracy, naive)
 		}
 	}
 }

@@ -97,7 +97,9 @@ func (t *Trace) Replay(f filter.DistanceFilter) [][]filter.Estimate {
 				})
 			}
 		}
-		out = append(out, f.Update(c.End, obs))
+		// Update's return buffer is reused on the next call; this trace
+		// keeps every cycle's estimates, so copy.
+		out = append(out, append([]filter.Estimate(nil), f.Update(c.End, obs)...))
 	}
 	return out
 }
