@@ -2,11 +2,11 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 1
+PR ?= 4
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR2.json
+DIFF_BASE ?= BENCH_PR3.json
 
-.PHONY: all build vet test test-short test-race bench bench-smoke bench-diff
+.PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest
 
 all: vet build test
 
@@ -40,3 +40,9 @@ bench-smoke:
 # table against DIFF_BASE (ns/op, speedup, allocs).
 bench-diff:
 	$(GO) run ./cmd/bench -pr $(PR) -diff $(DIFF_BASE)
+
+# loadtest is the CI smoke of the fleet layer: cmd/loadgen drives a
+# synthetic crowd through an in-process 2-shard fleet.Gateway (train,
+# distribute, route, federate) in a few seconds.
+loadtest:
+	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7

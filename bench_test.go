@@ -226,6 +226,37 @@ func BenchmarkCounting(b *testing.B) {
 	}
 }
 
+// benchCrowdFleet is the shared body of the CrowdFleet family: the
+// 64-device crowd through a consistent-hash fleet of n shards.
+// fleet_rep_per_s is the distributed critical-path throughput (reports
+// over the slowest shard's measured ingest time — shards deploy on
+// separate machines, so that max IS the fleet's wall clock; each
+// shard's time is measured as its own serial phase, making the number
+// exact on any core count). onebox_rep_per_s is the same work summed
+// onto one box, and shard_max_pct shows ring balance (the critical
+// path's share of total work; 1/n is perfect).
+func benchCrowdFleet(b *testing.B, shards int) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdFleet(64, shards, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FleetThroughput, "fleet_rep_per_s")
+		b.ReportMetric(res.OneBoxThroughput, "onebox_rep_per_s")
+		b.ReportMetric(100*res.FleetElapsed.Seconds()/res.TotalElapsed.Seconds(), "shard_max_pct")
+		b.ReportMetric(100*res.PlacementAccuracy, "placement_pct")
+	}
+}
+
+// BenchmarkCrowdFleet1Shard is the fleet baseline: the whole crowd
+// through a 1-shard gateway (critical path == total work).
+func BenchmarkCrowdFleet1Shard(b *testing.B) { benchCrowdFleet(b, 1) }
+
+// BenchmarkCrowdFleet4Shards is the scaling point the PR pins: ≥2×
+// fleet_rep_per_s over the 1-shard baseline (ring balance puts the
+// slowest shard well under half the work).
+func BenchmarkCrowdFleet4Shards(b *testing.B) { benchCrowdFleet(b, 4) }
+
 // BenchmarkCrowdIngest measures the server-side scale axis: 32 devices
 // streaming coalesced report batches into one BMS concurrently (striped
 // store/tracker, lock-free scene-analysis classification). rep_per_s is

@@ -4,6 +4,13 @@
 //
 //	go run ./cmd/bmsd -addr :8080 -plan paper-house -snapshot bms.json
 //
+// With -shards N (N > 1) it instead serves a fleet gateway over N
+// in-process BMS shards: device reports are consistent-hash routed by
+// device id, occupancy queries answer from the federated merge, and
+// training (on the shard-0 store) distributes the model snapshot to
+// every shard. The API shape is identical either way, plus the
+// fleet-only /api/v1/rollup and /api/v1/shards views.
+//
 // Endpoints:
 //
 //	GET  /api/v1/health
@@ -12,14 +19,23 @@
 //	POST /api/v1/train          fit the scene-analysis SVM
 //	GET  /api/v1/occupancy      per-room head counts
 //	GET  /api/v1/events         committed enter/exit events
-//	GET  /api/v1/rooms          floor-plan inventory
-//	GET  /api/v1/energy         demand-response comparison
-//	GET  /api/v1/model          current serialised model
-//	GET  /api/v1/devices/{id}   latest report and room of one device
+//	GET  /api/v1/rooms          floor-plan inventory (single-server)
+//	GET  /api/v1/energy         demand-response comparison (single-server)
+//	GET  /api/v1/model          current serialised model (single-server)
+//	PUT  /api/v1/model          install/distribute a model snapshot
+//	GET  /api/v1/dwell          per-room dwell rollup
+//	GET  /api/v1/devices/{id}   latest report and room (single-server)
+//	GET  /api/v1/rollup         federated occupancy rollup (fleet)
+//	GET  /api/v1/shards         shard health and routing (fleet)
+//
+// On SIGINT/SIGTERM the server drains: the listener closes first so
+// loadgen runs see connection-refused rather than mid-flight resets,
+// in-flight ingest requests run to completion (bounded by -drain), and
+// only then is training state snapshotted and the process exits.
 //
 // With -snapshot, training state (fingerprints and the fitted model) is
-// restored at boot and persisted on SIGINT/SIGTERM, so a restarted
-// server keeps classifying without a fresh collection walk.
+// restored at boot and persisted after the drain, so a restarted server
+// keeps classifying without a fresh collection walk.
 package main
 
 import (
@@ -31,76 +47,150 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"occusim/internal/bms"
 	"occusim/internal/building"
+	"occusim/internal/fleet"
 	"occusim/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	plan := flag.String("plan", "paper-house", "floor plan: paper-house, office-floor, single-room, corridor")
+	shards := flag.Int("shards", 1, "BMS shard count (1: single server, >1: in-process fleet behind a gateway)")
 	debounce := flag.Int("debounce", 2, "occupancy tracker debounce (consecutive classifications)")
 	retain := flag.Int("retain", 1000, "observations retained per device")
 	snapshot := flag.String("snapshot", "", "path for persisted training state (load at boot, save on shutdown)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown grace for in-flight requests")
 	flag.Parse()
 
-	b, err := planByName(*plan)
+	b, err := building.ByName(*plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	st, err := store.New(*retain)
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "bmsd: -shards must be at least 1")
+		os.Exit(2)
+	}
+
+	// Build the shard pool. The first server owns the training store
+	// (fingerprints, model snapshot persistence); with one shard it is
+	// simply the whole BMS.
+	pool, err := fleet.NewLocalPool(b, *shards, *debounce, *retain)
 	if err != nil {
 		log.Fatal(err)
 	}
+	trainer, trainerStore := pool.Servers[0], pool.Stores[0]
 	if *snapshot != "" {
-		if err := loadSnapshot(st, *snapshot); err != nil {
+		if err := loadSnapshot(trainerStore, *snapshot); err != nil {
 			log.Fatal(err)
 		}
 	}
-	server, err := bms.NewServer(b, st, *debounce)
-	if err != nil {
-		log.Fatal(err)
+
+	var handler http.Handler
+	var gateway *fleet.Gateway
+	if *shards == 1 {
+		handler = trainer.Handler()
+	} else {
+		// ProbeInterval keeps external health polling from fanning a
+		// probe per shard per request (and from flapping routing).
+		gateway, err = fleet.New(pool.Shards, fleet.Config{ProbeInterval: 2 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = fleet.Handler(gateway, fleet.HandlerOptions{Trainer: trainer})
 	}
+
 	// A restored model blob needs retraining into the live classifier;
-	// retrain from restored fingerprints when present.
-	if st.FingerprintCount() > 0 {
-		if res, err := server.Train(0, 0, 0); err != nil {
+	// retrain from restored fingerprints when present, and in fleet mode
+	// distribute the result to every shard.
+	if trainerStore.FingerprintCount() > 0 {
+		if res, err := trainer.Train(0, 0, 0); err != nil {
 			log.Printf("bmsd: could not retrain from snapshot: %v", err)
 		} else {
 			log.Printf("bmsd: retrained from snapshot: %d fingerprints, %d support vectors",
 				res.Samples, res.SupportVectors)
-		}
-	}
-
-	httpServer := &http.Server{Addr: *addr, Handler: server.Handler()}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("bmsd: shutting down")
-		if *snapshot != "" {
-			if err := saveSnapshot(st, *snapshot); err != nil {
-				log.Printf("bmsd: snapshot save failed: %v", err)
-			} else {
-				log.Printf("bmsd: training state saved to %s", *snapshot)
+			if gateway != nil {
+				if snap, ok := trainer.ModelSnapshot(); ok {
+					if err := gateway.DistributeModel(snap); err != nil {
+						log.Printf("bmsd: model distribution failed: %v", err)
+					} else {
+						log.Printf("bmsd: model v%d distributed to %d shards", snap.Version, gateway.Shards())
+					}
+				}
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = httpServer.Shutdown(ctx)
+	}
+
+	// inflight counts requests between accept and handler return, so the
+	// drain log shows what Shutdown is actually waiting for.
+	var inflight atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		handler.ServeHTTP(w, r)
+	})
+	httpServer := &http.Server{Addr: *addr, Handler: counted}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- httpServer.ListenAndServe()
 	}()
 
-	log.Printf("bmsd: serving %q (%d rooms, %d beacons) on %s", b.Name, len(b.Rooms), len(b.Beacons), *addr)
-	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	mode := "single server"
+	if *shards > 1 {
+		mode = fmt.Sprintf("%d-shard fleet", *shards)
 	}
-	<-done
+	log.Printf("bmsd: serving %q (%d rooms, %d beacons) as %s on %s",
+		b.Name, len(b.Rooms), len(b.Beacons), mode, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	case s := <-sig:
+		log.Printf("bmsd: %v — draining %d in-flight request(s), closing listener", s, inflight.Load())
+	}
+
+	// Shutdown closes the listener immediately, then waits for in-flight
+	// handlers: ingest requests already accepted run to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	if err := httpServer.Shutdown(ctx); err != nil {
+		// Shutdown returned early but the abandoned handlers are still
+		// running; give them a short grace so the snapshot below does
+		// not race their writes, and say so if any remain.
+		deadline := time.Now().Add(5 * time.Second)
+		for inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if n := inflight.Load(); n > 0 {
+			log.Printf("bmsd: drain cut short after %v: %v (%d request(s) still running; the saved snapshot may miss their writes)",
+				*drain, err, n)
+		} else {
+			log.Printf("bmsd: drain exceeded %v but all handlers finished", *drain)
+		}
+	} else {
+		log.Print("bmsd: drained cleanly")
+	}
+	cancel()
+
+	// Persist training state only after the drain, so nothing lands in
+	// the store once the snapshot is cut.
+	if *snapshot != "" {
+		if err := saveSnapshot(trainerStore, *snapshot); err != nil {
+			log.Printf("bmsd: snapshot save failed: %v", err)
+		} else {
+			log.Printf("bmsd: training state saved to %s", *snapshot)
+		}
+	}
+	<-serveErr
 }
 
 // loadSnapshot restores training state when the file exists; a missing
@@ -137,19 +227,4 @@ func saveSnapshot(st *store.Store, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
-}
-
-func planByName(name string) (*building.Building, error) {
-	switch name {
-	case "paper-house":
-		return building.PaperHouse(), nil
-	case "office-floor":
-		return building.OfficeFloor(), nil
-	case "single-room":
-		return building.SingleRoom(), nil
-	case "corridor":
-		return building.TwoBeaconCorridor(), nil
-	default:
-		return nil, fmt.Errorf("bmsd: unknown plan %q", name)
-	}
 }

@@ -1,0 +1,335 @@
+// Command loadgen is the crowd-scale load generator: it replays trace
+// recordings or synthesises mobility-driven report streams for a
+// configurable device count and rate, drives them through coalescing
+// uplinks against a gateway, and reports ingest throughput and exchange
+// latency percentiles.
+//
+// Two targets are supported:
+//
+//	go run ./cmd/loadgen -shards 4 -devices 64 -reports 150
+//	    self-contained: an in-process fleet.Gateway over N BMS shards
+//	    (trained and model-distributed before the measured run)
+//
+//	go run ./cmd/loadgen -target http://127.0.0.1:8080 -devices 32
+//	    an HTTP endpoint serving the BMS observation API — a single
+//	    bmsd, or a bmsd -shards N fleet gateway; transient failures are
+//	    retried with capped exponential backoff
+//
+// With -trace, the recording's scan cycles are replayed through the
+// paper's history filter and the resulting ranging reports are cloned
+// across the simulated devices (device names remapped), so real
+// captured mobility drives the load instead of the synthetic crowd.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/experiments"
+	"occusim/internal/filter"
+	"occusim/internal/fleet"
+	"occusim/internal/stats"
+	"occusim/internal/trace"
+	"occusim/internal/transport"
+)
+
+func main() {
+	target := flag.String("target", "", "HTTP endpoint (empty: in-process fleet)")
+	shards := flag.Int("shards", 2, "in-process fleet shard count (with empty -target)")
+	plan := flag.String("plan", "paper-house", "floor plan for stream synthesis and the in-process fleet")
+	devices := flag.Int("devices", 32, "simulated handset count")
+	reports := flag.Int("reports", 150, "reports per device (synthetic streams)")
+	rate := flag.Float64("rate", 0, "total reports/s pacing across the crowd (0: unpaced)")
+	batch := flag.Int("batch", 64, "max reports per coalesced batch")
+	flush := flag.Float64("flush", 20, "batch flush window in report-time seconds")
+	tracePath := flag.String("trace", "", "trace JSON to replay as every device's stream")
+	seed := flag.Uint64("seed", 11, "stream synthesis seed")
+	flag.Parse()
+
+	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64) error {
+	if devices < 1 {
+		return fmt.Errorf("need at least 1 device")
+	}
+	b, err := building.ByName(plan)
+	if err != nil {
+		return err
+	}
+
+	var streams [][]transport.Report
+	if tracePath != "" {
+		streams, err = traceStreams(tracePath, devices)
+	} else {
+		streams, _, _ = experiments.SynthCrowdStreams(b, devices, reports, seed)
+	}
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	if total == 0 {
+		return fmt.Errorf("no reports to send")
+	}
+
+	// Resolve the target: a remote HTTP gateway or an in-process fleet.
+	var sink transport.Uplink
+	var gw *fleet.Gateway
+	if target != "" {
+		sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry()}
+		fmt.Printf("loadgen: %d devices, %d reports → %s\n", devices, total, target)
+	} else {
+		gw, err = inProcessFleet(b, shards, seed)
+		if err != nil {
+			return err
+		}
+		sink = fleet.GatewayUplink{Gateway: gw}
+		fmt.Printf("loadgen: %d devices, %d reports → in-process %d-shard fleet\n", devices, total, shards)
+	}
+	rec := &latencyRecorder{next: sink}
+
+	// The measured run: each device streams through its own coalescing
+	// uplink; pacing (when requested) spreads sends over wall time.
+	var perDeviceGap time.Duration
+	if rate > 0 {
+		perDeviceGap = time.Duration(float64(devices) / rate * float64(time.Second))
+	}
+	start := time.Now()
+	errs := make([]error, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			uplink, err := transport.NewBatchingUplink(rec, transport.BatchConfig{
+				FlushSeconds: flush,
+				MaxBatch:     batch,
+			})
+			if err != nil {
+				errs[d] = err
+				return
+			}
+			for _, rep := range streams[d] {
+				if perDeviceGap > 0 {
+					time.Sleep(perDeviceGap)
+				}
+				if err := uplink.Send(rep); err != nil {
+					errs[d] = err
+					return
+				}
+			}
+			errs[d] = uplink.Flush()
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for d, err := range errs {
+		if err != nil {
+			return fmt.Errorf("device %d: %w", d, err)
+		}
+	}
+
+	printReport(total, elapsed, rec)
+	if gw != nil {
+		printRollup(gw)
+	} else {
+		printRemoteOccupancy(target)
+	}
+	return nil
+}
+
+// inProcessFleet builds, trains and model-distributes a local fleet.
+func inProcessFleet(b *building.Building, shards int, seed uint64) (*fleet.Gateway, error) {
+	pool, err := fleet.NewLocalPool(b, shards, 2, 1000)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Rooms) < 2 {
+		// The scene-analysis SVM needs at least two classes; plans with
+		// fewer rooms run on the default proximity classifier.
+		return gw, nil
+	}
+	if err := experiments.TrainAndDistribute(gw, b, seed); err != nil {
+		return nil, err
+	}
+	return gw, nil
+}
+
+// traceStreams replays a recorded session through the paper's history
+// filter and clones the resulting ranging reports across the devices.
+func traceStreams(path string, devices int) ([][]transport.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := filter.NewHistory(filter.PaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	estimates := tr.Replay(hist)
+	base := make([]transport.Report, 0, len(tr.Cycles))
+	for i, c := range tr.Cycles {
+		rep := transport.Report{AtSeconds: c.End.Seconds()}
+		for _, e := range estimates[i] {
+			rep.Beacons = append(rep.Beacons, transport.BeaconReport{
+				ID:       e.Beacon.String(),
+				Distance: e.Distance,
+				RSSI:     -60 - 2*e.Distance,
+			})
+		}
+		if len(rep.Beacons) > 0 {
+			base = append(base, rep)
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("trace %s yields no ranging reports", path)
+	}
+	streams := make([][]transport.Report, devices)
+	for d := range streams {
+		streams[d] = make([]transport.Report, len(base))
+		copy(streams[d], base)
+		for i := range streams[d] {
+			streams[d][i].Device = fmt.Sprintf("replay-%03d", d)
+		}
+	}
+	return streams, nil
+}
+
+// latencyRecorder measures every exchange against the sink. It is the
+// shared funnel for all device goroutines, so it also counts batches.
+type latencyRecorder struct {
+	next transport.Uplink
+
+	mu        sync.Mutex
+	durations []float64 // milliseconds per exchange
+	batches   int
+	sent      int
+}
+
+func (l *latencyRecorder) Name() string { return "measured(" + l.next.Name() + ")" }
+
+func (l *latencyRecorder) Send(r transport.Report) error {
+	start := time.Now()
+	err := l.next.Send(r)
+	l.observe(start, 1, err)
+	return err
+}
+
+func (l *latencyRecorder) SendBatch(reports []transport.Report) error {
+	bs, ok := l.next.(transport.BatchSender)
+	if !ok {
+		for _, r := range reports {
+			if err := l.Send(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	err := bs.SendBatch(reports)
+	l.observe(start, len(reports), err)
+	return err
+}
+
+func (l *latencyRecorder) observe(start time.Time, n int, err error) {
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	l.mu.Lock()
+	l.durations = append(l.durations, ms)
+	l.batches++
+	if err == nil {
+		l.sent += n
+	}
+	l.mu.Unlock()
+}
+
+func printReport(total int, elapsed time.Duration, rec *latencyRecorder) {
+	rec.mu.Lock()
+	durations := append([]float64(nil), rec.durations...)
+	batches, sent := rec.batches, rec.sent
+	rec.mu.Unlock()
+
+	fmt.Printf("sent %d reports in %v → %.0f reports/s (%d exchanges, mean batch %.1f)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(),
+		batches, float64(sent)/float64(batches))
+	if total != sent {
+		fmt.Printf("WARNING: %d of %d reports unaccounted for\n", total-sent, total)
+	}
+	if len(durations) > 0 {
+		sort.Float64s(durations)
+		fmt.Printf("exchange latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+			stats.Percentile(durations, 50), stats.Percentile(durations, 90),
+			stats.Percentile(durations, 99), durations[len(durations)-1])
+	}
+}
+
+// printRollup renders the in-process fleet's federated occupancy view —
+// the payoff the load was generating for.
+func printRollup(gw *fleet.Gateway) {
+	rollup, err := gw.Rollup()
+	if err != nil {
+		fmt.Println("rollup unavailable:", err)
+		return
+	}
+	rooms := make([]string, 0, len(rollup.Rooms))
+	for room := range rollup.Rooms {
+		rooms = append(rooms, room)
+	}
+	sort.Strings(rooms)
+	var parts []string
+	for _, room := range rooms {
+		parts = append(parts, fmt.Sprintf("%s:%d", room, rollup.Rooms[room].Occupants))
+	}
+	fmt.Printf("federated rollup: %d devices, %d events | %s\n",
+		rollup.Devices, rollup.Events, strings.Join(parts, " "))
+	for _, s := range gw.Statuses() {
+		fmt.Printf("  %s: %d reports routed\n", s.Name, s.Routed)
+	}
+}
+
+// printRemoteOccupancy best-effort queries the target's occupancy view.
+func printRemoteOccupancy(target string) {
+	payload, err := transport.GetJSON(&http.Client{Timeout: 5 * time.Second},
+		target+"/api/v1/occupancy", transport.RetryPolicy{})
+	if err != nil {
+		return
+	}
+	var snap struct {
+		Rooms map[string]int `json:"rooms"`
+	}
+	if json.Unmarshal(payload, &snap) != nil {
+		return
+	}
+	rooms := make([]string, 0, len(snap.Rooms))
+	for room := range snap.Rooms {
+		rooms = append(rooms, room)
+	}
+	sort.Strings(rooms)
+	var parts []string
+	for _, room := range rooms {
+		parts = append(parts, fmt.Sprintf("%s:%d", room, snap.Rooms[room]))
+	}
+	fmt.Printf("remote occupancy: %s\n", strings.Join(parts, " "))
+}

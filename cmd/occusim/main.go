@@ -32,7 +32,7 @@ func main() {
 	showPlan := flag.Bool("show-plan", false, "print the floor plan before running")
 	flag.Parse()
 
-	b, err := planByName(*plan)
+	b, err := building.ByName(*plan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -107,21 +107,6 @@ func main() {
 	}
 	fmt.Printf("demand-response HVAC: baseline %.1f kWh, occupancy-driven %.1f kWh → saving %.1f%%\n",
 		cmp.BaselineKWh, cmp.DemandKWh, 100*cmp.SavingFraction)
-}
-
-func planByName(name string) (*building.Building, error) {
-	switch name {
-	case "paper-house":
-		return building.PaperHouse(), nil
-	case "office-floor":
-		return building.OfficeFloor(), nil
-	case "single-room":
-		return building.SingleRoom(), nil
-	case "corridor":
-		return building.TwoBeaconCorridor(), nil
-	default:
-		return nil, fmt.Errorf("occusim: unknown plan %q", name)
-	}
 }
 
 func roomRects(b *building.Building) []geom.Rect {

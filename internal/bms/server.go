@@ -42,10 +42,13 @@ type Server struct {
 
 	// clsMu guards only the classifier identity: Train swaps the
 	// pointer, ingest takes a snapshot and predicts lock-free (trained
-	// models are immutable).
+	// models are immutable). modelSnap is the distributable form of the
+	// live model, kept under the same lock so a snapshot can never pair
+	// one training run's beacon order with another's weights.
 	clsMu      sync.RWMutex
 	classifier classify.Classifier
 	sceneSVM   *classify.SceneSVM
+	modelSnap  ModelSnapshot
 
 	// tracker is striped per device; see occupancy.Sharded.
 	tracker *occupancy.Sharded
@@ -288,11 +291,20 @@ func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
 	if err != nil {
 		return TrainResult{}, fmt.Errorf("bms: serialise model: %w", err)
 	}
-	version := s.st.SetModel(blob)
+	snap := ModelSnapshot{Model: blob}
+	for _, id := range scene.Beacons() {
+		snap.Beacons = append(snap.Beacons, id.String())
+	}
 
+	// The version decision and the classifier swap happen under one
+	// clsMu hold, so a concurrent InstallModel cannot interleave and
+	// leave the live classifier disagreeing with the stored version.
 	s.clsMu.Lock()
+	version := s.st.SetModel(blob)
+	snap.Version = version
 	s.sceneSVM = scene
 	s.classifier = scene
+	s.modelSnap = snap
 	s.clsMu.Unlock()
 
 	return TrainResult{
@@ -301,6 +313,82 @@ func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
 		SupportVectors: scene.Model().NumSupportVectors(),
 		ModelVersion:   version,
 	}, nil
+}
+
+// ModelSnapshot is the distributable form of a trained classifier: the
+// serialised SVM plus the beacon feature order it was trained with
+// (columns are positional, so the order must travel with the weights)
+// and the trainer's model version. The fleet gateway pushes snapshots to
+// every shard; PUT /api/v1/model accepts the same shape over HTTP.
+type ModelSnapshot struct {
+	Beacons []string        `json:"beacons"`
+	Model   json.RawMessage `json:"model"`
+	Version int             `json:"version"`
+}
+
+// ModelSnapshot captures the currently trained scene model for
+// distribution. ok is false until a model has been trained or
+// installed. The snapshot is stored whole at train/install time, so a
+// read racing a retrain sees either the old model or the new one —
+// never one run's beacon order with another's weights.
+func (s *Server) ModelSnapshot() (ModelSnapshot, bool) {
+	s.clsMu.RLock()
+	defer s.clsMu.RUnlock()
+	return s.modelSnap, s.modelSnap.Model != nil
+}
+
+// InstallModel switches classification to a model trained elsewhere —
+// the receiving half of fleet snapshot distribution — and returns the
+// stored model version. The snapshot's beacon order defines the
+// feature columns, exactly as on the trainer; a snapshot whose beacon
+// count disagrees with the model's trained feature dimension is
+// rejected before it can touch the live classifier (a mismatched
+// install would scramble every feature vector or index the scaler out
+// of range).
+func (s *Server) InstallModel(snap ModelSnapshot) (int, error) {
+	if len(snap.Model) == 0 {
+		return 0, fmt.Errorf("bms: install: empty model")
+	}
+	beacons := make([]ibeacon.BeaconID, 0, len(snap.Beacons))
+	for _, raw := range snap.Beacons {
+		id, err := ibeacon.ParseBeaconID(raw)
+		if err != nil {
+			return 0, fmt.Errorf("bms: install: %w", err)
+		}
+		beacons = append(beacons, id)
+	}
+	model := new(svm.Model)
+	if err := json.Unmarshal(snap.Model, model); err != nil {
+		return 0, fmt.Errorf("bms: install: decode model: %w", err)
+	}
+	if got, want := len(beacons), model.NumFeatures(); got != want {
+		return 0, fmt.Errorf("bms: install: snapshot carries %d beacons but the model was trained on %d features", got, want)
+	}
+	scene := classify.NewSceneSVM(beacons, model)
+
+	// Version acceptance and the classifier swap are one critical
+	// section (clsMu is taken before the store's internal lock and
+	// never the other way round): two racing distributions cannot leave
+	// the store on one version and the live classifier on another.
+	s.clsMu.Lock()
+	defer s.clsMu.Unlock()
+	version, installed := s.st.InstallModel(snap.Model, snap.Version)
+	if !installed {
+		// Stale or duplicate distribution: this shard already runs that
+		// version or a newer one; keep the live classifier.
+		return version, nil
+	}
+	snap.Version = version
+	s.sceneSVM = scene
+	s.classifier = scene
+	s.modelSnap = snap
+	return version, nil
+}
+
+// DwellTotals returns the accumulated per-room dwell time summed over
+// all devices — the rollup the fleet layer merges across shards.
+func (s *Server) DwellTotals() map[string]time.Duration {
+	return s.tracker.DwellTotals()
 }
 
 // OccupancySnapshot is the GET /api/v1/occupancy payload.
@@ -338,6 +426,8 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Occupancy())
 	})
 	mux.HandleFunc("GET /api/v1/model", s.handleModel)
+	mux.HandleFunc("PUT /api/v1/model", s.handleModelInstall)
+	mux.HandleFunc("GET /api/v1/dwell", s.handleDwell)
 	mux.HandleFunc("GET /api/v1/devices/{device}", s.handleDevice)
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/rooms", s.handleRooms)
@@ -345,8 +435,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// eventJSON is the wire form of an occupancy event.
-type eventJSON struct {
+// EventJSON is the wire form of an occupancy event, shared with the
+// fleet layer's HTTP shard client so producer and consumer cannot
+// drift apart on the encoding.
+type EventJSON struct {
 	AtSeconds float64 `json:"atSeconds"`
 	Device    string  `json:"device"`
 	Kind      string  `json:"kind"`
@@ -355,9 +447,9 @@ type eventJSON struct {
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	events := s.Events()
-	out := make([]eventJSON, 0, len(events))
+	out := make([]EventJSON, 0, len(events))
 	for _, e := range events {
-		out = append(out, eventJSON{
+		out = append(out, EventJSON{
 			AtSeconds: e.At.Seconds(),
 			Device:    e.Device,
 			Kind:      e.Kind.String(),
@@ -514,6 +606,31 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		"version": version,
 		"model":   json.RawMessage(blob),
 	})
+}
+
+// handleModelInstall accepts a distributed model snapshot — the HTTP
+// face of InstallModel, used by the fleet gateway against remote shards.
+func (s *Server) handleModelInstall(w http.ResponseWriter, r *http.Request) {
+	var snap ModelSnapshot
+	if err := decodeJSON(r.Body, &snap); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	version, err := s.InstallModel(snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"version": version})
+}
+
+// handleDwell reports the per-room dwell rollup in seconds.
+func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request) {
+	rooms := map[string]float64{}
+	for room, d := range s.DwellTotals() {
+		rooms[room] = d.Seconds()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {

@@ -187,3 +187,21 @@ func MustValidate(b *Building) *Building {
 	}
 	return b
 }
+
+// ByName resolves a pre-built floor plan by its CLI name — the one
+// switch every command shares, so adding a plan means adding it here
+// once.
+func ByName(name string) (*Building, error) {
+	switch name {
+	case "paper-house":
+		return PaperHouse(), nil
+	case "office-floor":
+		return OfficeFloor(), nil
+	case "single-room":
+		return SingleRoom(), nil
+	case "corridor":
+		return TwoBeaconCorridor(), nil
+	default:
+		return nil, fmt.Errorf("building: unknown plan %q (want paper-house, office-floor, single-room or corridor)", name)
+	}
+}

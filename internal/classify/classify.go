@@ -106,6 +106,14 @@ func (s *SceneSVM) Name() string { return "scene-svm" }
 // Model exposes the underlying SVM (for serialisation).
 func (s *SceneSVM) Model() *svm.Model { return s.model }
 
+// Beacons returns the beacon feature order the model was trained with.
+// A model snapshot distributed to another server must carry this order:
+// the feature columns are positional, and a different first-seen order
+// on the receiving side would silently scramble them.
+func (s *SceneSVM) Beacons() []ibeacon.BeaconID {
+	return append([]ibeacon.BeaconID(nil), s.beacons...)
+}
+
 // Predict implements Classifier.
 func (s *SceneSVM) Predict(sample fingerprint.Sample) string {
 	tmp := fingerprint.Dataset{Beacons: s.beacons}

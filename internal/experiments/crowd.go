@@ -58,6 +58,71 @@ const (
 	crowdWindow       = 5 * time.Minute
 )
 
+// TrainCrowdModel collects jittered survey fingerprints on the server
+// and fits the scene-analysis SVM — the shared training phase of the
+// crowd workloads (CrowdIngest, CrowdFleet, cmd/loadgen). Distances
+// come from survey points with deterministic jitter standing in for the
+// radio pipeline.
+func TrainCrowdModel(server *bms.Server, b *building.Building, seed uint64) error {
+	src := rng.New(seed)
+	for _, room := range b.Rooms {
+		for k := 0; k < 8; k++ {
+			p := surveyPoint(room.Bounds, k)
+			sample := fingerprint.Sample{Room: room.Name, Distances: map[ibeacon.BeaconID]float64{}}
+			for _, bc := range b.Beacons {
+				sample.Distances[bc.ID] = clampDistance(p.Dist(bc.Pos) + src.Normal(0, 0.4))
+			}
+			if err := server.AddFingerprint(sample); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := server.Train(10, 0.03, seed)
+	return err
+}
+
+// SynthCrowdStreams synthesises reportsPer mobility-driven reports for
+// each of devices handsets: every crowdRoomDwell the device jumps to a
+// random room and reports jittered beacon distances from a random
+// position there each crowdReportPeriod. Device d's stream is a pure
+// function of (seed, d) — rng.Split is position-independent — so crowd
+// workloads of different sizes share stream prefixes. Returns the
+// per-device streams, device names, and each device's final scheduled
+// room (the placement ground truth).
+func SynthCrowdStreams(b *building.Building, devices, reportsPer int, seed uint64) (streams [][]transport.Report, names, finalRoom []string) {
+	src := rng.New(seed)
+	streams = make([][]transport.Report, devices)
+	finalRoom = make([]string, devices)
+	names = make([]string, devices)
+	for d := 0; d < devices; d++ {
+		dsrc := src.Split(uint64(1000 + d))
+		names[d] = fmt.Sprintf("crowd-%03d", d)
+		streams[d] = make([]transport.Report, 0, reportsPer)
+		var room building.Room
+		var pos geom.Point
+		for i := 0; i < reportsPer; i++ {
+			at := time.Duration(i) * crowdReportPeriod
+			if i%int(crowdRoomDwell/crowdReportPeriod) == 0 {
+				room = b.Rooms[dsrc.Intn(len(b.Rooms))]
+				pos = geom.Pt(
+					dsrc.Uniform(room.Bounds.Min.X+0.3, room.Bounds.Max.X-0.3),
+					dsrc.Uniform(room.Bounds.Min.Y+0.3, room.Bounds.Max.Y-0.3),
+				)
+				finalRoom[d] = room.Name
+			}
+			rep := transport.Report{Device: names[d], AtSeconds: at.Seconds()}
+			for _, bc := range b.Beacons {
+				dist := clampDistance(pos.Dist(bc.Pos) + dsrc.Normal(0, 0.6))
+				rep.Beacons = append(rep.Beacons, transport.BeaconReport{
+					ID: bc.ID.String(), Distance: dist, RSSI: -60 - 2*dist,
+				})
+			}
+			streams[d] = append(streams[d], rep)
+		}
+	}
+	return streams, names, finalRoom
+}
+
 // CrowdIngest trains a scene-analysis model on synthetic fingerprints,
 // synthesises per-device report streams, and ingests them concurrently
 // (one goroutine per device, each coalescing through a BatchingUplink)
@@ -78,58 +143,14 @@ func CrowdIngest(devices int, seed uint64) (*CrowdIngestResult, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	// Scene-analysis training set: distances from survey points, with
-	// deterministic jitter standing in for the radio pipeline.
-	src := rng.New(seed)
-	for _, room := range b.Rooms {
-		for k := 0; k < 8; k++ {
-			p := surveyPoint(room.Bounds, k)
-			sample := fingerprint.Sample{Room: room.Name, Distances: map[ibeacon.BeaconID]float64{}}
-			for _, bc := range b.Beacons {
-				sample.Distances[bc.ID] = clampDistance(p.Dist(bc.Pos) + src.Normal(0, 0.4))
-			}
-			if err := server.AddFingerprint(sample); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if _, err := server.Train(10, 0.03, seed); err != nil {
+	if err := TrainCrowdModel(server, b, seed); err != nil {
 		return nil, err
 	}
 
 	// Per-device schedules and report streams, synthesised up front so
 	// the measured phase is ingest alone.
 	reportsPer := int(crowdWindow / crowdReportPeriod)
-	streams := make([][]transport.Report, devices)
-	finalRoom := make([]string, devices)
-	names := make([]string, devices)
-	for d := 0; d < devices; d++ {
-		dsrc := src.Split(uint64(1000 + d))
-		names[d] = fmt.Sprintf("crowd-%03d", d)
-		streams[d] = make([]transport.Report, 0, reportsPer)
-		var room building.Room
-		var pos geom.Point
-		for i := 0; i < reportsPer; i++ {
-			at := time.Duration(i) * crowdReportPeriod
-			if i%int(crowdRoomDwell/crowdReportPeriod) == 0 {
-				room = b.Rooms[dsrc.Intn(len(b.Rooms))]
-				pos = geom.Pt(
-					dsrc.Uniform(room.Bounds.Min.X+0.3, room.Bounds.Max.X-0.3),
-					dsrc.Uniform(room.Bounds.Min.Y+0.3, room.Bounds.Max.Y-0.3),
-				)
-				finalRoom[d] = room.Name
-			}
-			rep := transport.Report{Device: names[d], AtSeconds: at.Seconds()}
-			for _, bc := range b.Beacons {
-				d := clampDistance(pos.Dist(bc.Pos) + dsrc.Normal(0, 0.6))
-				rep.Beacons = append(rep.Beacons, transport.BeaconReport{
-					ID: bc.ID.String(), Distance: d, RSSI: -60 - 2*d,
-				})
-			}
-			streams[d] = append(streams[d], rep)
-		}
-	}
+	streams, names, finalRoom := SynthCrowdStreams(b, devices, reportsPer, seed)
 
 	// The measured phase: every device streams through its own
 	// coalescing uplink into the shared server, concurrently.

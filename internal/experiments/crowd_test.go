@@ -30,6 +30,57 @@ func TestCrowdIngest(t *testing.T) {
 	}
 }
 
+// TestCrowdFleet checks the fleet workload end to end: the ring routes
+// every report, each device's whole stream lands on one shard, and the
+// federated occupancy outcome matches the schedules.
+func TestCrowdFleet(t *testing.T) {
+	res, err := CrowdFleet(16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DevicesTracked != 16 {
+		t.Fatalf("tracked %d of 16 devices", res.DevicesTracked)
+	}
+	if res.Reports != 16*150 {
+		t.Fatalf("reports = %d", res.Reports)
+	}
+	sum := 0
+	for _, n := range res.PerShardReports {
+		sum += n
+	}
+	if sum != res.Reports {
+		t.Fatalf("per-shard reports sum to %d, want %d", sum, res.Reports)
+	}
+	if res.EventsCommitted == 0 {
+		t.Fatal("no occupancy events committed")
+	}
+	if res.PlacementAccuracy < 0.7 {
+		t.Fatalf("placement accuracy %.2f below 0.7", res.PlacementAccuracy)
+	}
+	if res.FleetElapsed <= 0 || res.FleetElapsed > res.TotalElapsed {
+		t.Fatalf("critical path %v not within (0, %v]", res.FleetElapsed, res.TotalElapsed)
+	}
+}
+
+// TestCrowdFleetOutcomeIndependentOfShardCount pins the federation
+// contract at workload level: the committed occupancy state is a pure
+// function of the streams, so resharding must not change it.
+func TestCrowdFleetOutcomeIndependentOfShardCount(t *testing.T) {
+	one, err := CrowdFleet(12, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := CrowdFleet(12, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.DevicesTracked != four.DevicesTracked ||
+		one.EventsCommitted != four.EventsCommitted ||
+		one.PlacementAccuracy != four.PlacementAccuracy {
+		t.Fatalf("outcome depends on shard count:\n  1 shard: %+v\n  4 shards: %+v", one, four)
+	}
+}
+
 // TestCrowdIngestDeterministicOutcome pins that the occupancy outcome is
 // independent of goroutine scheduling: two runs with the same seed must
 // agree on every tracked placement and accuracy, even though ingest

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/building"
+	"occusim/internal/fleet"
+	"occusim/internal/par"
+	"occusim/internal/store"
+	"occusim/internal/transport"
+)
+
+// CrowdFleetResult measures the fleet scaling axis: the same crowd
+// workload as CrowdIngest, ingested through a consistent-hash gateway
+// over N BMS shards instead of one server.
+//
+// Shards of a real fleet run on separate machines, so fleet wall time
+// is the slowest shard's ingest time, not the sum. The in-process
+// harness reproduces that attribution exactly by replaying each shard's
+// arrival stream as its own timed phase (devices within a shard stay
+// concurrent): PerShardElapsed[i] is real measured work, FleetElapsed
+// is their max (the distributed critical path), and TotalElapsed their
+// sum (what one box pays for everything). FleetThroughput — reports
+// over the critical path — is the number that must scale with shards;
+// it is exact on any GOMAXPROCS because phases never overlap.
+type CrowdFleetResult struct {
+	// Devices is the crowd size, Shards the pool size, Reports the
+	// total reports ingested.
+	Devices, Shards, Reports int
+	// PerShardReports counts the reports the ring routed to each shard.
+	PerShardReports []int
+	// PerShardElapsed is each shard's measured ingest time.
+	PerShardElapsed []time.Duration
+	// FleetElapsed is the critical path: max over shards.
+	FleetElapsed time.Duration
+	// TotalElapsed is the single-box cost: sum over shards.
+	TotalElapsed time.Duration
+	// FleetThroughput is Reports / FleetElapsed — the fleet-scaling
+	// headline. OneBoxThroughput is Reports / TotalElapsed.
+	FleetThroughput  float64
+	OneBoxThroughput float64
+	// DevicesTracked and PlacementAccuracy mirror CrowdIngestResult,
+	// read through the federated occupancy view.
+	DevicesTracked    int
+	PlacementAccuracy float64
+	// EventsCommitted counts fleet-wide committed transitions.
+	EventsCommitted int
+}
+
+// Render prints the headline numbers.
+func (r *CrowdFleetResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CrowdFleet: %d devices over %d shards, %d reports\n", r.Devices, r.Shards, r.Reports)
+	fmt.Fprintf(&b, "critical path %v (max shard), one-box %v → fleet %.0f reports/s vs one-box %.0f\n",
+		r.FleetElapsed.Round(time.Millisecond), r.TotalElapsed.Round(time.Millisecond),
+		r.FleetThroughput, r.OneBoxThroughput)
+	for i := range r.PerShardElapsed {
+		fmt.Fprintf(&b, "  shard-%d: %5d reports in %v\n", i, r.PerShardReports[i],
+			r.PerShardElapsed[i].Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "tracked %d devices, %d events, final placement %.1f%%\n",
+		r.DevicesTracked, r.EventsCommitted, 100*r.PlacementAccuracy)
+	return b.String()
+}
+
+// TrainAndDistribute fits the crowd scene model on a scratch trainer
+// and pushes the snapshot through the gateway to every shard — the
+// deployment step CrowdFleet and cmd/loadgen share.
+func TrainAndDistribute(gw *fleet.Gateway, b *building.Building, seed uint64) error {
+	tst, err := store.New(1000)
+	if err != nil {
+		return err
+	}
+	trainer, err := bms.NewServer(b, tst, 2)
+	if err != nil {
+		return err
+	}
+	if err := TrainCrowdModel(trainer, b, seed); err != nil {
+		return err
+	}
+	snap, ok := trainer.ModelSnapshot()
+	if !ok {
+		return fmt.Errorf("experiments: trainer produced no model snapshot")
+	}
+	return gw.DistributeModel(snap)
+}
+
+// CrowdFleet trains one model, distributes the snapshot to every shard
+// through the gateway, and replays a synthetic crowd through the
+// consistent-hash ring — shard phase by shard phase, so the per-shard
+// cost is measured exactly (see CrowdFleetResult). devices defaults to
+// 64, shards to 4. The occupancy outcome is deterministic for a given
+// (devices, seed) and — because routing never changes per-device
+// streams, only where they land — independent of the shard count:
+// CrowdFleet(d, 1, s) and CrowdFleet(d, 8, s) commit identical events.
+func CrowdFleet(devices, shards int, seed uint64) (*CrowdFleetResult, error) {
+	if devices <= 0 {
+		devices = 64
+	}
+	if shards <= 0 {
+		shards = 4
+	}
+	b := building.PaperHouse()
+	pool, err := fleet.NewLocalPool(b, shards, 2, 1000)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := TrainAndDistribute(gw, b, seed); err != nil {
+		return nil, err
+	}
+
+	reportsPer := int(crowdWindow / crowdReportPeriod)
+	streams, names, finalRoom := SynthCrowdStreams(b, devices, reportsPer, seed)
+
+	// Group devices by owning shard, preserving device order.
+	groups := make([][]int, shards)
+	for d, name := range names {
+		idx, err := gw.ShardFor(name)
+		if err != nil {
+			return nil, err
+		}
+		groups[idx] = append(groups[idx], d)
+	}
+
+	res := &CrowdFleetResult{
+		Devices:         devices,
+		Shards:          shards,
+		Reports:         devices * reportsPer,
+		PerShardReports: make([]int, shards),
+		PerShardElapsed: make([]time.Duration, shards),
+	}
+
+	// The measured phases: one per shard, its devices streaming
+	// concurrently through coalescing uplinks into the gateway.
+	for s := 0; s < shards; s++ {
+		group := groups[s]
+		for _, d := range group {
+			res.PerShardReports[s] += len(streams[d])
+		}
+		if len(group) == 0 {
+			continue
+		}
+		start := time.Now()
+		err := par.ForEach(len(group), func(k int) error {
+			uplink, err := transport.NewBatchingUplink(fleet.GatewayUplink{Gateway: gw}, transport.BatchConfig{
+				FlushSeconds: 20,
+			})
+			if err != nil {
+				return err
+			}
+			for _, rep := range streams[group[k]] {
+				if err := uplink.Send(rep); err != nil {
+					return err
+				}
+			}
+			return uplink.Flush()
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.PerShardElapsed[s] = time.Since(start)
+	}
+
+	for s := 0; s < shards; s++ {
+		res.TotalElapsed += res.PerShardElapsed[s]
+		if res.PerShardElapsed[s] > res.FleetElapsed {
+			res.FleetElapsed = res.PerShardElapsed[s]
+		}
+	}
+	if res.FleetElapsed > 0 {
+		res.FleetThroughput = float64(res.Reports) / res.FleetElapsed.Seconds()
+	}
+	if res.TotalElapsed > 0 {
+		res.OneBoxThroughput = float64(res.Reports) / res.TotalElapsed.Seconds()
+	}
+
+	snap2, err := gw.Occupancy()
+	if err != nil {
+		return nil, err
+	}
+	res.DevicesTracked = len(snap2.Devices)
+	hits := 0
+	for d, name := range names {
+		if snap2.Devices[name] == finalRoom[d] {
+			hits++
+		}
+	}
+	res.PlacementAccuracy = float64(hits) / float64(devices)
+	events, err := gw.Events()
+	if err != nil {
+		return nil, err
+	}
+	res.EventsCommitted = len(events)
+	return res, nil
+}

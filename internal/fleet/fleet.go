@@ -1,0 +1,558 @@
+// Package fleet is the horizontal-scaling layer above bms: a
+// consistent-hash gateway that shards device report streams across a
+// pool of BMS servers, distributes trained model snapshots to every
+// shard, and federates the per-shard occupancy state back into
+// building-level head counts, enter/exit event streams and dwell
+// rollups.
+//
+// Routing is keyed by device id, so one device's timeline always lands
+// on one shard and the per-device ordering contract of bms.IngestBatch
+// carries through unchanged. Shards hang on a ring of virtual nodes;
+// when a shard is marked down its keys — and only its keys — slide to
+// the next healthy shard clockwise, which makes rebalancing
+// deterministic and minimal. Because every shard debounces and
+// timestamps transitions identically, the federated event stream is
+// byte-identical to what one big server would have produced for the
+// same input (see TestFleetMatchesSingleServer).
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/occupancy"
+	"occusim/internal/transport"
+)
+
+// Config parameterises a Gateway; zero fields take defaults.
+type Config struct {
+	// Replicas is the number of virtual nodes per shard on the hash
+	// ring (default 64). More replicas smooth the key distribution at
+	// the cost of a larger ring.
+	Replicas int
+	// SerialDispatch processes a split batch shard by shard instead of
+	// concurrently. Measurement harnesses use it to attribute work to
+	// shards exactly; deployments leave it off.
+	SerialDispatch bool
+	// ProbeInterval rate-limits CheckHealth: calls within the interval
+	// of the last probe return the cached statuses instead of fanning a
+	// fresh probe to every shard. Gateways that expose CheckHealth on a
+	// public health endpoint (fleet.Handler, bmsd -shards) should set
+	// this so external polling frequency cannot drive probe fan-out or
+	// routing flaps. 0 probes on every call.
+	ProbeInterval time.Duration
+}
+
+// ErrNoHealthyShards is returned when every shard is down — the
+// fleet's terminal routing failure (the HTTP handler maps it to 503).
+var ErrNoHealthyShards = errors.New("fleet: no healthy shards")
+
+// ErrShardMisbehaved wraps protocol violations by a shard (a 2xx
+// answer with the wrong shape, a short rooms slice): server-side
+// faults, never the reporting client's — the HTTP handler maps them to
+// 502 so upstream retry policies treat them as transient.
+var ErrShardMisbehaved = errors.New("fleet: shard protocol error")
+
+// ringEntry is one virtual node: a point on the hash circle owned by a
+// shard.
+type ringEntry struct {
+	hash  uint64
+	shard int
+}
+
+// Gateway fronts a pool of shards. It is safe for concurrent use.
+type Gateway struct {
+	shards   []Shard
+	ring     []ringEntry // sorted by hash
+	serial   bool
+	replicas int
+
+	// mu guards down and pinned; routing takes it shared on every
+	// report. pinned marks shards an operator drained with MarkDown:
+	// health probes must not resurrect them.
+	mu     sync.RWMutex
+	down   []bool
+	pinned []bool
+
+	// routed counts reports delivered per shard (batch + single).
+	routedMu sync.Mutex
+	routed   []int64
+
+	// probeMu guards the CheckHealth rate limit (probeEvery > 0).
+	probeEvery   time.Duration
+	probeMu      sync.Mutex
+	lastProbe    time.Time
+	lastStatuses []ShardStatus
+}
+
+// New builds a gateway over the shards. Shard names must be non-empty
+// and distinct: they seed the virtual nodes, and a duplicate name would
+// silently merge two shards' arcs.
+func New(shards []Shard, cfg Config) (*Gateway, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("fleet: gateway needs at least one shard")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	seen := map[string]bool{}
+	for _, s := range shards {
+		if s == nil || s.Name() == "" {
+			return nil, fmt.Errorf("fleet: nil or unnamed shard")
+		}
+		if seen[s.Name()] {
+			return nil, fmt.Errorf("fleet: duplicate shard name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	g := &Gateway{
+		shards:     shards,
+		serial:     cfg.SerialDispatch,
+		replicas:   cfg.Replicas,
+		probeEvery: cfg.ProbeInterval,
+		down:       make([]bool, len(shards)),
+		pinned:     make([]bool, len(shards)),
+		routed:     make([]int64, len(shards)),
+	}
+	g.ring = make([]ringEntry, 0, len(shards)*cfg.Replicas)
+	for i, s := range shards {
+		for r := 0; r < cfg.Replicas; r++ {
+			g.ring = append(g.ring, ringEntry{
+				hash:  hash64(s.Name() + "#" + strconv.Itoa(r)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(g.ring, func(i, j int) bool { return g.ring[i].hash < g.ring[j].hash })
+	return g, nil
+}
+
+// hash64 is 64-bit FNV-1a finished with the MurmurHash3 avalanche.
+// Plain FNV concentrates the difference between short, similar keys
+// ("shard-1#7", "crowd-042") in the low bits, which clusters a ring
+// sorted on the full value badly enough that one shard's arc can
+// swallow every key; the finalizer spreads those bits over the whole
+// word, giving the near-uniform arcs consistent hashing assumes.
+func hash64(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Shards returns the pool size.
+func (g *Gateway) Shards() int { return len(g.shards) }
+
+// ShardFor returns the index of the shard currently owning the device.
+func (g *Gateway) ShardFor(device string) (int, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.ownerLocked(hash64(device))
+}
+
+// ownerLocked walks the ring clockwise from the device's hash to the
+// first virtual node of a healthy shard; callers hold g.mu.
+func (g *Gateway) ownerLocked(h uint64) (int, error) {
+	n := len(g.ring)
+	i := sort.Search(n, func(i int) bool { return g.ring[i].hash >= h })
+	for k := 0; k < n; k++ {
+		e := g.ring[(i+k)%n]
+		if !g.down[e.shard] {
+			return e.shard, nil
+		}
+	}
+	return -1, ErrNoHealthyShards
+}
+
+// Ingest routes one report to its owning shard and returns the
+// predicted room.
+func (g *Gateway) Ingest(r transport.Report) (string, error) {
+	idx, err := g.ShardFor(r.Device)
+	if err != nil {
+		return "", err
+	}
+	room, err := g.shards[idx].Ingest(r)
+	if err != nil {
+		return "", fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
+	}
+	g.note(idx, 1)
+	return room, nil
+}
+
+// IngestBatch splits a mixed-device batch into per-shard sub-batches
+// (stable split, so each device's reports keep their order), delivers
+// them — concurrently unless SerialDispatch — and reassembles the
+// predicted rooms into input order. The whole batch is routed against
+// one consistent view of shard health; a shard failure fails the call
+// and the caller's retry policy (transport.RetryPolicy upstream)
+// decides what happens next.
+func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
+	if len(reports) == 0 {
+		return nil, nil
+	}
+	perShard := make([][]transport.Report, len(g.shards))
+	shardOf := make([]int32, len(reports))
+	posOf := make([]int32, len(reports))
+
+	g.mu.RLock()
+	for i := range reports {
+		idx, err := g.ownerLocked(hash64(reports[i].Device))
+		if err != nil {
+			g.mu.RUnlock()
+			return nil, err
+		}
+		shardOf[i] = int32(idx)
+		posOf[i] = int32(len(perShard[idx]))
+		perShard[idx] = append(perShard[idx], reports[i])
+	}
+	g.mu.RUnlock()
+
+	rooms := make([][]string, len(g.shards))
+	errs := make([]error, len(g.shards))
+	dispatch := func(idx int) {
+		sub := perShard[idx]
+		if len(sub) == 0 {
+			return
+		}
+		out, err := g.shards[idx].IngestBatch(sub)
+		if err != nil {
+			errs[idx] = fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
+			return
+		}
+		if len(out) != len(sub) {
+			// A version-skewed or misbehaving shard (an HTTP shard
+			// answering 2xx with the wrong shape decodes to a short
+			// slice) must fail the batch, not panic the reassembly.
+			errs[idx] = fmt.Errorf("%w: shard %s returned %d rooms for %d reports",
+				ErrShardMisbehaved, g.shards[idx].Name(), len(out), len(sub))
+			return
+		}
+		rooms[idx] = out
+		g.note(idx, int64(len(sub)))
+	}
+	if g.serial || len(g.shards) == 1 {
+		for idx := range g.shards {
+			dispatch(idx)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for idx := range g.shards {
+			if len(perShard[idx]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				dispatch(idx)
+			}(idx)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]string, len(reports))
+	for i := range reports {
+		out[i] = rooms[shardOf[i]][posOf[i]]
+	}
+	return out, nil
+}
+
+// note bumps the per-shard routed counter.
+func (g *Gateway) note(idx int, n int64) {
+	g.routedMu.Lock()
+	g.routed[idx] += n
+	g.routedMu.Unlock()
+}
+
+// DistributeModel pushes a trained model snapshot to every shard, so
+// classification stays identical fleet-wide. The snapshot must carry a
+// positive version: with version 0 each shard's store would bump its
+// own counter and the fleet's reported versions would silently diverge.
+// Failures are collected per shard and joined; shards that did install
+// keep the new model (the caller re-distributes to stragglers after
+// they recover).
+func (g *Gateway) DistributeModel(snap bms.ModelSnapshot) error {
+	if snap.Version <= 0 {
+		return fmt.Errorf("fleet: model snapshot must carry a positive version, got %d", snap.Version)
+	}
+	// Push concurrently: k slow or dead remote shards must cost one
+	// install timeout, not k of them in sequence.
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i, s := range g.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			if err := s.InstallModel(snap); err != nil {
+				errs[i] = fmt.Errorf("fleet: shard %s: %w", s.Name(), err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// healthyShards snapshots the indices currently taking traffic.
+func (g *Gateway) healthyShards() []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int, 0, len(g.shards))
+	for i := range g.shards {
+		if !g.down[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Occupancy merges the healthy shards' head counts and device rooms
+// into one building-level snapshot. Device partitions are disjoint, so
+// the merge is a union; a down shard's devices are simply absent until
+// it recovers or its keys report through their new owner.
+func (g *Gateway) Occupancy() (bms.OccupancySnapshot, error) {
+	out := bms.OccupancySnapshot{Rooms: map[string]int{}, Devices: map[string]string{}}
+	for _, i := range g.healthyShards() {
+		snap, err := g.shards[i].Occupancy()
+		if err != nil {
+			return bms.OccupancySnapshot{}, fmt.Errorf("fleet: shard %s: %w", g.shards[i].Name(), err)
+		}
+		for room, n := range snap.Rooms {
+			out.Rooms[room] += n
+		}
+		for dev, room := range snap.Devices {
+			out.Devices[dev] = room
+		}
+	}
+	return out, nil
+}
+
+// Events merges the healthy shards' committed enter/exit streams into
+// the fleet-wide event log, time-canonical exactly as occupancy.Sharded
+// merges its stripes: nondecreasing time, ties broken by device name,
+// one device's same-instant exit/enter pair keeping its in-shard order.
+func (g *Gateway) Events() ([]occupancy.Event, error) {
+	var all []occupancy.Event
+	for _, i := range g.healthyShards() {
+		evs, err := g.shards[i].Events()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %s: %w", g.shards[i].Name(), err)
+		}
+		all = append(all, evs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Device < all[j].Device
+	})
+	return all, nil
+}
+
+// DwellTotals sums the healthy shards' per-room dwell rollups.
+func (g *Gateway) DwellTotals() (map[string]time.Duration, error) {
+	out := map[string]time.Duration{}
+	for _, i := range g.healthyShards() {
+		totals, err := g.shards[i].DwellTotals()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %s: %w", g.shards[i].Name(), err)
+		}
+		for room, d := range totals {
+			out[room] += d
+		}
+	}
+	return out, nil
+}
+
+// RoomRollup is one room's slice of the fleet-wide occupancy rollup.
+type RoomRollup struct {
+	// Occupants is the current head count.
+	Occupants int `json:"occupants"`
+	// Enters and Exits count committed transitions over the fleet's
+	// lifetime.
+	Enters int `json:"enters"`
+	Exits  int `json:"exits"`
+	// DwellSeconds is the total time devices have spent in the room.
+	DwellSeconds float64 `json:"dwellSeconds"`
+}
+
+// Rollup is the live building-level occupancy view the smart-building
+// controllers consume: who-is-where collapsed to per-room aggregates.
+type Rollup struct {
+	// Devices is the fleet-wide tracked device count.
+	Devices int `json:"devices"`
+	// Events is the fleet-wide committed event count.
+	Events int `json:"events"`
+	// Rooms maps room name to its aggregates.
+	Rooms map[string]RoomRollup `json:"rooms"`
+}
+
+// Rollup federates head counts, transition totals and dwell into one
+// building-level view.
+func (g *Gateway) Rollup() (Rollup, error) {
+	snap, err := g.Occupancy()
+	if err != nil {
+		return Rollup{}, err
+	}
+	events, err := g.Events()
+	if err != nil {
+		return Rollup{}, err
+	}
+	dwell, err := g.DwellTotals()
+	if err != nil {
+		return Rollup{}, err
+	}
+	out := Rollup{Devices: len(snap.Devices), Events: len(events), Rooms: map[string]RoomRollup{}}
+	for room, n := range snap.Rooms {
+		r := out.Rooms[room]
+		r.Occupants = n
+		out.Rooms[room] = r
+	}
+	for _, e := range events {
+		r := out.Rooms[e.Room]
+		if e.Kind == occupancy.Enter {
+			r.Enters++
+		} else {
+			r.Exits++
+		}
+		out.Rooms[e.Room] = r
+	}
+	for room, d := range dwell {
+		r := out.Rooms[room]
+		r.DwellSeconds = d.Seconds()
+		out.Rooms[room] = r
+	}
+	return out, nil
+}
+
+// ShardStatus is one shard's state from the gateway's point of view.
+type ShardStatus struct {
+	Name string `json:"name"`
+	Down bool   `json:"down"`
+	// Routed counts reports delivered to the shard by this gateway.
+	Routed int64 `json:"routed"`
+	// Err is the last health-check failure ("" when healthy).
+	Err string `json:"err,omitempty"`
+}
+
+// CheckHealth probes every shard and updates the routing table: a
+// failing shard is marked down (its keys slide to the next healthy
+// shard on the ring), a recovering shard is marked up (its keys slide
+// back — the same minimal, deterministic movement in reverse). The
+// statuses reflect this probe.
+func (g *Gateway) CheckHealth() []ShardStatus {
+	// Rate limit: within ProbeInterval of the last probe, answer from
+	// the cache so external health polling cannot drive probe fan-out.
+	// probeMu is held across the probe itself, so concurrent pollers
+	// arriving just past the interval queue behind one prober and get
+	// its fresh cache instead of each fanning their own sweep.
+	if g.probeEvery > 0 {
+		g.probeMu.Lock()
+		defer g.probeMu.Unlock()
+		if !g.lastProbe.IsZero() && time.Since(g.lastProbe) < g.probeEvery {
+			return append([]ShardStatus(nil), g.lastStatuses...)
+		}
+	}
+	out := g.probeAll()
+	if g.probeEvery > 0 {
+		g.lastProbe = time.Now()
+		g.lastStatuses = append([]ShardStatus(nil), out...)
+	}
+	return out
+}
+
+// probeAll performs one live health sweep and updates routing.
+func (g *Gateway) probeAll() []ShardStatus {
+	// Probe concurrently: k dead remote shards must cost one probe
+	// timeout, not k of them in sequence. Operator-drained shards
+	// (MarkDown) are not probed and never resurrected by a probe — only
+	// MarkUp returns them to routing.
+	g.mu.RLock()
+	pinned := append([]bool(nil), g.pinned...)
+	g.mu.RUnlock()
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i, s := range g.shards {
+		if pinned[i] {
+			errs[i] = errors.New("drained by operator")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			errs[i] = s.Health()
+		}(i, s)
+	}
+	wg.Wait()
+	out := make([]ShardStatus, len(g.shards))
+	g.mu.Lock()
+	for i := range g.shards {
+		g.down[i] = g.pinned[i] || errs[i] != nil
+	}
+	down := append([]bool(nil), g.down...)
+	g.mu.Unlock()
+	g.routedMu.Lock()
+	routed := append([]int64(nil), g.routed...)
+	g.routedMu.Unlock()
+	for i, s := range g.shards {
+		out[i] = ShardStatus{Name: s.Name(), Down: down[i], Routed: routed[i]}
+		if errs[i] != nil {
+			out[i].Err = errs[i].Error()
+		}
+	}
+	return out
+}
+
+// MarkDown drains the shard: it leaves routing immediately and stays
+// out across health probes until MarkUp — a probe must not resurrect a
+// box an operator is working on.
+func (g *Gateway) MarkDown(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i >= 0 && i < len(g.down) {
+		g.down[i] = true
+		g.pinned[i] = true
+	}
+}
+
+// MarkUp restores the shard to routing and clears the operator pin.
+// Keys that moved away while it was down move back to exactly their
+// original owner: the ring never changed, only the skip set.
+func (g *Gateway) MarkUp(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i >= 0 && i < len(g.down) {
+		g.down[i] = false
+		g.pinned[i] = false
+	}
+}
+
+// Statuses returns the current routing view without probing.
+func (g *Gateway) Statuses() []ShardStatus {
+	g.mu.RLock()
+	down := append([]bool(nil), g.down...)
+	g.mu.RUnlock()
+	g.routedMu.Lock()
+	routed := append([]int64(nil), g.routed...)
+	g.routedMu.Unlock()
+	out := make([]ShardStatus, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = ShardStatus{Name: s.Name(), Down: down[i], Routed: routed[i]}
+	}
+	return out
+}

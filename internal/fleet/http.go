@@ -1,0 +1,385 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/occupancy"
+	"occusim/internal/transport"
+)
+
+// HTTPShard drives one remote bms.Server over its REST API — the shard
+// client real deployments put behind the gateway. All exchanges go
+// through transport's retrying JSON helpers, so shard traffic gets the
+// same capped-backoff behaviour as device uplinks; health probes are
+// deliberately one-shot so a dead shard is detected on the first probe
+// rather than after a retry budget.
+type HTTPShard struct {
+	base   string
+	client *http.Client
+	retry  transport.RetryPolicy
+}
+
+// NewHTTPShard points a shard client at a bms server root, e.g.
+// "http://10.0.0.7:8080". A nil client gets transport's default
+// timeout; retry bounds retransmission of ingest and read calls.
+func NewHTTPShard(baseURL string, client *http.Client, retry transport.RetryPolicy) (*HTTPShard, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("fleet: http shard needs a base URL")
+	}
+	return &HTTPShard{base: baseURL, client: client, retry: retry}, nil
+}
+
+// Name implements Shard: the base URL is the stable ring identity.
+func (h *HTTPShard) Name() string { return h.base }
+
+// Ingest implements Shard.
+func (h *HTTPShard) Ingest(r transport.Report) (string, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return "", fmt.Errorf("fleet: marshal report: %w", err)
+	}
+	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/observations", body, h.retry)
+	if err != nil {
+		return "", err
+	}
+	var resp struct {
+		Room string `json:"room"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return "", fmt.Errorf("%w: decode ingest response: %v", ErrShardMisbehaved, err)
+	}
+	return resp.Room, nil
+}
+
+// IngestBatch implements Shard. Retries retransmit the identical
+// payload, so the shard never sees a reordered batch.
+func (h *HTTPShard) IngestBatch(reports []transport.Report) ([]string, error) {
+	body, err := json.Marshal(reports)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal batch: %w", err)
+	}
+	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/observations:batch", body, h.retry)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Rooms []string `json:"rooms"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("%w: decode batch response: %v", ErrShardMisbehaved, err)
+	}
+	return resp.Rooms, nil
+}
+
+// InstallModel implements Shard via PUT /api/v1/model.
+func (h *HTTPShard) InstallModel(snap bms.ModelSnapshot) error {
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal model snapshot: %w", err)
+	}
+	_, err = transport.DoJSON(h.client, http.MethodPut, h.base+"/api/v1/model", body, h.retry)
+	return err
+}
+
+// Occupancy implements Shard.
+func (h *HTTPShard) Occupancy() (bms.OccupancySnapshot, error) {
+	payload, err := transport.GetJSON(h.client, h.base+"/api/v1/occupancy", h.retry)
+	if err != nil {
+		return bms.OccupancySnapshot{}, err
+	}
+	var snap bms.OccupancySnapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return bms.OccupancySnapshot{}, fmt.Errorf("fleet: decode occupancy: %w", err)
+	}
+	if snap.Rooms == nil {
+		snap.Rooms = map[string]int{}
+	}
+	if snap.Devices == nil {
+		snap.Devices = map[string]string{}
+	}
+	return snap, nil
+}
+
+// Events implements Shard.
+func (h *HTTPShard) Events() ([]occupancy.Event, error) {
+	payload, err := transport.GetJSON(h.client, h.base+"/api/v1/events", h.retry)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Events []bms.EventJSON `json:"events"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("fleet: decode events: %w", err)
+	}
+	out := make([]occupancy.Event, 0, len(resp.Events))
+	for _, e := range resp.Events {
+		var kind occupancy.EventKind
+		switch e.Kind {
+		case "enter":
+			kind = occupancy.Enter
+		case "exit":
+			kind = occupancy.Exit
+		default:
+			return nil, fmt.Errorf("fleet: unknown event kind %q", e.Kind)
+		}
+		out = append(out, occupancy.Event{
+			// Round, don't truncate: the wire carries float seconds, and
+			// the federated merge sorts on exact nanosecond times — a 1 ns
+			// truncation error would reorder events relative to the shard.
+			At:     time.Duration(math.Round(e.AtSeconds * float64(time.Second))),
+			Device: e.Device,
+			Kind:   kind,
+			Room:   e.Room,
+		})
+	}
+	return out, nil
+}
+
+// DwellTotals implements Shard.
+func (h *HTTPShard) DwellTotals() (map[string]time.Duration, error) {
+	payload, err := transport.GetJSON(h.client, h.base+"/api/v1/dwell", h.retry)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Rooms map[string]float64 `json:"rooms"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("fleet: decode dwell: %w", err)
+	}
+	out := map[string]time.Duration{}
+	for room, secs := range resp.Rooms {
+		out[room] = time.Duration(math.Round(secs * float64(time.Second)))
+	}
+	return out, nil
+}
+
+// Health implements Shard with a one-shot probe (no retries): routing
+// should notice a dead shard on the first check, not mask it behind a
+// backoff budget.
+func (h *HTTPShard) Health() error {
+	_, err := transport.GetJSON(h.client, h.base+"/api/v1/health", transport.RetryPolicy{})
+	return err
+}
+
+// HandlerOptions tunes the gateway's HTTP face.
+type HandlerOptions struct {
+	// Trainer, when set, serves the training endpoints: fingerprints
+	// collect into the trainer's store, and POST /api/v1/train fits the
+	// model there and distributes the snapshot to every shard. Without
+	// it the gateway is ingest/query only and those endpoints 404.
+	Trainer *bms.Server
+}
+
+// Handler exposes the gateway over HTTP with the same API shape as one
+// bms.Server, plus the fleet-only rollup and shard views, so clients
+// (and cmd/loadgen) cannot tell a fleet from a single box:
+//
+//	GET  /api/v1/health             aggregate shard health (live probe)
+//	POST /api/v1/observations       route one report
+//	POST /api/v1/observations:batch split and route a batch
+//	GET  /api/v1/occupancy          federated head counts
+//	GET  /api/v1/events             federated enter/exit stream
+//	GET  /api/v1/dwell              federated dwell rollup
+//	GET  /api/v1/rollup             per-room occupancy rollup
+//	GET  /api/v1/shards             routing and health per shard
+//	PUT  /api/v1/model              distribute a model snapshot
+//	POST /api/v1/fingerprints       (with Trainer) collect samples
+//	POST /api/v1/train              (with Trainer) train + distribute
+func Handler(g *Gateway, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		statuses := g.CheckHealth()
+		downCount := 0
+		for _, s := range statuses {
+			if s.Down {
+				downCount++
+			}
+		}
+		status := "ok"
+		code := http.StatusOK
+		switch {
+		case downCount == len(statuses):
+			status = "down"
+			code = http.StatusServiceUnavailable
+		case downCount > 0:
+			status = "degraded"
+		}
+		fleetJSON(w, code, map[string]any{"status": status, "shards": len(statuses), "down": downCount})
+	})
+	mux.HandleFunc("POST /api/v1/observations", func(w http.ResponseWriter, r *http.Request) {
+		var rep transport.Report
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		room, err := g.Ingest(rep)
+		if err != nil {
+			fleetError(w, ingestStatus(err), err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, map[string]string{"room": room})
+	})
+	mux.HandleFunc("POST /api/v1/observations:batch", func(w http.ResponseWriter, r *http.Request) {
+		var reports []transport.Report
+		if err := json.NewDecoder(r.Body).Decode(&reports); err != nil {
+			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		rooms, err := g.IngestBatch(reports)
+		if err != nil {
+			fleetError(w, ingestStatus(err), err)
+			return
+		}
+		if rooms == nil {
+			rooms = []string{}
+		}
+		fleetJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+	})
+	mux.HandleFunc("GET /api/v1/occupancy", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := g.Occupancy()
+		if err != nil {
+			fleetError(w, http.StatusBadGateway, err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("GET /api/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		events, err := g.Events()
+		if err != nil {
+			fleetError(w, http.StatusBadGateway, err)
+			return
+		}
+		out := make([]bms.EventJSON, 0, len(events))
+		for _, e := range events {
+			out = append(out, bms.EventJSON{
+				AtSeconds: e.At.Seconds(),
+				Device:    e.Device,
+				Kind:      e.Kind.String(),
+				Room:      e.Room,
+			})
+		}
+		fleetJSON(w, http.StatusOK, map[string]any{"events": out})
+	})
+	mux.HandleFunc("GET /api/v1/dwell", func(w http.ResponseWriter, r *http.Request) {
+		totals, err := g.DwellTotals()
+		if err != nil {
+			fleetError(w, http.StatusBadGateway, err)
+			return
+		}
+		rooms := map[string]float64{}
+		for room, d := range totals {
+			rooms[room] = d.Seconds()
+		}
+		fleetJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+	})
+	mux.HandleFunc("GET /api/v1/rollup", func(w http.ResponseWriter, r *http.Request) {
+		rollup, err := g.Rollup()
+		if err != nil {
+			fleetError(w, http.StatusBadGateway, err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, rollup)
+	})
+	mux.HandleFunc("GET /api/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		fleetJSON(w, http.StatusOK, map[string]any{"shards": g.Statuses()})
+	})
+	mux.HandleFunc("PUT /api/v1/model", func(w http.ResponseWriter, r *http.Request) {
+		var snap bms.ModelSnapshot
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		if err := g.DistributeModel(snap); err != nil {
+			fleetError(w, http.StatusBadGateway, err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, map[string]int{"version": snap.Version, "shards": g.Shards()})
+	})
+	if opts.Trainer != nil {
+		// Fingerprint collection goes straight to the trainer's own
+		// handler — same wire format, one authoritative training store.
+		mux.Handle("POST /api/v1/fingerprints", opts.Trainer.Handler())
+		mux.HandleFunc("POST /api/v1/train", func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				C     float64 `json:"c"`
+				Gamma float64 `json:"gamma"`
+				Seed  uint64  `json:"seed"`
+			}
+			if r.ContentLength != 0 {
+				if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+					fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+					return
+				}
+			}
+			res, err := opts.Trainer.Train(req.C, req.Gamma, req.Seed)
+			if err != nil {
+				fleetError(w, http.StatusConflict, err)
+				return
+			}
+			snap, ok := opts.Trainer.ModelSnapshot()
+			if !ok {
+				fleetError(w, http.StatusInternalServerError, fmt.Errorf("trained model missing"))
+				return
+			}
+			if err := g.DistributeModel(snap); err != nil {
+				fleetError(w, http.StatusBadGateway, err)
+				return
+			}
+			fleetJSON(w, http.StatusOK, map[string]any{
+				"samples":        res.Samples,
+				"classes":        res.Classes,
+				"supportVectors": res.SupportVectors,
+				"modelVersion":   res.ModelVersion,
+				"shards":         g.Shards(),
+			})
+		})
+	}
+	return mux
+}
+
+// ingestStatus maps a gateway ingest failure to the status a single
+// bms.Server would have produced, keeping the "clients cannot tell a
+// fleet from a box" contract: a report the shard rejected as invalid is
+// the client's fault (400 — retrying is pointless), only connectivity
+// failures and upstream 5xx are the fleet's (502), and a fleet with no
+// healthy shards is 503.
+func ingestStatus(err error) int {
+	if errors.Is(err, ErrNoHealthyShards) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, ErrShardMisbehaved) {
+		return http.StatusBadGateway
+	}
+	if code, ok := transport.StatusCode(err); ok {
+		if code/100 == 4 {
+			return http.StatusBadRequest
+		}
+		return http.StatusBadGateway
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return http.StatusBadGateway
+	}
+	// What remains is report validation (in-process shards fail only on
+	// that) — a client error, exactly as bms answers it.
+	return http.StatusBadRequest
+}
+
+func fleetJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func fleetError(w http.ResponseWriter, code int, err error) {
+	fleetJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,348 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"occusim/internal/building"
+	"occusim/internal/fleet"
+	"occusim/internal/transport"
+)
+
+// newHTTPFleet spins n bms servers behind httptest and fronts them with
+// HTTPShard clients. Returned closers kill individual shard servers.
+func newHTTPFleet(t *testing.T, b *building.Building, n int) (*fleet.Gateway, []*httptest.Server) {
+	t.Helper()
+	shards := make([]fleet.Shard, n)
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		srv := newServer(t, b)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		hs, err := fleet.NewHTTPShard(ts.URL, nil, transport.RetryPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = hs
+		servers[i] = ts
+	}
+	gw, err := fleet.New(shards, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw, servers
+}
+
+// TestHTTPShardFleetEndToEnd drives a 3-shard HTTP fleet through model
+// distribution, batch ingest and every federated read path, and checks
+// the result matches the same stream through an in-process pool — the
+// HTTP shard client must be a transparent transport.
+func TestHTTPShardFleetEndToEnd(t *testing.T) {
+	b := building.PaperHouse()
+	snap := trainSnapshot(t, b, 23)
+	stream := synthStream(b, 12, 45, 5)
+
+	gw, _ := newHTTPFleet(t, b, 3)
+	if err := gw.DistributeModel(snap); err != nil {
+		t.Fatal(err)
+	}
+	httpRooms, err := gw.IngestBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := fleet.NewLocalPool(b, 3, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local pool names shards "shard-N" while HTTP shards are named
+	// by URL, so the rings differ — equivalence of the *federated state*
+	// must hold regardless, because it never depends on which shard a
+	// device landed on.
+	local, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.DistributeModel(snap); err != nil {
+		t.Fatal(err)
+	}
+	localRooms, err := local.IngestBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(httpRooms) != len(localRooms) {
+		t.Fatalf("room counts differ: %d vs %d", len(httpRooms), len(localRooms))
+	}
+	for i := range httpRooms {
+		if httpRooms[i] != localRooms[i] {
+			t.Fatalf("report %d: http fleet %q, local fleet %q", i, httpRooms[i], localRooms[i])
+		}
+	}
+
+	ho, err := gw.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := local.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, ho), mustJSON(t, lo); !bytes.Equal(got, want) {
+		t.Fatalf("occupancy over HTTP differs:\n%s\nvs\n%s", got, want)
+	}
+	he, err := gw.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := local.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, he), mustJSON(t, le); !bytes.Equal(got, want) {
+		t.Fatalf("events over HTTP differ:\n%s\nvs\n%s", got, want)
+	}
+	hd, err := gw.DwellTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := local.DwellTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HTTP round-trips dwell through seconds-as-float; compare at
+	// millisecond resolution.
+	if len(hd) != len(ld) {
+		t.Fatalf("dwell rooms differ: %v vs %v", hd, ld)
+	}
+	for room, want := range ld {
+		got := hd[room]
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff.Milliseconds() > 1 {
+			t.Fatalf("dwell[%s] = %v over HTTP, want %v", room, got, want)
+		}
+	}
+}
+
+// TestHTTPFleetShardFailureReroutes kills one shard server and checks
+// the gateway notices via health probes and keeps ingesting by sliding
+// the dead shard's devices to survivors.
+func TestHTTPFleetShardFailureReroutes(t *testing.T) {
+	b := building.PaperHouse()
+	gw, servers := newHTTPFleet(t, b, 3)
+
+	stream := synthStream(b, 10, 5, 11)
+	if _, err := gw.IngestBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+
+	servers[1].Close()
+	statuses := gw.CheckHealth()
+	downCount := 0
+	for _, s := range statuses {
+		if s.Down {
+			downCount++
+		}
+	}
+	if downCount != 1 || !statuses[1].Down {
+		t.Fatalf("health after kill = %+v", statuses)
+	}
+
+	// The same crowd keeps reporting; everything must still ingest.
+	later := synthStream(b, 10, 5, 11)
+	for i := range later {
+		later[i].AtSeconds += 100
+	}
+	if _, err := gw.IngestBatch(later); err != nil {
+		t.Fatalf("ingest after shard loss: %v", err)
+	}
+	for d := 0; d < 10; d++ {
+		idx, err := gw.ShardFor(later[d].Device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 1 {
+			t.Fatalf("device %q still routed to the dead shard", later[d].Device)
+		}
+	}
+}
+
+// TestFleetHandlerStatusParity pins the API-parity contract for error
+// classes: an invalid report gets 400 through the fleet exactly as it
+// would from one bms.Server (so retrying uplinks don't hammer a doomed
+// request), and a fleet with no healthy shards answers 503.
+func TestFleetHandlerStatusParity(t *testing.T) {
+	b := building.PaperHouse()
+	pool, err := fleet.NewLocalPool(b, 2, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fleet.Handler(gw, fleet.HandlerOptions{}))
+	defer ts.Close()
+
+	// A report without a device is a client error on a single server;
+	// it must be a client error through the fleet too.
+	resp, err := http.Post(ts.URL+"/api/v1/observations", "application/json",
+		bytes.NewReader([]byte(`{"atSeconds": 1, "beacons": []}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid report returned %s, want 400", resp.Status)
+	}
+
+	gw.MarkDown(0)
+	gw.MarkDown(1)
+	resp, err = http.Post(ts.URL+"/api/v1/observations", "application/json",
+		bytes.NewReader([]byte(`{"device": "p", "atSeconds": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-healthy-shards returned %s, want 503", resp.Status)
+	}
+}
+
+// TestFleetHandler exercises the gateway's own HTTP face: ingest,
+// rollup, shard introspection, model distribution and training via the
+// embedded trainer.
+func TestFleetHandler(t *testing.T) {
+	b := building.PaperHouse()
+	pool, err := fleet.NewLocalPool(b, 2, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := newServer(t, b)
+	ts := httptest.NewServer(fleet.Handler(gw, fleet.HandlerOptions{Trainer: trainer}))
+	defer ts.Close()
+
+	// Health is live and green.
+	resp, err := http.Get(ts.URL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Shards int    `json:"shards"`
+		Down   int    `json:"down"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Shards != 2 || health.Down != 0 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// Collect fingerprints through the gateway, then train + distribute.
+	snap := trainSnapshot(t, b, 31)
+	body, _ := json.Marshal(snap)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/model", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model distribution returned %s", resp.Status)
+	}
+
+	// Batch ingest through the gateway API.
+	stream := synthStream(b, 8, 40, 13)
+	body, _ = json.Marshal(stream)
+	resp, err = http.Post(ts.URL+"/api/v1/observations:batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchResp struct {
+		Rooms []string `json:"rooms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batchResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batchResp.Rooms) != len(stream) {
+		t.Fatalf("batch returned %d rooms, want %d", len(batchResp.Rooms), len(stream))
+	}
+
+	// One report through the single endpoint.
+	body, _ = json.Marshal(stream[0])
+	resp, err = http.Post(ts.URL+"/api/v1/observations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single observation returned %s", resp.Status)
+	}
+
+	// Rollup reflects the crowd.
+	resp, err = http.Get(ts.URL + "/api/v1/rollup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rollup fleet.Rollup
+	if err := json.NewDecoder(resp.Body).Decode(&rollup); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rollup.Devices != 8 {
+		t.Fatalf("rollup devices = %d, want 8", rollup.Devices)
+	}
+	occupants := 0
+	for _, r := range rollup.Rooms {
+		occupants += r.Occupants
+	}
+	if occupants != 8 {
+		t.Fatalf("rollup occupants = %d, want 8", occupants)
+	}
+
+	// Shard introspection accounts for every routed report.
+	resp, err = http.Get(ts.URL + "/api/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardsResp struct {
+		Shards []fleet.ShardStatus `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&shardsResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	routed := int64(0)
+	for _, s := range shardsResp.Shards {
+		routed += s.Routed
+	}
+	if routed != int64(len(stream)+1) {
+		t.Fatalf("routed = %d, want %d", routed, len(stream)+1)
+	}
+
+	// Training through the gateway distributes to every shard.
+	resp, err = http.Post(ts.URL+"/api/v1/train", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The scratch trainer in this test has no fingerprints of its own,
+	// so train must reject cleanly rather than distribute garbage.
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("train on empty trainer returned %s, want 409", resp.Status)
+	}
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"occusim/internal/bms"
+	"occusim/internal/building"
+	"occusim/internal/occupancy"
+	"occusim/internal/store"
+	"occusim/internal/transport"
+)
+
+// Shard is one BMS ingest server as the gateway sees it: the report
+// path, the model-distribution path, and the read views the federation
+// layer merges. LocalShard wraps an in-process bms.Server (tests,
+// single-box fleets); HTTPShard drives a remote one over its REST API.
+type Shard interface {
+	// Name identifies the shard; it seeds the shard's virtual nodes on
+	// the hash ring, so it must be unique and stable across restarts.
+	Name() string
+	// Ingest processes one report and returns the predicted room.
+	Ingest(transport.Report) (string, error)
+	// IngestBatch processes many reports (per-device order preserved)
+	// and returns the predicted room per report, in order.
+	IngestBatch([]transport.Report) ([]string, error)
+	// InstallModel switches the shard to a distributed model snapshot.
+	InstallModel(bms.ModelSnapshot) error
+	// Occupancy returns the shard's current head counts and device rooms.
+	Occupancy() (bms.OccupancySnapshot, error)
+	// Events returns the shard's committed enter/exit events in
+	// nondecreasing time order.
+	Events() ([]occupancy.Event, error)
+	// DwellTotals returns the shard's per-room dwell rollup.
+	DwellTotals() (map[string]time.Duration, error)
+	// Health reports whether the shard can take traffic.
+	Health() error
+}
+
+// LocalShard adapts an in-process bms.Server to the Shard interface —
+// the shard pool tests and single-machine fleets run on.
+type LocalShard struct {
+	name string
+	srv  *bms.Server
+}
+
+// NewLocalShard wraps srv under the given ring name.
+func NewLocalShard(name string, srv *bms.Server) (*LocalShard, error) {
+	if name == "" || srv == nil {
+		return nil, fmt.Errorf("fleet: local shard needs a name and a server")
+	}
+	return &LocalShard{name: name, srv: srv}, nil
+}
+
+// Server exposes the wrapped server (training, snapshots).
+func (l *LocalShard) Server() *bms.Server { return l.srv }
+
+// Name implements Shard.
+func (l *LocalShard) Name() string { return l.name }
+
+// Ingest implements Shard.
+func (l *LocalShard) Ingest(r transport.Report) (string, error) { return l.srv.Ingest(r) }
+
+// IngestBatch implements Shard.
+func (l *LocalShard) IngestBatch(reports []transport.Report) ([]string, error) {
+	return l.srv.IngestBatch(reports)
+}
+
+// InstallModel implements Shard.
+func (l *LocalShard) InstallModel(snap bms.ModelSnapshot) error {
+	_, err := l.srv.InstallModel(snap)
+	return err
+}
+
+// Occupancy implements Shard.
+func (l *LocalShard) Occupancy() (bms.OccupancySnapshot, error) { return l.srv.Occupancy(), nil }
+
+// Events implements Shard.
+func (l *LocalShard) Events() ([]occupancy.Event, error) { return l.srv.Events(), nil }
+
+// DwellTotals implements Shard.
+func (l *LocalShard) DwellTotals() (map[string]time.Duration, error) {
+	return l.srv.DwellTotals(), nil
+}
+
+// Health implements Shard: an in-process server is always reachable.
+func (l *LocalShard) Health() error { return nil }
+
+// LocalPool is a set of in-process shards with their backing layers
+// exposed for training and persistence wiring: Shards[i] wraps
+// Servers[i], whose data layer is Stores[i].
+type LocalPool struct {
+	Shards  []Shard
+	Servers []*bms.Server
+	Stores  []*store.Store
+}
+
+// NewLocalPool builds n in-process shards over fresh servers of one
+// floor plan — the substrate for tests, cmd/loadgen and bmsd -shards.
+// Shard names are "shard-0" … "shard-<n-1>"; the name is ring identity,
+// so every consumer must construct pools through here.
+func NewLocalPool(b *building.Building, n, debounce, retain int) (*LocalPool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: pool needs at least 1 shard, got %d", n)
+	}
+	pool := &LocalPool{
+		Shards:  make([]Shard, n),
+		Servers: make([]*bms.Server, n),
+		Stores:  make([]*store.Store, n),
+	}
+	for i := 0; i < n; i++ {
+		st, err := store.New(retain)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := bms.NewServer(b, st, debounce)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := NewLocalShard(fmt.Sprintf("shard-%d", i), srv)
+		if err != nil {
+			return nil, err
+		}
+		pool.Shards[i] = ls
+		pool.Servers[i] = srv
+		pool.Stores[i] = st
+	}
+	return pool, nil
+}
+
+// GatewayUplink adapts a Gateway to transport.Uplink and
+// transport.BatchSender, so device-side batching uplinks can stream
+// into a fleet exactly as they stream into a single bms.Server via
+// bms.DirectUplink.
+type GatewayUplink struct{ Gateway *Gateway }
+
+// Name implements transport.Uplink.
+func (u GatewayUplink) Name() string { return "fleet-gateway" }
+
+// Send implements transport.Uplink.
+func (u GatewayUplink) Send(r transport.Report) error {
+	_, err := u.Gateway.Ingest(r)
+	return err
+}
+
+// SendBatch implements transport.BatchSender.
+func (u GatewayUplink) SendBatch(reports []transport.Report) error {
+	_, err := u.Gateway.IngestBatch(reports)
+	return err
+}

@@ -158,6 +158,19 @@ func (t *Tracker) Dwell(device string) map[string]time.Duration {
 	return out
 }
 
+// DwellTotals returns the accumulated dwell time per room summed over
+// every device the tracker has seen — the building-level rollup the
+// fleet layer federates.
+func (t *Tracker) DwellTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, rooms := range t.dwell {
+		for room, d := range rooms {
+			out[room] += d
+		}
+	}
+	return out
+}
+
 // Devices returns all known devices, sorted.
 func (t *Tracker) Devices() []string {
 	out := make([]string, 0, len(t.current))

@@ -102,6 +102,22 @@ func (s *Sharded) Dwell(device string) map[string]time.Duration {
 	return sh.tr.Dwell(device)
 }
 
+// DwellTotals returns the accumulated per-room dwell time summed over
+// all devices across all shards. Device partitions are disjoint, so the
+// merge is a plain sum.
+func (s *Sharded) DwellTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for room, d := range sh.tr.DwellTotals() {
+			out[room] += d
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Counts returns the head count per room across all shards.
 func (s *Sharded) Counts() map[string]int {
 	out := map[string]int{}

@@ -258,6 +258,30 @@ func (s *Store) SetModel(blob []byte) int {
 	return s.modelVersion
 }
 
+// InstallModel stores a model blob distributed from elsewhere (the
+// fleet gateway pushing a trainer's snapshot), stamping the
+// distributor's version so every shard reports the same one. Stale and
+// duplicate distributions — version not above the current one — are
+// ignored, which makes retried installs idempotent and lets
+// out-of-order distributions converge on the newest model instead of
+// leaving shards on whichever install landed last. A non-positive
+// version falls back to bumping the local counter. Returns the store's
+// model version and whether the blob was installed.
+func (s *Store) InstallModel(blob []byte, version int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if version > 0 && version <= s.modelVersion {
+		return s.modelVersion, false
+	}
+	s.model = append([]byte(nil), blob...)
+	if version > 0 {
+		s.modelVersion = version
+	} else {
+		s.modelVersion++
+	}
+	return s.modelVersion, true
+}
+
 // Model returns the current model blob and version (nil, 0 when absent).
 func (s *Store) Model() ([]byte, int) {
 	s.mu.RLock()

@@ -187,3 +187,34 @@ func TestQuickRetentionBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInstallModelVersionMonotonic pins the distributed-install
+// contract: stale and duplicate snapshot versions are ignored (retries
+// are idempotent, out-of-order distributions converge on the newest
+// model), newer versions land, and non-positive versions fall back to
+// the local counter.
+func TestInstallModelVersionMonotonic(t *testing.T) {
+	s, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.InstallModel([]byte(`{"m":1}`), 3); !ok || v != 3 {
+		t.Fatalf("fresh install = (%d, %v), want (3, true)", v, ok)
+	}
+	if v, ok := s.InstallModel([]byte(`{"m":2}`), 3); ok || v != 3 {
+		t.Fatalf("duplicate version install = (%d, %v), want (3, false)", v, ok)
+	}
+	if v, ok := s.InstallModel([]byte(`{"m":2}`), 2); ok || v != 3 {
+		t.Fatalf("stale version install = (%d, %v), want (3, false)", v, ok)
+	}
+	blob, version := s.Model()
+	if string(blob) != `{"m":1}` || version != 3 {
+		t.Fatalf("model after stale installs = (%s, %d), want the v3 blob", blob, version)
+	}
+	if v, ok := s.InstallModel([]byte(`{"m":9}`), 5); !ok || v != 5 {
+		t.Fatalf("newer install = (%d, %v), want (5, true)", v, ok)
+	}
+	if v, ok := s.InstallModel([]byte(`{"m":10}`), 0); !ok || v != 6 {
+		t.Fatalf("unversioned install = (%d, %v), want (6, true)", v, ok)
+	}
+}

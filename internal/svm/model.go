@@ -101,6 +101,15 @@ func trainScaled(Xs [][]float64, labels []string, scaler *Scaler, norms []float6
 // Classes returns the sorted class labels the model can predict.
 func (m *Model) Classes() []string { return append([]string(nil), m.classes...) }
 
+// NumFeatures returns the feature dimension the model was trained on
+// (the scaler is fitted per column, so its statistics carry the width).
+func (m *Model) NumFeatures() int {
+	if m.scaler == nil {
+		return 0
+	}
+	return len(m.scaler.Mean)
+}
+
 // NumSupportVectors returns the total support-vector count across all
 // pairwise machines, a rough model-complexity measure.
 func (m *Model) NumSupportVectors() int {

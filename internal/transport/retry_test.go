@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first failures requests in the configured way,
+// then serves 200s, recording every request body it saw.
+type flakyServer struct {
+	mu       sync.Mutex
+	failures int
+	mode     string // "503", "400", or "reset"
+	hits     int
+	bodies   []string
+}
+
+func (f *flakyServer) handler(w http.ResponseWriter, r *http.Request) {
+	var body strings.Builder
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		body.WriteString(sc.Text())
+	}
+	f.mu.Lock()
+	f.hits++
+	fail := f.hits <= f.failures
+	f.bodies = append(f.bodies, body.String())
+	mode := f.mode
+	f.mu.Unlock()
+	if !fail {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"rooms":[]}`))
+		return
+	}
+	switch mode {
+	case "400":
+		http.Error(w, "bad", http.StatusBadRequest)
+	case "reset":
+		// Kill the connection mid-exchange so the client sees a
+		// transport-level error rather than a status.
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close()
+	default:
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}
+}
+
+func (f *flakyServer) stats() (hits int, bodies []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits, append([]string(nil), f.bodies...)
+}
+
+// sleepRecorder captures backoff delays instead of waiting them out.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (s *sleepRecorder) sleep(d time.Duration) {
+	s.mu.Lock()
+	s.delays = append(s.delays, d)
+	s.mu.Unlock()
+}
+
+func retryPolicy(s *sleepRecorder, attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Sleep:       s.sleep,
+	}
+}
+
+func TestHTTPUplinkRetries5xx(t *testing.T) {
+	fs := &flakyServer{failures: 2, mode: "503"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: retryPolicy(rec, 4)}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err != nil {
+		t.Fatalf("send after transient 503s: %v", err)
+	}
+	hits, _ := fs.stats()
+	if hits != 3 {
+		t.Fatalf("server saw %d attempts, want 3", hits)
+	}
+	// Capped exponential: 10 ms then 20 ms.
+	if len(rec.delays) != 2 || rec.delays[0] != 10*time.Millisecond || rec.delays[1] != 20*time.Millisecond {
+		t.Fatalf("backoff delays = %v", rec.delays)
+	}
+}
+
+func TestHTTPUplinkRetriesConnectionReset(t *testing.T) {
+	fs := &flakyServer{failures: 1, mode: "reset"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: retryPolicy(rec, 3)}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err != nil {
+		t.Fatalf("send after connection reset: %v", err)
+	}
+	if hits, _ := fs.stats(); hits != 2 {
+		t.Fatalf("server saw %d attempts, want 2", hits)
+	}
+}
+
+func TestHTTPUplinkDoesNotRetry4xx(t *testing.T) {
+	fs := &flakyServer{failures: 100, mode: "400"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: retryPolicy(rec, 4)}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err == nil {
+		t.Fatal("400 should fail the send")
+	}
+	if hits, _ := fs.stats(); hits != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (no 4xx retries)", hits)
+	}
+	if len(rec.delays) != 0 {
+		t.Fatalf("unexpected backoff before permanent failure: %v", rec.delays)
+	}
+}
+
+func TestHTTPUplinkExhaustsAttemptBudget(t *testing.T) {
+	fs := &flakyServer{failures: 100, mode: "503"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: retryPolicy(rec, 3)}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err == nil {
+		t.Fatal("persistent 503 should eventually fail")
+	}
+	if hits, _ := fs.stats(); hits != 3 {
+		t.Fatalf("server saw %d attempts, want the full budget of 3", hits)
+	}
+	// Delay caps at MaxDelay: 10, 20 (40 would be next but budget ends).
+	if len(rec.delays) != 2 {
+		t.Fatalf("backoff count = %d, want 2", len(rec.delays))
+	}
+}
+
+func TestHTTPUplinkZeroPolicyIsOneShot(t *testing.T) {
+	fs := &flakyServer{failures: 100, mode: "503"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	u := &HTTPUplink{BaseURL: ts.URL}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err == nil {
+		t.Fatal("503 should fail")
+	}
+	if hits, _ := fs.stats(); hits != 1 {
+		t.Fatalf("zero policy made %d attempts, want 1", hits)
+	}
+}
+
+// TestHTTPUplinkBatchOrderSurvivesRetry pins the satellite requirement:
+// a retried batch is retransmitted as the identical payload, so the
+// server never sees a reordered or partial slice.
+func TestHTTPUplinkBatchOrderSurvivesRetry(t *testing.T) {
+	fs := &flakyServer{failures: 2, mode: "503"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: retryPolicy(rec, 4)}
+	batch := []Report{
+		{Device: "a", AtSeconds: 1},
+		{Device: "b", AtSeconds: 1},
+		{Device: "a", AtSeconds: 2},
+	}
+	if err := u.SendBatch(batch); err != nil {
+		t.Fatalf("batch after transient 503s: %v", err)
+	}
+	_, bodies := fs.stats()
+	if len(bodies) != 3 {
+		t.Fatalf("server saw %d payloads, want 3", len(bodies))
+	}
+	for i := 1; i < len(bodies); i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("attempt %d payload differs from the first:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	ia := strings.Index(bodies[0], `"device":"a"`)
+	ib := strings.Index(bodies[0], `"device":"b"`)
+	if ia < 0 || ib < 0 || ib < ia {
+		t.Fatalf("batch order not preserved in payload: %s", bodies[0])
+	}
+}

@@ -15,8 +15,11 @@ package transport
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"occusim/internal/rng"
@@ -56,17 +59,191 @@ type Uplink interface {
 // when available and falls back to per-report Send otherwise.
 type BatchSender interface {
 	// SendBatch delivers the reports in order. An error means none of
-	// them were acknowledged.
+	// them were acknowledged — though under retrying transports the
+	// server may still have processed an unacknowledged attempt
+	// (at-least-once delivery; see RetryPolicy).
 	SendBatch([]Report) error
 }
 
+// RetryPolicy bounds how an HTTP exchange retransmits after transient
+// failures: connection-level errors (reset, refused, timeout) and 5xx
+// responses are retried with capped exponential backoff; any other
+// non-2xx status is a permanent rejection and fails immediately. Each
+// retry resends the identical request body, so a multi-report batch
+// keeps its order across attempts.
+//
+// Delivery is at-least-once, not exactly-once: a response lost after
+// the server processed the request means the retry re-delivers the
+// same payload (the observation schema has no idempotency key yet —
+// ROADMAP.md carries server-side dedup as an open item).
+//
+// The zero value means "one attempt, no retries", preserving the
+// fire-once behaviour callers had before retries existed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries for one exchange,
+	// including the first; 0 and 1 both mean no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// retry doubles it, capped at MaxDelay. Defaults: 100 ms and 2 s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is the wait hook; nil means time.Sleep. Tests inject a
+	// recorder so backoff is observable without real waiting.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the policy the command-line clients use: four
+// attempts spanning roughly 100+200+400 ms of backoff.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// attempts returns the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retry number n (0-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// statusError is a non-2xx response; its code decides retryability and
+// its body snippet tells the operator why the server refused.
+type statusError struct {
+	code   int
+	status string
+	body   string
+}
+
+func (e *statusError) Error() string {
+	if e.body != "" {
+		return "transport: server returned " + e.status + ": " + e.body
+	}
+	return "transport: server returned " + e.status
+}
+
+// DoJSON performs one JSON exchange under the retry policy and returns
+// the response payload. A nil client gets a 5-second timeout. The fleet
+// layer's HTTP shard client shares this path with HTTPUplink, so both
+// see identical retry and error semantics.
+func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPolicy) ([]byte, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	// A request that cannot even be constructed (malformed URL) fails
+	// identically on every attempt; surface it without burning backoff.
+	if _, err := http.NewRequest(method, url, nil); err != nil {
+		return nil, fmt.Errorf("transport: request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < policy.attempts(); attempt++ {
+		if attempt > 0 {
+			policy.sleep(policy.backoff(attempt - 1))
+		}
+		payload, err := doOnce(client, method, url, body)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		var se *statusError
+		if errors.As(err, &se) && se.code/100 != 5 {
+			return nil, err // permanent rejection: do not retry 4xx
+		}
+	}
+	return nil, lastErr
+}
+
+// doOnce is a single exchange attempt.
+func doOnce(client *http.Client, method, url string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, fmt.Errorf("transport: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s: %w", strings.ToLower(method), err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		snippet := strings.TrimSpace(string(payload))
+		if len(snippet) > 200 {
+			snippet = snippet[:200] + "…"
+		}
+		return nil, &statusError{code: resp.StatusCode, status: resp.Status, body: snippet}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: read response: %w", err)
+	}
+	return payload, nil
+}
+
+// StatusCode extracts the HTTP status of a server rejection from err
+// (an error returned by DoJSON/PostJSON/GetJSON or anything wrapping
+// one). ok is false for connection-level failures, which carry no
+// status. Gateways use it to tell a client's 4xx — not worth retrying
+// or re-reporting as a server fault — from genuine upstream trouble.
+func StatusCode(err error) (int, bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code, true
+	}
+	return 0, false
+}
+
+// PostJSON posts body and returns the response payload under the policy.
+func PostJSON(client *http.Client, url string, body []byte, policy RetryPolicy) ([]byte, error) {
+	return DoJSON(client, http.MethodPost, url, body, policy)
+}
+
+// GetJSON fetches url and returns the response payload under the policy.
+func GetJSON(client *http.Client, url string, policy RetryPolicy) ([]byte, error) {
+	return DoJSON(client, http.MethodGet, url, nil, policy)
+}
+
 // HTTPUplink posts reports to the BMS observations endpoint — the Wi-Fi
-// path.
+// path. With a Retry policy set, transient failures (connection resets,
+// 5xx) are retransmitted with capped exponential backoff; the zero
+// policy keeps the historical one-shot behaviour.
 type HTTPUplink struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// Client defaults to a 5-second-timeout client when nil.
 	Client *http.Client
+	// Retry bounds retransmission of failed exchanges.
+	Retry RetryPolicy
 }
 
 // Name implements Uplink.
@@ -78,33 +255,20 @@ func (u *HTTPUplink) Send(r Report) error {
 	if err != nil {
 		return fmt.Errorf("transport: marshal report: %w", err)
 	}
-	return u.post("/api/v1/observations", body)
+	_, err = PostJSON(u.Client, u.BaseURL+"/api/v1/observations", body, u.Retry)
+	return err
 }
 
 // SendBatch implements BatchSender against the BMS batch-ingest
-// endpoint: one POST carries the whole slice.
+// endpoint: one POST carries the whole slice, and a retried POST
+// carries the identical slice, so batch order survives retransmission.
 func (u *HTTPUplink) SendBatch(reports []Report) error {
 	body, err := json.Marshal(reports)
 	if err != nil {
 		return fmt.Errorf("transport: marshal batch: %w", err)
 	}
-	return u.post("/api/v1/observations:batch", body)
-}
-
-func (u *HTTPUplink) post(path string, body []byte) error {
-	client := u.Client
-	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
-	}
-	resp, err := client.Post(u.BaseURL+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("transport: post: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("transport: server returned %s", resp.Status)
-	}
-	return nil
+	_, err = PostJSON(u.Client, u.BaseURL+"/api/v1/observations:batch", body, u.Retry)
+	return err
 }
 
 // SendFunc adapts a function to the Uplink interface, used to wire the
