@@ -2,9 +2,9 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 4
+PR ?= 5
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR3.json
+DIFF_BASE ?= BENCH_PR4.json
 
 .PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest
 
@@ -43,6 +43,10 @@ bench-diff:
 
 # loadtest is the CI smoke of the fleet layer: cmd/loadgen drives a
 # synthetic crowd through an in-process 2-shard fleet.Gateway (train,
-# distribute, route, federate) in a few seconds.
+# distribute, route, federate) in a few seconds. The second run injects
+# shard failures (-flaky) — half of them after the shard committed —
+# and exits nonzero unless the retried, deduplicated run ends
+# byte-identical to the clean ground truth (the exactly-once pin).
 loadtest:
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7
+	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 -flaky 0.2

@@ -32,6 +32,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Minute, "simulated duration")
 	seed := flag.Uint64("seed", 1, "random seed")
 	batch := flag.Float64("batch", 10, "coalesce each phone's reports for this many seconds before posting to the batch endpoint (0 posts per report)")
+	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports (bump after a counter-losing restart)")
 	flag.Parse()
 
 	b := building.PaperHouse()
@@ -39,7 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpUplink := &transport.HTTPUplink{BaseURL: *serverURL}
+	// Retransmit transient failures: with every report sequenced, the
+	// server dedupes a delivery whose response was lost, so the retry
+	// policy cannot double-count occupants.
+	httpUplink := &transport.HTTPUplink{BaseURL: *serverURL, Retry: transport.DefaultRetry()}
+	sequencer := transport.NewSequencer(*epoch)
 
 	src := rng.New(*seed)
 	var flushAtEnd []*transport.BatchingUplink
@@ -49,9 +54,12 @@ func main() {
 			log.Fatal(err)
 		}
 		name := fmt.Sprintf("phone-%d", i+1)
-		var uplink transport.Uplink = httpUplink
+		var uplink transport.Uplink = stampedUplink{seq: sequencer, next: httpUplink}
 		if *batch > 0 {
-			bu, err := transport.NewBatchingUplink(httpUplink, transport.BatchConfig{FlushSeconds: *batch})
+			bu, err := transport.NewBatchingUplink(httpUplink, transport.BatchConfig{
+				FlushSeconds: *batch,
+				Sequencer:    sequencer,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -83,6 +91,20 @@ func main() {
 	}
 	out, _ := json.MarshalIndent(snap, "", "  ")
 	fmt.Fprintln(os.Stdout, string(out))
+}
+
+// stampedUplink sequences each report before posting — the unbatched
+// (-batch 0) path's equivalent of the batching uplink's Sequencer.
+type stampedUplink struct {
+	seq  *transport.Sequencer
+	next transport.Uplink
+}
+
+func (s stampedUplink) Name() string { return s.next.Name() }
+
+func (s stampedUplink) Send(r transport.Report) error {
+	s.seq.Stamp(&r)
+	return s.next.Send(r)
 }
 
 // roomRects lists the walkable areas of the plan.

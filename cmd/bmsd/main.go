@@ -64,6 +64,7 @@ func main() {
 	retain := flag.Int("retain", 1000, "observations retained per device")
 	snapshot := flag.String("snapshot", "", "path for persisted training state (load at boot, save on shutdown)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown grace for in-flight requests")
+	residueTTL := flag.Duration("residue-ttl", 10*time.Minute, "fleet mode: age out device state stranded on a shard that could not be migrated from (report-clock TTL, 0 disables)")
 	flag.Parse()
 
 	b, err := building.ByName(*plan)
@@ -96,8 +97,14 @@ func main() {
 		handler = trainer.Handler()
 	} else {
 		// ProbeInterval keeps external health polling from fanning a
-		// probe per shard per request (and from flapping routing).
-		gateway, err = fleet.New(pool.Shards, fleet.Config{ProbeInterval: 2 * time.Second})
+		// probe per shard per request (and from flapping routing);
+		// ResidueTTL sweeps stranded per-device state out of the
+		// federated views when an unreachable shard's devices could not
+		// be migrated off it.
+		gateway, err = fleet.New(pool.Shards, fleet.Config{
+			ProbeInterval: 2 * time.Second,
+			ResidueTTL:    *residueTTL,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

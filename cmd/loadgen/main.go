@@ -19,12 +19,23 @@
 // paper's history filter and the resulting ranging reports are cloned
 // across the simulated devices (device names remapped), so real
 // captured mobility drives the load instead of the synthetic crowd.
+//
+// With -flaky p (in-process fleets only), a fraction p of shard batch
+// calls fail — half of them after the shard already committed, the
+// lost-response case — and the devices' uplinks retransmit until
+// acknowledged. Every report carries a per-device sequence number, so
+// the shards deduplicate the retransmissions; after the run loadgen
+// asserts the federated occupancy, events and dwell are byte-identical
+// to a clean single server fed the same streams exactly once (the
+// synthetic ground truth) and exits nonzero otherwise.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -32,11 +43,14 @@ import (
 	"sync"
 	"time"
 
+	"occusim/internal/bms"
 	"occusim/internal/building"
 	"occusim/internal/experiments"
 	"occusim/internal/filter"
 	"occusim/internal/fleet"
+	"occusim/internal/fleet/fleettest"
 	"occusim/internal/stats"
+	"occusim/internal/store"
 	"occusim/internal/trace"
 	"occusim/internal/transport"
 )
@@ -52,15 +66,17 @@ func main() {
 	flush := flag.Float64("flush", 20, "batch flush window in report-time seconds")
 	tracePath := flag.String("trace", "", "trace JSON to replay as every device's stream")
 	seed := flag.Uint64("seed", 11, "stream synthesis seed")
+	flaky := flag.Float64("flaky", 0, "fraction of in-process shard batch calls to fail (half after commit); uplinks retry and the final state is asserted against ground truth")
+	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports")
 	flag.Parse()
 
-	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed); err != nil {
+	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64) error {
+func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64) error {
 	if devices < 1 {
 		return fmt.Errorf("need at least 1 device")
 	}
@@ -86,21 +102,41 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		return fmt.Errorf("no reports to send")
 	}
 
+	if flaky < 0 || flaky >= 1 {
+		return fmt.Errorf("-flaky %v outside [0, 1)", flaky)
+	}
+	if flaky > 0 && target != "" {
+		return fmt.Errorf("-flaky injects faults into in-process shards; it cannot be combined with -target")
+	}
+
 	// Resolve the target: a remote HTTP gateway or an in-process fleet.
 	var sink transport.Uplink
 	var gw *fleet.Gateway
+	var flakies []*fleettest.FlakyShard
 	if target != "" {
 		sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry()}
 		fmt.Printf("loadgen: %d devices, %d reports → %s\n", devices, total, target)
 	} else {
-		gw, err = inProcessFleet(b, shards, seed)
+		gw, flakies, err = inProcessFleet(b, shards, seed, flaky)
 		if err != nil {
 			return err
 		}
 		sink = fleet.GatewayUplink{Gateway: gw}
-		fmt.Printf("loadgen: %d devices, %d reports → in-process %d-shard fleet\n", devices, total, shards)
+		if flaky > 0 {
+			fmt.Printf("loadgen: %d devices, %d reports → in-process %d-shard fleet (flaky %.0f%% of batch calls)\n",
+				devices, total, shards, 100*flaky)
+		} else {
+			fmt.Printf("loadgen: %d devices, %d reports → in-process %d-shard fleet\n", devices, total, shards)
+		}
 	}
 	rec := &latencyRecorder{next: sink}
+	var funnel transport.Uplink = rec
+	if flaky > 0 {
+		// Whole-batch retransmission against the flaky shards; every
+		// attempt is measured as its own exchange.
+		funnel = retryUplink{next: rec, max: 10}
+	}
+	sequencer := transport.NewSequencer(epoch)
 
 	// The measured run: each device streams through its own coalescing
 	// uplink; pacing (when requested) spreads sends over wall time.
@@ -115,9 +151,10 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			uplink, err := transport.NewBatchingUplink(rec, transport.BatchConfig{
+			uplink, err := transport.NewBatchingUplink(funnel, transport.BatchConfig{
 				FlushSeconds: flush,
 				MaxBatch:     batch,
+				Sequencer:    sequencer,
 			})
 			if err != nil {
 				errs[d] = err
@@ -149,28 +186,178 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	} else {
 		printRemoteOccupancy(target)
 	}
+	if flaky > 0 {
+		injected := 0
+		for _, f := range flakies {
+			injected += f.InjectedFailures()
+		}
+		if injected == 0 {
+			return fmt.Errorf("flaky run injected no failures — the drill was vacuous; raise -reports or -flaky")
+		}
+		if err := verifyGroundTruth(b, gw, streams, seed); err != nil {
+			return err
+		}
+		fmt.Printf("exactly-once verified: %d injected failures, flaky-run state is byte-identical to the clean ground truth\n", injected)
+	}
 	return nil
 }
 
-// inProcessFleet builds, trains and model-distributes a local fleet.
-func inProcessFleet(b *building.Building, shards int, seed uint64) (*fleet.Gateway, error) {
+// inProcessFleet builds, trains and model-distributes a local fleet,
+// optionally wrapping every shard in a deterministic fault injector
+// (the wrappers are returned so the run can prove faults actually
+// fired).
+func inProcessFleet(b *building.Building, shards int, seed uint64, flaky float64) (*fleet.Gateway, []*fleettest.FlakyShard, error) {
 	pool, err := fleet.NewLocalPool(b, shards, 2, 1000)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	ring := pool.Shards
+	var flakies []*fleettest.FlakyShard
+	if flaky > 0 {
+		every := int(math.Round(1 / flaky))
+		if every < 2 {
+			every = 2
+		}
+		ring = make([]fleet.Shard, len(pool.Shards))
+		for i, s := range pool.Shards {
+			fs := &fleettest.FlakyShard{Shard: s, FailEvery: every}
+			ring[i] = fs
+			flakies = append(flakies, fs)
+		}
+	}
+	gw, err := fleet.New(ring, fleet.Config{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(b.Rooms) < 2 {
 		// The scene-analysis SVM needs at least two classes; plans with
 		// fewer rooms run on the default proximity classifier.
-		return gw, nil
+		return gw, flakies, nil
 	}
 	if err := experiments.TrainAndDistribute(gw, b, seed); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return gw, nil
+	return gw, flakies, nil
+}
+
+// retryUplink retransmits failed exchanges whole — the loadgen-side
+// equivalent of transport.RetryPolicy for the in-process path.
+type retryUplink struct {
+	next transport.Uplink
+	max  int
+}
+
+func (r retryUplink) Name() string { return "retry(" + r.next.Name() + ")" }
+
+func (r retryUplink) Send(rep transport.Report) error {
+	var err error
+	for i := 0; i < r.max; i++ {
+		if err = r.next.Send(rep); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func (r retryUplink) SendBatch(reports []transport.Report) error {
+	bs, ok := r.next.(transport.BatchSender)
+	if !ok {
+		for _, rep := range reports {
+			if err := r.Send(rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var err error
+	for i := 0; i < r.max; i++ {
+		if err = bs.SendBatch(reports); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// verifyGroundTruth replays the same streams — exactly once, no
+// faults — into a single reference server trained identically, and
+// requires the flaky fleet's federated occupancy, events and dwell to
+// be byte-identical, with every device accounted for. This is the
+// exactly-once contract made an executable assertion.
+func verifyGroundTruth(b *building.Building, gw *fleet.Gateway, streams [][]transport.Report, seed uint64) error {
+	st, err := store.New(1000)
+	if err != nil {
+		return err
+	}
+	ref, err := bms.NewServer(b, st, 2)
+	if err != nil {
+		return err
+	}
+	if len(b.Rooms) >= 2 {
+		// Same seed, same survey schedule → the identical model the
+		// fleet shards classified with.
+		if err := experiments.TrainCrowdModel(ref, b, seed); err != nil {
+			return err
+		}
+	}
+	for _, stream := range streams {
+		if _, err := ref.IngestBatch(stream); err != nil {
+			return err
+		}
+	}
+
+	occ, err := gw.Occupancy()
+	if err != nil {
+		return err
+	}
+	// Counts compare against the clean reference, not the raw crowd
+	// size: a run too short for the debounce to commit legitimately
+	// tracks fewer devices on BOTH sides, and that is not an
+	// exactly-once failure.
+	refOcc := ref.Occupancy()
+	if len(occ.Devices) != len(refOcc.Devices) {
+		return fmt.Errorf("ground truth: fleet tracks %d devices, clean reference tracks %d", len(occ.Devices), len(refOcc.Devices))
+	}
+	heads, refHeads := 0, 0
+	for _, n := range occ.Rooms {
+		heads += n
+	}
+	for _, n := range refOcc.Rooms {
+		refHeads += n
+	}
+	if heads != refHeads {
+		return fmt.Errorf("ground truth: head count %d across rooms, clean reference has %d", heads, refHeads)
+	}
+	if err := compareJSON("occupancy", occ, refOcc); err != nil {
+		return err
+	}
+	events, err := gw.Events()
+	if err != nil {
+		return err
+	}
+	if err := compareJSON("events", events, ref.Events()); err != nil {
+		return err
+	}
+	dwell, err := gw.DwellTotals()
+	if err != nil {
+		return err
+	}
+	return compareJSON("dwell", dwell, ref.DwellTotals())
+}
+
+// compareJSON byte-compares two views in canonical JSON form.
+func compareJSON(what string, got, want any) error {
+	g, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(g, w) {
+		return fmt.Errorf("ground truth: %s diverged under retries:\nfleet: %s\nclean: %s", what, g, w)
+	}
+	return nil
 }
 
 // traceStreams replays a recorded session through the paper's history

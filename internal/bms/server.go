@@ -112,7 +112,7 @@ func (s *Server) buildObservation(r transport.Report, dists map[ibeacon.BeaconID
 		return store.Observation{}, fingerprint.Sample{}, fmt.Errorf("bms: report without device")
 	}
 	at := time.Duration(r.AtSeconds * float64(time.Second))
-	obs := store.Observation{Device: r.Device, At: at}
+	obs := store.Observation{Device: r.Device, At: at, Epoch: r.Epoch, Seq: r.Seq}
 	if len(r.Beacons) > 0 {
 		obs.Beacons = make([]store.BeaconDistance, 0, len(r.Beacons))
 	}
@@ -136,16 +136,26 @@ func (s *Server) buildObservation(r transport.Report, dists map[ibeacon.BeaconID
 // endpoint does: store, classify, update occupancy. It returns the
 // predicted room. Exposed for in-process (non-HTTP) wiring in the
 // simulator.
+//
+// A sequenced report at or below the device's high-water mark (a
+// retransmission of something already committed) is acknowledged as a
+// no-op: the room is still predicted and returned — prediction is a
+// pure function of the immutable model, so the answer matches the
+// original delivery — but neither store nor tracker advance, which is
+// what makes retrying transports exactly-once.
 func (s *Server) Ingest(r transport.Report) (string, error) {
 	obs, sample, err := s.buildObservation(r, make(map[ibeacon.BeaconID]float64, len(r.Beacons)))
 	if err != nil {
 		return "", err
 	}
-	if err := s.st.AddObservation(obs); err != nil {
+	fresh, err := s.st.AddObservation(obs)
+	if err != nil {
 		return "", err
 	}
 	room := s.classifierSnapshot().Predict(sample)
-	s.tracker.Observe(obs.At, r.Device, room)
+	if fresh {
+		s.tracker.Observe(obs.At, r.Device, room)
+	}
 	return room, nil
 }
 
@@ -159,7 +169,9 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 //
 // Reports of one device must be ordered by time within the batch (the
 // coalescing uplink preserves send order); different devices may
-// interleave freely.
+// interleave freely. Sequenced reports the store has already committed
+// are deduplicated (see Ingest), so a whole-batch retransmission after
+// a partial failure re-applies only the part that never landed.
 func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 	if len(reports) == 0 {
 		return nil, nil
@@ -182,10 +194,20 @@ func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 		rooms[i] = cls.Predict(sample)
 		track[i] = occupancy.Classification{At: o.At, Device: o.Device, Room: rooms[i]}
 	}
-	if err := s.st.AddObservationBatch(obs); err != nil {
+	// The store decides freshness against each device's high-water mark;
+	// stale retransmissions keep their predicted room in the response
+	// (positional contract) but advance neither store nor tracker.
+	fresh, err := s.st.AddObservationBatch(obs)
+	if err != nil {
 		return nil, err
 	}
-	s.tracker.ObserveBatch(track)
+	live := track[:0]
+	for i := range track {
+		if fresh[i] {
+			live = append(live, track[i])
+		}
+	}
+	s.tracker.ObserveBatch(live)
 	return rooms, nil
 }
 
@@ -391,6 +413,86 @@ func (s *Server) DwellTotals() map[string]time.Duration {
 	return s.tracker.DwellTotals()
 }
 
+// DeviceState is the wire form of one device's migratable server
+// state: the occupancy tracker slice plus the ingest dedup high-water
+// mark. The fleet gateway evicts it from a device's old shard owner
+// and installs it on the new one when the ring reassigns the device,
+// so fail-over neither restarts debounce, nor strands dwell time, nor
+// reopens the dedup window for in-flight retransmissions.
+type DeviceState struct {
+	occupancy.DeviceState
+	// Epoch and Seq are the device's ingest high-water mark.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
+}
+
+// assembleDeviceState combines a tracker slice (ok=false when the
+// tracker held nothing) with the store's high-water mark into the wire
+// state — the shared tail of ExportDevice and EvictDevice, so the
+// "known device" rule (tracker state OR a non-zero mark) cannot drift
+// between the read and the migrate paths.
+func assembleDeviceState(device string, tr occupancy.DeviceState, ok bool, epoch, seq uint64) (DeviceState, bool) {
+	if !ok && epoch == 0 && seq == 0 {
+		return DeviceState{}, false
+	}
+	if !ok {
+		tr = occupancy.DeviceState{Device: device}
+	}
+	return DeviceState{DeviceState: tr, Epoch: epoch, Seq: seq}, true
+}
+
+// ExportDevice copies the device's migratable state without removing
+// it (ok=false when the server holds none).
+func (s *Server) ExportDevice(device string) (DeviceState, bool) {
+	tr, ok := s.tracker.Export(device)
+	epoch, seq := s.st.SeqMark(device)
+	return assembleDeviceState(device, tr, ok, epoch, seq)
+}
+
+// EvictDevice removes and returns the device's migratable state:
+// tracker state (committed room, pending debounce, dwell) and the
+// store's observations and high-water mark. After eviction the device
+// is absent from every occupancy view; its committed events remain,
+// as history. ok is false when the server held nothing.
+func (s *Server) EvictDevice(device string) (DeviceState, bool) {
+	tr, ok := s.tracker.Evict(device)
+	epoch, seq := s.st.EvictDevice(device)
+	return assembleDeviceState(device, tr, ok, epoch, seq)
+}
+
+// InstallDevice installs a migrated device's state, overwriting any
+// stale copy this server holds (the migrated state is the newer
+// truth). Installing the same state twice is idempotent.
+func (s *Server) InstallDevice(st DeviceState) error {
+	if st.Device == "" {
+		return fmt.Errorf("bms: install device: empty device name")
+	}
+	s.tracker.Install(st.DeviceState)
+	s.st.InstallSeqMark(st.Device, st.Epoch, st.Seq)
+	return nil
+}
+
+// ExpireBefore evicts every device whose last observation predates
+// cutoff (tracker state and observation log) and returns the evicted
+// names — the TTL sweep that ages out residue on a shard that could
+// not be migrated from while unreachable.
+//
+// The ingest high-water mark is deliberately retained (and never even
+// transiently absent — store.ExpireDevice drops only the observation
+// log): a late retransmission of a batch the shard committed before
+// the device went quiet must stay a no-op even after its occupancy
+// state aged out, or expiry would silently reopen the exactly-once
+// window. A mark is two integers; a device that genuinely returns
+// after a long absence re-enters through the epoch bump its restart
+// declares.
+func (s *Server) ExpireBefore(cutoff time.Duration) []string {
+	expired := s.tracker.ExpireBefore(cutoff)
+	for _, device := range expired {
+		s.st.ExpireDevice(device)
+	}
+	return expired
+}
+
 // OccupancySnapshot is the GET /api/v1/occupancy payload.
 type OccupancySnapshot struct {
 	Rooms   map[string]int    `json:"rooms"`
@@ -429,6 +531,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /api/v1/model", s.handleModelInstall)
 	mux.HandleFunc("GET /api/v1/dwell", s.handleDwell)
 	mux.HandleFunc("GET /api/v1/devices/{device}", s.handleDevice)
+	mux.HandleFunc("GET /api/v1/devices/{device}/state", s.handleDeviceState)
+	mux.HandleFunc("POST /api/v1/devices:evict", s.handleDeviceEvict)
+	mux.HandleFunc("POST /api/v1/devices:install", s.handleDeviceInstall)
+	mux.HandleFunc("POST /api/v1/devices:expire", s.handleDeviceExpire)
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/rooms", s.handleRooms)
 	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
@@ -631,6 +737,74 @@ func (s *Server) handleDwell(w http.ResponseWriter, r *http.Request) {
 		rooms[room] = d.Seconds()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+}
+
+// handleDeviceState answers the device's migratable state without
+// removing it — the read-only face of ExportDevice, for operators
+// inspecting what a migration would move (the migration itself uses
+// the evict/install pair).
+func (s *Server) handleDeviceState(w http.ResponseWriter, r *http.Request) {
+	device := r.PathValue("device")
+	st, ok := s.ExportDevice(device)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no state for device %q", device))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDeviceEvict removes and returns a device's migratable state —
+// the sending half of fleet device migration over HTTP.
+func (s *Server) handleDeviceEvict(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Device string `json:"device"`
+	}
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.Device == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("evict without device"))
+		return
+	}
+	st, ok := s.EvictDevice(req.Device)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no state for device %q", req.Device))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleDeviceInstall accepts a migrated device's state — the
+// receiving half of fleet device migration over HTTP.
+func (s *Server) handleDeviceInstall(w http.ResponseWriter, r *http.Request) {
+	var st DeviceState
+	if err := decodeJSON(r.Body, &st); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if err := s.InstallDevice(st); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"installed": st.Device})
+}
+
+// handleDeviceExpire runs the TTL sweep: devices last observed before
+// beforeNanos (report clock) are evicted and their names returned.
+func (s *Server) handleDeviceExpire(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		BeforeNanos int64 `json:"beforeNanos"`
+	}
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	expired := s.ExpireBefore(time.Duration(req.BeforeNanos))
+	if expired == nil {
+		expired = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"expired": expired})
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -148,6 +149,12 @@ func CrowdFleet(devices, shards int, seed uint64) (*CrowdFleetResult, error) {
 		if len(group) == 0 {
 			continue
 		}
+		// Settle the previous phase's GC debt before the clock starts:
+		// shards deploy on separate machines, so one shard's critical
+		// path must not be billed a collection triggered by another
+		// shard's allocations (the max-over-shards headline is biased
+		// upward by any cross-phase spillover).
+		runtime.GC()
 		start := time.Now()
 		err := par.ForEach(len(group), func(k int) error {
 			uplink, err := transport.NewBatchingUplink(fleet.GatewayUplink{Gateway: gw}, transport.BatchConfig{

@@ -46,6 +46,22 @@ type Config struct {
 	// this so external polling frequency cannot drive probe fan-out or
 	// routing flaps. 0 probes on every call.
 	ProbeInterval time.Duration
+	// ResidueTTL ages out per-device residue: state a shard still holds
+	// for a device that moved away without migration (the old owner was
+	// unreachable at rebalance). When > 0, federated reads sweep the
+	// healthy shards (rate-limited: at most one expiry fan-out per
+	// TTL/4 of report-clock advance, so residue lives ≤ 1.25×TTL),
+	// evicting any device whose last report is more
+	// than ResidueTTL behind the newest report the gateway has routed —
+	// measured on the reports' own clock, so simulated and real time
+	// behave identically. The comparison leans on the report schema's
+	// contract that AtSeconds is one building-wide clock (see
+	// transport.Report): a device whose clock lags the building's by
+	// more than the TTL would be swept as residue, so do not enable
+	// this with unsynchronised device clocks. 0 disables the sweep;
+	// migration alone then keeps the views exact as long as old owners
+	// stay reachable.
+	ResidueTTL time.Duration
 }
 
 // ErrNoHealthyShards is returned when every shard is down — the
@@ -83,6 +99,25 @@ type Gateway struct {
 	routedMu sync.Mutex
 	routed   []int64
 
+	// devMu guards the device registry the rebalance migration and the
+	// TTL sweep work from: every device the gateway has delivered for,
+	// the newest report time routed, and the cutoff of the last
+	// fully-successful sweep. migrateMu serializes whole migrations
+	// (concurrent routing changes — an operator MarkDown racing a
+	// probe transition — must not interleave their evict/install pairs
+	// for one device); sweepMu serializes TTL sweeps so concurrent
+	// pollers don't fan duplicate expiry calls.
+	ttl       time.Duration
+	migrateMu sync.Mutex
+	sweepMu   sync.Mutex
+	devMu     sync.Mutex
+	known     map[string]struct{}
+	maxAt     float64
+	lastSweep time.Duration
+	// sweepAt/sweepOK back off retries of a failed sweep (sweepMu).
+	sweepAt time.Time
+	sweepOK bool
+
 	// probeMu guards the CheckHealth rate limit (probeEvery > 0).
 	probeEvery   time.Duration
 	probeMu      sync.Mutex
@@ -115,6 +150,8 @@ func New(shards []Shard, cfg Config) (*Gateway, error) {
 		serial:     cfg.SerialDispatch,
 		replicas:   cfg.Replicas,
 		probeEvery: cfg.ProbeInterval,
+		ttl:        cfg.ResidueTTL,
+		known:      map[string]struct{}{},
 		down:       make([]bool, len(shards)),
 		pinned:     make([]bool, len(shards)),
 		routed:     make([]int64, len(shards)),
@@ -165,11 +202,19 @@ func (g *Gateway) ShardFor(device string) (int, error) {
 // ownerLocked walks the ring clockwise from the device's hash to the
 // first virtual node of a healthy shard; callers hold g.mu.
 func (g *Gateway) ownerLocked(h uint64) (int, error) {
+	return g.ownerWith(g.down, h)
+}
+
+// ownerWith resolves the device hash against an explicit down set —
+// the routing function as a pure function of (ring, down), which the
+// rebalance migration uses to diff ownership before and after a
+// routing change.
+func (g *Gateway) ownerWith(down []bool, h uint64) (int, error) {
 	n := len(g.ring)
 	i := sort.Search(n, func(i int) bool { return g.ring[i].hash >= h })
 	for k := 0; k < n; k++ {
 		e := g.ring[(i+k)%n]
-		if !g.down[e.shard] {
+		if !down[e.shard] {
 			return e.shard, nil
 		}
 	}
@@ -183,12 +228,28 @@ func (g *Gateway) Ingest(r transport.Report) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Register before the call: a lost response still committed on the
+	// shard, and the device must stay visible to rebalance migration.
+	g.register([]transport.Report{r})
 	room, err := g.shards[idx].Ingest(r)
 	if err != nil {
 		return "", fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
 	}
 	g.note(idx, 1)
 	return room, nil
+}
+
+// register records the devices and report times of a delivered batch
+// in the rebalance/TTL registry (one lock for the whole batch).
+func (g *Gateway) register(reports []transport.Report) {
+	g.devMu.Lock()
+	for i := range reports {
+		g.known[reports[i].Device] = struct{}{}
+		if reports[i].AtSeconds > g.maxAt {
+			g.maxAt = reports[i].AtSeconds
+		}
+	}
+	g.devMu.Unlock()
 }
 
 // IngestBatch splits a mixed-device batch into per-shard sub-batches
@@ -226,6 +287,13 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		if len(sub) == 0 {
 			return
 		}
+		// Register BEFORE the shard call, not after success: a lost
+		// response (the fail-after-commit case) leaves the sub-batch
+		// committed on the shard with an error here, and those devices
+		// must still be visible to rebalance migration. The registry is
+		// a superset — migrating a device the shard never saw is a
+		// harmless ok=false evict.
+		g.register(sub)
 		out, err := g.shards[idx].IngestBatch(sub)
 		if err != nil {
 			errs[idx] = fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
@@ -321,11 +389,125 @@ func (g *Gateway) healthyShards() []int {
 	return out
 }
 
+// maybeSweep runs the residue TTL sweep when it is configured and the
+// report clock has advanced past the last fully-swept cutoff: every
+// healthy shard evicts devices last observed more than ResidueTTL
+// before the newest routed report. Actively reporting devices always
+// have a recent observation on their current owner, so the sweep only
+// catches residue (and genuinely departed devices). The cutoff is
+// recorded as done only when every healthy shard swept successfully —
+// a shard whose expiry call failed keeps the sweep re-armed, so its
+// residue is retried on the next read instead of being skipped forever
+// (the report clock may never advance again).
+//
+// Sweeps are rate-limited on the report clock: a fresh sweep runs only
+// once the cutoff has advanced by at least a quarter of the TTL past
+// the last completed one, so steady-state reads under live traffic are
+// sweep-free (residue then lives at most 1.25×TTL — the bound the
+// knob promises, slightly relaxed, instead of a per-read expiry
+// fan-out to every shard). After an incomplete sweep (some shard's
+// expiry call failed), retries additionally back off on the wall
+// clock, so one persistently failing shard — a version-skewed box
+// without the expire endpoint, a timeout — cannot turn every
+// federated read into a blocking fan-out.
+func (g *Gateway) maybeSweep() {
+	if g.ttl <= 0 {
+		return
+	}
+	// TryLock, not Lock: a reader arriving while a sweep is in flight
+	// must take its fast path (merge and return), not queue behind the
+	// sweeper's network round-trips.
+	if !g.sweepMu.TryLock() {
+		return
+	}
+	defer g.sweepMu.Unlock()
+	g.devMu.Lock()
+	cutoff := time.Duration(g.maxAt*float64(time.Second)) - g.ttl
+	last := g.lastSweep
+	g.devMu.Unlock()
+	if cutoff <= 0 || cutoff < last+g.ttl/4 {
+		return
+	}
+	if !g.sweepOK && time.Since(g.sweepAt) < sweepRetryBackoff {
+		return
+	}
+	g.sweepAt = time.Now()
+	_, g.sweepOK = g.expireBefore(cutoff)
+	if g.sweepOK {
+		g.devMu.Lock()
+		if cutoff > g.lastSweep {
+			g.lastSweep = cutoff
+		}
+		g.devMu.Unlock()
+	}
+}
+
+// sweepRetryBackoff spaces retries of a sweep some shard failed.
+const sweepRetryBackoff = 30 * time.Second
+
+// ExpireBefore evicts devices last observed before cutoff (report
+// clock) from every healthy shard and the gateway's registry,
+// returning the evicted names, sorted and deduplicated. Exposed for
+// operators; Occupancy/Rollup run it automatically via ResidueTTL.
+func (g *Gateway) ExpireBefore(cutoff time.Duration) []string {
+	out, _ := g.expireBefore(cutoff)
+	return out
+}
+
+// expireBefore fans the sweep to the healthy shards; complete is true
+// only if every one of them answered. A device leaves the gateway's
+// migration registry only when its CURRENT ring owner expired it (a
+// genuine departure) — expiring a residue copy off a non-owner must
+// not hide a still-active device from the next rebalance migration.
+func (g *Gateway) expireBefore(cutoff time.Duration) (expired []string, complete bool) {
+	// Fan out concurrently, as probeAll and DistributeModel do: k slow
+	// shards must cost one expiry timeout, not k in sequence.
+	healthy := g.healthyShards()
+	perShard := make([][]string, len(healthy))
+	errs := make([]error, len(healthy))
+	var wg sync.WaitGroup
+	for k, i := range healthy {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			perShard[k], errs[k] = g.shards[i].ExpireBefore(cutoff)
+		}(k, i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	ownerExpired := map[string]bool{}
+	complete = true
+	for k, i := range healthy {
+		if errs[k] != nil {
+			complete = false // retried on a later read
+			continue
+		}
+		for _, d := range perShard[k] {
+			seen[d] = true
+			if owner, err := g.ShardFor(d); err == nil && owner == i {
+				ownerExpired[d] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	g.devMu.Lock()
+	for d := range seen {
+		if ownerExpired[d] {
+			delete(g.known, d)
+		}
+		out = append(out, d)
+	}
+	g.devMu.Unlock()
+	sort.Strings(out)
+	return out, complete
+}
+
 // Occupancy merges the healthy shards' head counts and device rooms
 // into one building-level snapshot. Device partitions are disjoint, so
 // the merge is a union; a down shard's devices are simply absent until
 // it recovers or its keys report through their new owner.
 func (g *Gateway) Occupancy() (bms.OccupancySnapshot, error) {
+	g.maybeSweep()
 	out := bms.OccupancySnapshot{Rooms: map[string]int{}, Devices: map[string]string{}}
 	for _, i := range g.healthyShards() {
 		snap, err := g.shards[i].Occupancy()
@@ -366,6 +548,7 @@ func (g *Gateway) Events() ([]occupancy.Event, error) {
 
 // DwellTotals sums the healthy shards' per-room dwell rollups.
 func (g *Gateway) DwellTotals() (map[string]time.Duration, error) {
+	g.maybeSweep()
 	out := map[string]time.Duration{}
 	for _, i := range g.healthyShards() {
 		totals, err := g.shards[i].DwellTotals()
@@ -500,12 +683,18 @@ func (g *Gateway) probeAll() []ShardStatus {
 	}
 	wg.Wait()
 	out := make([]ShardStatus, len(g.shards))
+	// The down-set flip and its migration are one atomic step under
+	// migrateMu, for the same ordering reason as setDown.
+	g.migrateMu.Lock()
 	g.mu.Lock()
+	oldDown := append([]bool(nil), g.down...)
 	for i := range g.shards {
 		g.down[i] = g.pinned[i] || errs[i] != nil
 	}
 	down := append([]bool(nil), g.down...)
 	g.mu.Unlock()
+	g.migrateLocked(oldDown, down)
+	g.migrateMu.Unlock()
 	g.routedMu.Lock()
 	routed := append([]int64(nil), g.routed...)
 	g.routedMu.Unlock()
@@ -520,27 +709,140 @@ func (g *Gateway) probeAll() []ShardStatus {
 
 // MarkDown drains the shard: it leaves routing immediately and stays
 // out across health probes until MarkUp — a probe must not resurrect a
-// box an operator is working on.
+// box an operator is working on. The drained shard's devices are
+// migrated to their new owners (a drain is planned, so the box is
+// still reachable and hands its state over; see migrate).
 func (g *Gateway) MarkDown(i int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if i >= 0 && i < len(g.down) {
-		g.down[i] = true
-		g.pinned[i] = true
-	}
+	g.setDown(i, true)
 }
 
 // MarkUp restores the shard to routing and clears the operator pin.
 // Keys that moved away while it was down move back to exactly their
-// original owner: the ring never changed, only the skip set.
+// original owner: the ring never changed, only the skip set. State the
+// temporary owners accumulated moves back with them, so the restored
+// shard resumes each device's debounce and dwell where the stand-in
+// left off — and the stand-ins stop reporting the device (no stale
+// residue inflating the federated count).
 func (g *Gateway) MarkUp(i int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if i >= 0 && i < len(g.down) {
-		g.down[i] = false
-		g.pinned[i] = false
-	}
+	g.setDown(i, false)
 }
+
+// setDown applies one operator routing change and migrates device
+// state across the resulting ownership diff. migrateMu is held across
+// the flip AND its migration (acquired before g.mu, never inside it):
+// concurrent routing changes — an operator MarkDown racing a probe
+// transition — must apply their migrations in the same order as their
+// flips, or a stale ownership diff could re-install state onto a
+// shard another change just drained.
+func (g *Gateway) setDown(i int, down bool) {
+	g.migrateMu.Lock()
+	defer g.migrateMu.Unlock()
+	g.mu.Lock()
+	if i < 0 || i >= len(g.down) {
+		g.mu.Unlock()
+		return
+	}
+	oldDown := append([]bool(nil), g.down...)
+	g.down[i] = down
+	g.pinned[i] = down
+	newDown := append([]bool(nil), g.down...)
+	g.mu.Unlock()
+	g.migrateLocked(oldDown, newDown)
+}
+
+// migrateLocked moves per-device server state (committed room, pending
+// debounce, dwell, ingest high-water mark) from each reassigned
+// device's old owner to its new one after a routing change — the
+// mechanism that makes fail-over and fail-back invisible in the
+// federated views. Best effort by design: an unreachable old owner
+// (crash rather than drain) simply cannot be migrated from, so the
+// new owner rebuilds the device from its report stream and whatever
+// residue the dead box still holds ages out through the TTL sweep
+// when it returns. The set of moves is a pure function of (registry,
+// oldDown, newDown) and devices are disjoint, so the concurrent
+// execution below is deterministic in effect for a given routing
+// change.
+//
+// Migration is not atomic with ingest: routing flips before this runs
+// (the down set changed first), so a report racing the rebalance can
+// reach the new owner before its state is installed — the install
+// then overwrites that report's effect with the migrated copy — or
+// land on the old owner between its tracker and store eviction,
+// leaving recreatable residue for the TTL sweep. Both windows are one
+// in-flight report wide, cost at most a debounce restart or one
+// duplicated observation of state, and close as soon as the device's
+// next report arrives; rebalances under quiesced ingest (drain, then
+// move) are exact, which is what the equivalence pins exercise.
+// ROADMAP.md carries the fully-atomic handover as an open item.
+// Callers hold migrateMu (acquired before their g.mu flip).
+func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
+	changed := false
+	for i := range oldDown {
+		if oldDown[i] != newDown[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return
+	}
+	g.devMu.Lock()
+	devices := make([]string, 0, len(g.known))
+	for d := range g.known {
+		devices = append(devices, d)
+	}
+	g.devMu.Unlock()
+	sort.Strings(devices)
+	type move struct {
+		dev      string
+		from, to int
+	}
+	var moves []move
+	for _, dev := range devices {
+		h := hash64(dev)
+		from, errFrom := g.ownerWith(oldDown, h)
+		to, errTo := g.ownerWith(newDown, h)
+		if errFrom != nil || errTo != nil || from == to {
+			continue
+		}
+		moves = append(moves, move{dev: dev, from: from, to: to})
+	}
+	// Each device's evict→install pair stays sequential (the mark must
+	// leave before it lands), but devices migrate concurrently under a
+	// bounded pool: a remote-shard rebalance costs O(moves/width × RTT),
+	// not one round trip per device in sequence.
+	width := migrateConcurrency
+	if width > len(moves) {
+		width = len(moves)
+	}
+	var wg sync.WaitGroup
+	next := make(chan move)
+	for w := 0; w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range next {
+				st, ok, err := g.shards[m.from].EvictDevice(m.dev)
+				if err != nil || !ok {
+					continue // nothing to hand over; the new owner rebuilds
+				}
+				// A failed install drops the state too — the new owner
+				// then rebuilds from the stream, the same degraded path
+				// as an unreachable old owner.
+				_ = g.shards[m.to].InstallDevice(st)
+			}
+		}()
+	}
+	for _, m := range moves {
+		next <- m
+	}
+	close(next)
+	wg.Wait()
+}
+
+// migrateConcurrency bounds the parallel evict/install pairs one
+// rebalance runs at a time.
+const migrateConcurrency = 16
 
 // Statuses returns the current routing view without probing.
 func (g *Gateway) Statuses() []ShardStatus {

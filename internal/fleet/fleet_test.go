@@ -11,6 +11,7 @@ import (
 	"occusim/internal/building"
 	"occusim/internal/fingerprint"
 	"occusim/internal/fleet"
+	"occusim/internal/fleet/fleettest"
 	"occusim/internal/geom"
 	"occusim/internal/ibeacon"
 	"occusim/internal/rng"
@@ -120,10 +121,15 @@ func mustJSON(t *testing.T, v any) []byte {
 	return data
 }
 
-// TestFleetMatchesSingleServer is the PR's acceptance pin: the same
-// report stream ingested through a 4-shard in-process gateway yields
-// byte-identical federated head counts, enter/exit events and dwell
-// rollups to one bms.Server, and the same per-report room predictions.
+// TestFleetMatchesSingleServer is the acceptance pin, extended for
+// exactly-once ingest: the same sequenced report stream ingested
+// through a 4-shard gateway — with transient shard failures injected
+// (half of them after the shard committed, so the whole-batch
+// retransmit re-delivers committed sub-batches) and a shard
+// kill/restore schedule mid-run — yields byte-identical federated head
+// counts, enter/exit events and dwell rollups to one bms.Server fed
+// the same reports exactly once, and the same per-report room
+// predictions.
 func TestFleetMatchesSingleServer(t *testing.T) {
 	b := building.PaperHouse()
 	snap := trainSnapshot(t, b, 42)
@@ -137,7 +143,13 @@ func TestFleetMatchesSingleServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	flakies := make([]*fleettest.FlakyShard, len(pool.Shards))
+	shards := make([]fleet.Shard, len(pool.Shards))
+	for i, s := range pool.Shards {
+		flakies[i] = &fleettest.FlakyShard{Shard: s, FailEvery: 4}
+		shards[i] = flakies[i]
+	}
+	gw, err := fleet.New(shards, fleet.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,9 +158,19 @@ func TestFleetMatchesSingleServer(t *testing.T) {
 	}
 
 	stream := synthStream(b, 24, 90, 7)
+	stampStream(stream, 1)
 	const chunk = 64
+	chunks := (len(stream) + chunk - 1) / chunk
+	killAt, restoreAt := chunks/3, 2*chunks/3
+	const victim = 1
 	var singleRooms, fleetRooms []string
-	for i := 0; i < len(stream); i += chunk {
+	for i, c := 0, 0; i < len(stream); i, c = i+chunk, c+1 {
+		if c == killAt {
+			gw.MarkDown(victim)
+		}
+		if c == restoreAt {
+			gw.MarkUp(victim)
+		}
 		j := i + chunk
 		if j > len(stream) {
 			j = len(stream)
@@ -157,12 +179,16 @@ func TestFleetMatchesSingleServer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fr, err := gw.IngestBatch(stream[i:j])
-		if err != nil {
-			t.Fatal(err)
-		}
+		fr := ingestRetried(t, gw, stream[i:j])
 		singleRooms = append(singleRooms, sr...)
 		fleetRooms = append(fleetRooms, fr...)
+	}
+	injected := 0
+	for _, f := range flakies {
+		injected += f.InjectedFailures()
+	}
+	if injected == 0 {
+		t.Fatal("no shard failures were injected — the retry leg is vacuous")
 	}
 	if len(singleRooms) != len(fleetRooms) {
 		t.Fatalf("room counts differ: %d vs %d", len(singleRooms), len(fleetRooms))

@@ -1,0 +1,65 @@
+// Package fleettest provides the deterministic fault injector the
+// exactly-once pins share: the fleet package's regression tests and
+// cmd/loadgen's -flaky drill must exercise the identical lost-response
+// hazard, so the wrapper lives once, here, instead of drifting apart
+// as two copies.
+package fleettest
+
+import (
+	"fmt"
+	"sync"
+
+	"occusim/internal/fleet"
+	"occusim/internal/transport"
+)
+
+// FlakyShard injects deterministic IngestBatch failures around a real
+// shard: every FailEvery-th call fails, alternating between failing
+// BEFORE the inner shard saw the batch (a dropped request) and AFTER
+// it committed (a lost response) — the second being the at-least-once
+// hazard per-device sequence numbers exist for. All other Shard
+// methods pass through, so health probes and state migration see the
+// real shard. Safe for concurrent use.
+type FlakyShard struct {
+	fleet.Shard
+	// FailEvery fails every n-th IngestBatch call; 0 never fails.
+	FailEvery int
+
+	mu       sync.Mutex
+	calls    int
+	injected int
+}
+
+// IngestBatch implements fleet.Shard with the injected failure
+// schedule.
+func (f *FlakyShard) IngestBatch(reports []transport.Report) ([]string, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	fail := f.FailEvery > 0 && n%f.FailEvery == 0
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail && (n/f.FailEvery)%2 == 1 {
+		return nil, fmt.Errorf("flaky %s: injected failure before commit (call %d)", f.Name(), n)
+	}
+	rooms, err := f.Shard.IngestBatch(reports)
+	if err != nil {
+		return nil, err
+	}
+	if fail {
+		// The shard committed the whole sub-batch; the caller never
+		// hears about it and will retransmit.
+		return nil, fmt.Errorf("flaky %s: injected failure after commit (call %d)", f.Name(), n)
+	}
+	return rooms, nil
+}
+
+// InjectedFailures counts the failures injected so far — assertions
+// use it to reject a vacuous run where no fault actually fired.
+func (f *FlakyShard) InjectedFailures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}

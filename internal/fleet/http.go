@@ -162,6 +162,63 @@ func (h *HTTPShard) DwellTotals() (map[string]time.Duration, error) {
 	return out, nil
 }
 
+// EvictDevice implements Shard via POST /api/v1/devices:evict. A 404 —
+// the shard holds no state for the device — is (zero, false, nil), not
+// an error: rebalance treats it as nothing to migrate. Note the retry
+// caveat: if the first attempt's response is lost after the server
+// evicted, the retried POST answers 404 and the state is dropped
+// rather than migrated — the new owner then rebuilds from the stream,
+// which is the same degraded path as an unreachable old owner.
+func (h *HTTPShard) EvictDevice(device string) (bms.DeviceState, bool, error) {
+	body, err := json.Marshal(map[string]string{"device": device})
+	if err != nil {
+		return bms.DeviceState{}, false, fmt.Errorf("fleet: marshal evict: %w", err)
+	}
+	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/devices:evict", body, h.retry)
+	if err != nil {
+		if code, ok := transport.StatusCode(err); ok && code == http.StatusNotFound {
+			return bms.DeviceState{}, false, nil
+		}
+		return bms.DeviceState{}, false, err
+	}
+	var st bms.DeviceState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return bms.DeviceState{}, false, fmt.Errorf("%w: decode device state: %v", ErrShardMisbehaved, err)
+	}
+	return st, true, nil
+}
+
+// InstallDevice implements Shard via POST /api/v1/devices:install.
+// Installing the same state twice is idempotent, so the retrying
+// transport is safe here.
+func (h *HTTPShard) InstallDevice(st bms.DeviceState) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal device state: %w", err)
+	}
+	_, err = transport.PostJSON(h.client, h.base+"/api/v1/devices:install", body, h.retry)
+	return err
+}
+
+// ExpireBefore implements Shard via POST /api/v1/devices:expire.
+func (h *HTTPShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
+	body, err := json.Marshal(map[string]int64{"beforeNanos": int64(cutoff)})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal expire: %w", err)
+	}
+	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/devices:expire", body, h.retry)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Expired []string `json:"expired"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("%w: decode expire response: %v", ErrShardMisbehaved, err)
+	}
+	return resp.Expired, nil
+}
+
 // Health implements Shard with a one-shot probe (no retries): routing
 // should notice a dead shard on the first check, not mask it behind a
 // backoff budget.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"occusim/internal/building"
 	"occusim/internal/fleet"
@@ -170,6 +171,84 @@ func TestHTTPFleetShardFailureReroutes(t *testing.T) {
 		if idx == 1 {
 			t.Fatalf("device %q still routed to the dead shard", later[d].Device)
 		}
+	}
+}
+
+// TestHTTPShardDeviceMigration drives the migration surface over real
+// HTTP: evict from one remote shard, install on another, expire by
+// TTL — with the 404 of an unknown device mapped to (no state, no
+// error), which is what the gateway's rebalance expects.
+func TestHTTPShardDeviceMigration(t *testing.T) {
+	b := building.PaperHouse()
+	srcSrv := newServer(t, b)
+	dstSrv := newServer(t, b)
+	tsSrc := httptest.NewServer(srcSrv.Handler())
+	defer tsSrc.Close()
+	tsDst := httptest.NewServer(dstSrv.Handler())
+	defer tsDst.Close()
+	src, err := fleet.NewHTTPShard(tsSrc.URL, nil, transport.RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := fleet.NewHTTPShard(tsDst.URL, nil, transport.RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := src.EvictDevice("ghost"); err != nil || ok {
+		t.Fatalf("evict of unknown device = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+
+	stream := synthStream(b, 1, 6, 17)
+	stampStream(stream, 2)
+	if _, err := src.IngestBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	device := stream[0].Device
+	st, ok, err := src.EvictDevice(device)
+	if err != nil || !ok {
+		t.Fatalf("evict = (ok=%v, err=%v)", ok, err)
+	}
+	if st.Device != device || st.Seq != uint64(len(stream)) || st.Epoch != 2 {
+		t.Fatalf("evicted state = %+v", st)
+	}
+	if occ, err := src.Occupancy(); err != nil || len(occ.Devices) != 0 {
+		t.Fatalf("source still tracks %v (err %v)", occ.Devices, err)
+	}
+
+	if err := dst.InstallDevice(st); err != nil {
+		t.Fatal(err)
+	}
+	occ, err := dst.Occupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present := occ.Devices[device]; !present {
+		t.Fatalf("destination does not track the migrated device: %v", occ.Devices)
+	}
+	// The migrated mark dedupes the device's in-flight retransmissions
+	// on the new owner.
+	before, err := dst.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.IngestBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	after, err := dst.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("retransmitted stream committed %d new events on the new owner", len(after)-len(before))
+	}
+
+	expired, err := dst.ExpireBefore(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expired) != 1 || expired[0] != device {
+		t.Fatalf("expire = %v, want [%s]", expired, device)
 	}
 }
 

@@ -33,6 +33,16 @@ type Shard interface {
 	Events() ([]occupancy.Event, error)
 	// DwellTotals returns the shard's per-room dwell rollup.
 	DwellTotals() (map[string]time.Duration, error)
+	// EvictDevice removes and returns the shard's migratable state for
+	// the device (ok=false when the shard holds none) — the sending
+	// half of rebalance state migration.
+	EvictDevice(device string) (st bms.DeviceState, ok bool, err error)
+	// InstallDevice installs a migrated device's state, overwriting any
+	// stale copy the shard holds.
+	InstallDevice(bms.DeviceState) error
+	// ExpireBefore evicts devices last observed before cutoff (on the
+	// reports' own clock) and returns their names — the TTL sweep.
+	ExpireBefore(cutoff time.Duration) ([]string, error)
 	// Health reports whether the shard can take traffic.
 	Health() error
 }
@@ -81,6 +91,22 @@ func (l *LocalShard) Events() ([]occupancy.Event, error) { return l.srv.Events()
 // DwellTotals implements Shard.
 func (l *LocalShard) DwellTotals() (map[string]time.Duration, error) {
 	return l.srv.DwellTotals(), nil
+}
+
+// EvictDevice implements Shard.
+func (l *LocalShard) EvictDevice(device string) (bms.DeviceState, bool, error) {
+	st, ok := l.srv.EvictDevice(device)
+	return st, ok, nil
+}
+
+// InstallDevice implements Shard.
+func (l *LocalShard) InstallDevice(st bms.DeviceState) error {
+	return l.srv.InstallDevice(st)
+}
+
+// ExpireBefore implements Shard.
+func (l *LocalShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
+	return l.srv.ExpireBefore(cutoff), nil
 }
 
 // Health implements Shard: an in-process server is always reachable.

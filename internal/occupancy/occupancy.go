@@ -180,3 +180,136 @@ func (t *Tracker) Devices() []string {
 	sort.Strings(out)
 	return out
 }
+
+// DeviceState is the migratable slice of one device's tracker state:
+// committed room, in-flight debounce progress, observation clock and
+// dwell accounting. The fleet layer hands it from a device's old shard
+// owner to its new one on rebalance, so a moved device neither
+// restarts its debounce nor leaves dwell time behind. Time fields
+// marshal as integer nanoseconds — migration must be exact, because
+// the federated views are compared byte-for-byte against a single
+// server.
+type DeviceState struct {
+	Device string `json:"device"`
+	// Room is the committed room ("" when none committed yet).
+	Room string `json:"room,omitempty"`
+	// PendingRoom/PendingCount carry in-flight debounce progress.
+	PendingRoom  string `json:"pendingRoom,omitempty"`
+	PendingCount int    `json:"pendingCount,omitempty"`
+	// Seen is true once the device has been observed; LastAt is then
+	// its last observation time on the report clock.
+	Seen   bool          `json:"seen"`
+	LastAt time.Duration `json:"lastAtNanos"`
+	// Dwell maps room → accumulated dwell time.
+	Dwell map[string]time.Duration `json:"dwellNanos,omitempty"`
+}
+
+// known reports whether the tracker holds any state for the device.
+func (t *Tracker) known(device string) bool {
+	if _, ok := t.lastAt[device]; ok {
+		return true
+	}
+	if _, ok := t.current[device]; ok {
+		return true
+	}
+	_, ok := t.pending[device]
+	return ok
+}
+
+// Export copies the device's state without mutating the tracker
+// (ok=false when the device is unknown).
+func (t *Tracker) Export(device string) (DeviceState, bool) {
+	if !t.known(device) {
+		return DeviceState{}, false
+	}
+	st := DeviceState{Device: device, Room: t.current[device]}
+	if p := t.pending[device]; p != nil {
+		st.PendingRoom, st.PendingCount = p.room, p.count
+	}
+	if last, ok := t.lastAt[device]; ok {
+		st.Seen, st.LastAt = true, last
+	}
+	if len(t.dwell[device]) > 0 {
+		st.Dwell = make(map[string]time.Duration, len(t.dwell[device]))
+		for room, d := range t.dwell[device] {
+			st.Dwell[room] = d
+		}
+	}
+	return st, true
+}
+
+// Evict exports the device's state and removes every trace of it —
+// committed room, pending debounce progress, observation clock and
+// dwell accounting — so the shard no longer reports the device in any
+// view. Committed events stay: they are history, not state. ok is
+// false when the device is unknown.
+func (t *Tracker) Evict(device string) (DeviceState, bool) {
+	st, ok := t.Export(device)
+	if !ok {
+		return DeviceState{}, false
+	}
+	delete(t.current, device)
+	delete(t.pending, device)
+	delete(t.lastAt, device)
+	delete(t.dwell, device)
+	return st, true
+}
+
+// Install replaces the device's state with a migrated one, overwriting
+// whatever the tracker held (a recovered shard may hold a stale copy;
+// the migrated state is the newer truth). An empty device name is
+// ignored.
+func (t *Tracker) Install(st DeviceState) {
+	if st.Device == "" {
+		return
+	}
+	if st.Room != "" {
+		t.current[st.Device] = st.Room
+	} else {
+		delete(t.current, st.Device)
+	}
+	if st.PendingRoom != "" && st.PendingCount > 0 {
+		t.pending[st.Device] = &pendingState{room: st.PendingRoom, count: st.PendingCount}
+	} else {
+		delete(t.pending, st.Device)
+	}
+	if st.Seen {
+		t.lastAt[st.Device] = st.LastAt
+	} else {
+		delete(t.lastAt, st.Device)
+	}
+	if len(st.Dwell) > 0 {
+		dw := make(map[string]time.Duration, len(st.Dwell))
+		for room, d := range st.Dwell {
+			dw[room] = d
+		}
+		t.dwell[st.Device] = dw
+	} else {
+		delete(t.dwell, st.Device)
+	}
+}
+
+// ExpireBefore evicts every device whose last observation is older
+// than cutoff and returns their names, sorted — the TTL sweep that
+// ages out residue left by an owner that could not be migrated from.
+// Devices without an observation clock (installed state with
+// Seen=false) are kept.
+func (t *Tracker) ExpireBefore(cutoff time.Duration) []string {
+	var out []string
+	for device, last := range t.lastAt {
+		if last < cutoff {
+			out = append(out, device)
+		}
+	}
+	sort.Strings(out)
+	for _, device := range out {
+		// Destructive delete, not Evict: nobody wants the exported
+		// state, so don't deep-copy a DeviceState per swept device
+		// inside the stripe lock.
+		delete(t.current, device)
+		delete(t.pending, device)
+		delete(t.lastAt, device)
+		delete(t.dwell, device)
+	}
+	return out
+}

@@ -86,6 +86,52 @@ func (s *Sharded) ObserveBatch(batch []Classification) []Event {
 	return events
 }
 
+// Export copies the device's state without mutating it, through the
+// same stripe lock ingest takes — an Export racing an Observe of the
+// same device sees either the state before or after that observation,
+// never a half-applied one.
+func (s *Sharded) Export(device string) (DeviceState, bool) {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tr.Export(device)
+}
+
+// Evict exports and removes the device's state (see Tracker.Evict),
+// locking the device's ingest stripe.
+func (s *Sharded) Evict(device string) (DeviceState, bool) {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tr.Evict(device)
+}
+
+// Install replaces the device's state with a migrated one (see
+// Tracker.Install), locking the device's ingest stripe.
+func (s *Sharded) Install(st DeviceState) {
+	if st.Device == "" {
+		return
+	}
+	sh := s.shardFor(st.Device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tr.Install(st)
+}
+
+// ExpireBefore evicts devices last observed before cutoff across all
+// stripes, returning their names sorted.
+func (s *Sharded) ExpireBefore(cutoff time.Duration) []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.tr.ExpireBefore(cutoff)...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RoomOf returns the committed room of the device ("" when unknown).
 func (s *Sharded) RoomOf(device string) string {
 	sh := s.shardFor(device)

@@ -29,11 +29,36 @@ type BeaconDistance struct {
 }
 
 // Observation is one report from a device: the beacons it currently
-// ranges and their estimated distances.
+// ranges and their estimated distances. Epoch and Seq mirror the wire
+// report's idempotency key (see transport.Report); Seq 0 marks an
+// unsequenced observation, which is never deduplicated.
 type Observation struct {
 	Device  string
 	At      time.Duration
+	Epoch   uint64
+	Seq     uint64
 	Beacons []BeaconDistance
+}
+
+// seqMark is a device's ingest high-water mark: the highest
+// (epoch, seq) the store has accepted.
+type seqMark struct {
+	epoch, seq uint64
+}
+
+// accepts reports whether a sequenced observation at (epoch, seq) is
+// fresh relative to the mark. Seq 0 (unsequenced) is always fresh.
+// Within one epoch only strictly increasing seqs are fresh — there is
+// no modular wraparound, so a counter that overflows back to small
+// values is rejected until the device declares a new epoch.
+func (m seqMark) accepts(epoch, seq uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	if epoch != m.epoch {
+		return epoch > m.epoch
+	}
+	return seq > m.seq
 }
 
 // obsShards is the observation lock-stripe count (power of two). 16
@@ -41,10 +66,13 @@ type Observation struct {
 // sizes the CrowdIngest workload measures, at 16 mutexes of footprint.
 const obsShards = 16
 
-// obsShard holds the observations of the devices hashing to one stripe.
+// obsShard holds the observations of the devices hashing to one stripe,
+// plus their ingest high-water marks (same stripe, same lock: the
+// freshness decision and the append are one critical section).
 type obsShard struct {
 	mu           sync.RWMutex
 	observations map[string][]Observation
+	marks        map[string]seqMark
 }
 
 // Store is safe for concurrent use.
@@ -70,6 +98,7 @@ func New(maxPerDevice int) (*Store, error) {
 	s := &Store{maxPerDevice: maxPerDevice, beaconSeen: map[ibeacon.BeaconID]bool{}}
 	for i := range s.shards {
 		s.shards[i].observations = map[string][]Observation{}
+		s.shards[i].marks = map[string]seqMark{}
 	}
 	return s, nil
 }
@@ -80,30 +109,41 @@ func (s *Store) shardFor(device string) *obsShard {
 }
 
 // AddObservation appends an observation for its device, evicting the
-// oldest beyond the retention bound. Devices must be named.
-func (s *Store) AddObservation(o Observation) error {
+// oldest beyond the retention bound. Devices must be named. It returns
+// whether the observation was fresh: a sequenced observation at or
+// below the device's high-water mark is a duplicate or stale
+// retransmission and is acknowledged without being stored — the
+// caller must not advance occupancy state for it either.
+func (s *Store) AddObservation(o Observation) (bool, error) {
 	if o.Device == "" {
-		return fmt.Errorf("store: observation without device")
+		return false, fmt.Errorf("store: observation without device")
 	}
 	sh := s.shardFor(o.Device)
 	sh.mu.Lock()
-	s.appendLocked(sh, o)
+	fresh := s.appendLocked(sh, o)
 	sh.mu.Unlock()
-	s.noteBeacons(o.Beacons)
-	return nil
+	if fresh {
+		s.noteBeacons(o.Beacons)
+	}
+	return fresh, nil
 }
 
 // AddObservationBatch appends many observations, taking each touched
 // stripe lock once per run of same-stripe devices rather than once per
 // report. Per-device arrival order is preserved. The batch is validated
 // up front: either every observation is named and the whole batch is
-// stored, or nothing is.
-func (s *Store) AddObservationBatch(obs []Observation) error {
+// processed, or nothing is. The returned mask marks which observations
+// were fresh (stored and to be applied downstream) versus duplicate or
+// stale retransmissions, decided against the per-device high-water
+// mark as the batch lands — so an out-of-order seq within one batch is
+// dropped exactly as one arriving in a later batch would be.
+func (s *Store) AddObservationBatch(obs []Observation) ([]bool, error) {
 	for i := range obs {
 		if obs[i].Device == "" {
-			return fmt.Errorf("store: observation %d without device", i)
+			return nil, fmt.Errorf("store: observation %d without device", i)
 		}
 	}
+	fresh := make([]bool, len(obs))
 	for i := 0; i < len(obs); {
 		sh := s.shardFor(obs[i].Device)
 		j := i + 1
@@ -111,25 +151,93 @@ func (s *Store) AddObservationBatch(obs []Observation) error {
 			j++
 		}
 		sh.mu.Lock()
-		for _, o := range obs[i:j] {
-			s.appendLocked(sh, o)
+		for k := i; k < j; k++ {
+			fresh[k] = s.appendLocked(sh, obs[k])
 		}
 		sh.mu.Unlock()
 		i = j
 	}
-	for _, o := range obs {
-		s.noteBeacons(o.Beacons)
+	for i, o := range obs {
+		if fresh[i] {
+			s.noteBeacons(o.Beacons)
+		}
 	}
-	return nil
+	return fresh, nil
 }
 
-// appendLocked stores one observation; callers hold the stripe lock.
-func (s *Store) appendLocked(sh *obsShard, o Observation) {
+// appendLocked stores one observation if it is fresh against its
+// device's high-water mark, advancing the mark; callers hold the
+// stripe lock. It reports freshness.
+func (s *Store) appendLocked(sh *obsShard, o Observation) bool {
+	if !sh.marks[o.Device].accepts(o.Epoch, o.Seq) {
+		return false
+	}
+	if o.Seq != 0 {
+		sh.marks[o.Device] = seqMark{epoch: o.Epoch, seq: o.Seq}
+	}
 	obs := append(sh.observations[o.Device], o)
 	if len(obs) > s.maxPerDevice {
 		obs = obs[len(obs)-s.maxPerDevice:]
 	}
 	sh.observations[o.Device] = obs
+	return true
+}
+
+// SeqMark returns the device's ingest high-water mark (0, 0 when the
+// device has never sent a sequenced observation).
+func (s *Store) SeqMark(device string) (epoch, seq uint64) {
+	sh := s.shardFor(device)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.marks[device]
+	return m.epoch, m.seq
+}
+
+// InstallSeqMark seeds the device's high-water mark — the receiving
+// half of shard-to-shard device migration. The mark only moves
+// forward, compared lexicographically on (epoch, seq) — NOT with the
+// ingest-freshness predicate, whose seq==0 escape hatch is for
+// unsequenced reports and would let a crafted {epoch>0, seq:0}
+// payload regress a live mark and reopen the dedup window. Installing
+// a stale mark under a live one is a no-op, so a retried migration
+// cannot reopen a window for duplicates.
+func (s *Store) InstallSeqMark(device string, epoch, seq uint64) {
+	if device == "" || (seq == 0 && epoch == 0) {
+		return
+	}
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	m := sh.marks[device]
+	if epoch > m.epoch || (epoch == m.epoch && seq > m.seq) {
+		sh.marks[device] = seqMark{epoch: epoch, seq: seq}
+	}
+	sh.mu.Unlock()
+}
+
+// ExpireDevice drops the device's retained observations but keeps its
+// ingest high-water mark — the TTL-sweep eviction. One critical
+// section: the mark is never absent, so a retransmission racing the
+// sweep can never slip in as fresh (EvictDevice, by contrast, hands
+// the mark away because migration carries it to the new owner).
+func (s *Store) ExpireDevice(device string) {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	delete(sh.observations, device)
+	sh.mu.Unlock()
+}
+
+// EvictDevice removes the device's retained observations and its
+// high-water mark, returning the mark — the sending half of
+// shard-to-shard device migration (the mark travels with the device so
+// the new owner keeps deduplicating its retransmissions).
+func (s *Store) EvictDevice(device string) (epoch, seq uint64) {
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.marks[device]
+	delete(sh.marks, device)
+	delete(sh.observations, device)
+	return m.epoch, m.seq
 }
 
 // noteBeacons records first sight of each beacon. The read-locked

@@ -33,6 +33,7 @@ type BatchingUplink struct {
 	flushSeconds float64
 	maxBatch     int
 	maxPending   int
+	seq          *Sequencer
 
 	mu      sync.Mutex
 	pending []Report
@@ -53,6 +54,11 @@ type BatchConfig struct {
 	// MaxPending bounds the queue; the oldest reports are dropped beyond
 	// it (default 4 × MaxBatch).
 	MaxPending int
+	// Sequencer, when set, stamps every queued report with its device's
+	// next sequence number as it is accepted — before batching, so a
+	// failed flush retransmits identical (Epoch, Seq) identities and the
+	// server can dedupe the overlap. Nil sends reports as given.
+	Sequencer *Sequencer
 }
 
 // NewBatchingUplink wraps next with report coalescing. When next also
@@ -82,6 +88,7 @@ func NewBatchingUplink(next Uplink, cfg BatchConfig) (*BatchingUplink, error) {
 		flushSeconds: cfg.FlushSeconds,
 		maxBatch:     cfg.MaxBatch,
 		maxPending:   cfg.MaxPending,
+		seq:          cfg.Sequencer,
 	}, nil
 }
 
@@ -98,6 +105,9 @@ func (b *BatchingUplink) Name() string { return "batched(" + b.next.Name() + ")"
 func (b *BatchingUplink) Send(r Report) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.seq != nil {
+		b.seq.Stamp(&r)
+	}
 	b.pending = append(b.pending, r)
 	if len(b.pending) >= b.maxBatch ||
 		r.AtSeconds-b.pending[0].AtSeconds >= b.flushSeconds {

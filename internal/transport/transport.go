@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"occusim/internal/rng"
@@ -39,11 +40,62 @@ type BeaconReport struct {
 type Report struct {
 	// Device names the reporting handset.
 	Device string `json:"device"`
-	// AtSeconds is the device's observation timestamp in seconds since
-	// its epoch (simulated time in the experiments).
+	// AtSeconds is the observation timestamp in seconds on the
+	// building-wide report clock (simulated time in the experiments,
+	// synchronised wall time in a deployment). Timestamps must be
+	// comparable ACROSS devices, not just within one: the server merges
+	// all devices onto one timeline — event ordering, dwell accounting
+	// and the fleet's residue TTL sweep all compare one device's times
+	// against another's.
 	AtSeconds float64 `json:"atSeconds"`
+	// Epoch and Seq make delivery exactly-once. Seq is a per-device
+	// monotonic sequence number (first report is 1); the server keeps a
+	// per-device high-water mark and ingests a sequenced report only
+	// when its (Epoch, Seq) is above it, so a retransmitted batch —
+	// whole-batch retry after a partial shard failure, a response lost
+	// after the server committed — is acknowledged without being
+	// re-ingested. Epoch orders sequence restarts: a device that loses
+	// its counter (reboot, reinstall) bumps Epoch and restarts Seq at 1,
+	// which the server accepts unconditionally over any Seq of a lower
+	// epoch. Seq 0 marks an unsequenced report (legacy clients): it is
+	// always ingested, keeping the historical at-least-once behaviour.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
 	// Beacons lists the currently ranged beacons.
 	Beacons []BeaconReport `json:"beacons"`
+}
+
+// Sequencer stamps reports with monotonic per-device sequence numbers
+// under one device epoch — the client half of the exactly-once ingest
+// contract. One Sequencer serves any number of devices (counters are
+// per device name); it is safe for concurrent use.
+type Sequencer struct {
+	epoch uint64
+
+	mu   sync.Mutex
+	next map[string]uint64
+}
+
+// NewSequencer builds a sequencer for the given device epoch. Restart a
+// device's stream under a higher epoch after its counter is lost; the
+// server then accepts the restarted sequence over the old one.
+func NewSequencer(epoch uint64) *Sequencer {
+	return &Sequencer{epoch: epoch, next: map[string]uint64{}}
+}
+
+// Stamp assigns the report the next sequence number of its device (and
+// the sequencer's epoch). Reports already carrying a sequence are left
+// untouched, so re-stamping a retransmitted report cannot change its
+// identity.
+func (q *Sequencer) Stamp(r *Report) {
+	if r.Seq != 0 || r.Device == "" {
+		return
+	}
+	q.mu.Lock()
+	q.next[r.Device]++
+	r.Seq = q.next[r.Device]
+	q.mu.Unlock()
+	r.Epoch = q.epoch
 }
 
 // Uplink carries reports to the server.
@@ -72,10 +124,13 @@ type BatchSender interface {
 // retry resends the identical request body, so a multi-report batch
 // keeps its order across attempts.
 //
-// Delivery is at-least-once, not exactly-once: a response lost after
-// the server processed the request means the retry re-delivers the
-// same payload (the observation schema has no idempotency key yet —
-// ROADMAP.md carries server-side dedup as an open item).
+// Delivery on the wire is at-least-once: a response lost after the
+// server processed the request means the retry re-delivers the same
+// payload. With sequenced reports (Report.Seq, stamped by a Sequencer
+// or a BatchingUplink) the server dedupes re-deliveries against its
+// per-device high-water mark, making ingest exactly-once end to end;
+// unsequenced reports (Seq 0) keep the historical at-least-once
+// semantics.
 //
 // The zero value means "one attempt, no retries", preserving the
 // fire-once behaviour callers had before retries existed.
