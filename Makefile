@@ -2,11 +2,11 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 5
+PR ?= 6
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR4.json
+DIFF_BASE ?= BENCH_PR5.json
 
-.PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest
+.PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest crashtest
 
 all: vet build test
 
@@ -50,3 +50,14 @@ bench-diff:
 loadtest:
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 -flaky 0.2
+
+# crashtest is the durability pin: the shards run as real bmsd
+# subprocesses over write-ahead logs, two of them are SIGKILLed at
+# trace times 40s and 80s and restarted over their data directories,
+# the gateway is discarded and rebuilt at each crash, and the run exits
+# nonzero unless the recovered fleet's occupancy/events/dwell are
+# byte-identical to a clean single server fed the same streams once.
+crashtest:
+	$(GO) build -o bin/bmsd ./cmd/bmsd
+	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \
+		-kill 40,80 -restart-gateway -bmsd bin/bmsd -fsync batch

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"occusim/internal/experiments"
+	"occusim/internal/store"
 )
 
 // BenchmarkFig04ScanPeriod2s regenerates Figure 4: raw per-cycle
@@ -286,6 +287,23 @@ func BenchmarkCrowdFleet4Shards(b *testing.B) { benchCrowdFleet(b, 4) }
 func BenchmarkCrowdIngest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.CrowdIngest(32, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "rep_per_s")
+		b.ReportMetric(float64(res.Reports), "reports")
+		b.ReportMetric(100*res.PlacementAccuracy, "placement_pct")
+	}
+}
+
+// BenchmarkCrowdIngestWAL is the same crowd with the per-stripe
+// write-ahead log in the loop at the batch fsync policy: every
+// observation batch is framed, checksummed and synced before the
+// in-memory apply. rep_per_s against BenchmarkCrowdIngest's is the
+// durability tax the PR pins at ≤15%.
+func BenchmarkCrowdIngestWAL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdIngestDurable(32, uint64(i)+11, b.TempDir(), store.FsyncBatch)
 		if err != nil {
 			b.Fatal(err)
 		}

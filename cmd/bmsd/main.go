@@ -36,6 +36,18 @@
 // With -snapshot, training state (fingerprints and the fitted model) is
 // restored at boot and persisted after the drain, so a restarted server
 // keeps classifying without a fresh collection walk.
+//
+// With -data-dir, every shard opens a per-stripe write-ahead log under
+// <data-dir>/shard-<i>/ and recovers its full state — observations,
+// occupancy, dedup marks, model — at boot, so even a kill -9 loses
+// nothing that reached the log (see internal/store WAL docs). -fsync
+// picks the sync policy: "batch" syncs every append, "interval" syncs
+// on a 100ms ticker, "off" leaves flushing to the kernel (process
+// crashes still lose nothing; power loss can). A graceful shutdown
+// additionally compacts: state is snapshotted and the logs truncate,
+// so the next boot replays the snapshot alone. In fleet mode the
+// gateway itself persists nothing — at boot it rebuilds its device
+// registry by asking each recovered shard for its device set.
 package main
 
 import (
@@ -65,6 +77,8 @@ func main() {
 	snapshot := flag.String("snapshot", "", "path for persisted training state (load at boot, save on shutdown)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown grace for in-flight requests")
 	residueTTL := flag.Duration("residue-ttl", 10*time.Minute, "fleet mode: age out device state stranded on a shard that could not be migrated from (report-clock TTL, 0 disables)")
+	dataDir := flag.String("data-dir", "", "directory for per-shard write-ahead logs and snapshots (empty: volatile)")
+	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: batch, interval, off")
 	flag.Parse()
 
 	b, err := building.ByName(*plan)
@@ -76,11 +90,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bmsd: -shards must be at least 1")
 		os.Exit(2)
 	}
+	policy, err := store.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmsd:", err)
+		os.Exit(2)
+	}
 
 	// Build the shard pool. The first server owns the training store
 	// (fingerprints, model snapshot persistence); with one shard it is
-	// simply the whole BMS.
-	pool, err := fleet.NewLocalPool(b, *shards, *debounce, *retain)
+	// simply the whole BMS. With -data-dir the pool is durable: each
+	// server recovers from its WAL before taking traffic.
+	var pool *fleet.LocalPool
+	if *dataDir != "" {
+		pool, err = fleet.NewDurableLocalPool(b, *shards, *debounce, *retain, *dataDir, policy)
+		if err == nil {
+			log.Printf("bmsd: recovered %d shard(s) from %s (fsync=%s)", *shards, *dataDir, policy)
+		}
+	} else {
+		pool, err = fleet.NewLocalPool(b, *shards, *debounce, *retain)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +135,16 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		// A durable fleet's gateway persists nothing: after the shards
+		// recover, repopulate the migration registry from their device
+		// sets so rebalance and the TTL sweep see pre-crash devices.
+		if *dataDir != "" {
+			n, err := gateway.RebuildRegistry()
+			if err != nil {
+				log.Printf("bmsd: registry rebuild incomplete: %v", err)
+			}
+			log.Printf("bmsd: gateway registry rebuilt: %d device(s)", n)
 		}
 		handler = fleet.Handler(gateway, fleet.HandlerOptions{Trainer: trainer})
 	}
@@ -197,6 +235,16 @@ func main() {
 			log.Printf("bmsd: training state saved to %s", *snapshot)
 		}
 	}
+	// Durable shards drain through a final compaction: snapshot the full
+	// state, truncate the logs, close the files. The next boot replays
+	// the snapshot alone.
+	if *dataDir != "" {
+		if err := pool.Close(); err != nil {
+			log.Printf("bmsd: WAL close failed: %v", err)
+		} else {
+			log.Printf("bmsd: durable state compacted to %s", *dataDir)
+		}
+	}
 	<-serveErr
 }
 
@@ -219,19 +267,10 @@ func loadSnapshot(st *store.Store, path string) error {
 	return nil
 }
 
-// saveSnapshot writes training state atomically (temp file + rename).
+// saveSnapshot writes training state atomically and durably: temp file
+// in the same directory, fsync, rename over the target, fsync the
+// directory — a crash leaves either the old snapshot or the new one,
+// never a torn file, and the rename survives power loss.
 func saveSnapshot(st *store.Store, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := st.WriteSnapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store.WriteFileAtomic(path, st.WriteSnapshot)
 }

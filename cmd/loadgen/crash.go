@@ -1,0 +1,330 @@
+package main
+
+// Crash-schedule injection: loadgen spawns each shard as a real bmsd
+// subprocess with a write-ahead log, SIGKILLs shards at scheduled
+// trace times mid-run, restarts them over the same data directory, and
+// finally asserts the recovered fleet's federated views are
+// byte-identical to a clean single server fed the same streams exactly
+// once. This is the end-to-end proof behind the WAL: kill -9 loses
+// nothing that reached the log, and (Epoch, Seq) dedup makes the
+// uplinks' retransmissions across the outage exactly-once.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/experiments"
+	"occusim/internal/fleet"
+	"occusim/internal/transport"
+)
+
+// parseKillSchedule parses "-kill t1,t2,..." into sorted trace times
+// (seconds on the reports' own clock).
+func parseKillSchedule(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-kill %q: %w", s, err)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("-kill time %v is negative", t)
+		}
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// shardProc is one bmsd subprocess and everything needed to respawn it.
+type shardProc struct {
+	name string
+	addr string
+	dir  string
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// crashFleet is the subprocess pool plus the (swappable) gateway over
+// it. The gateway is held behind an atomic pointer so -restart-gateway
+// can discard it mid-run and rebuild a fresh one — the gateway persists
+// nothing, so a new object plus RebuildRegistry is exactly a process
+// restart.
+type crashFleet struct {
+	plan     string
+	fsync    string
+	bmsdPath string
+	procs    []*shardProc
+	gw       atomic.Pointer[fleet.Gateway]
+
+	// clock is the crash scheduler's view of run progress: the max
+	// AtSeconds of any report that has entered the funnel (stored as
+	// math.Float64bits would be cleaner; a mutex keeps it simple).
+	clockMu sync.Mutex
+	clock   float64
+
+	kills atomic.Int64
+}
+
+// startCrashFleet spawns one single-shard durable bmsd per shard,
+// waits for each to answer health, fronts them with a gateway of
+// HTTPShards, and trains + distributes the crowd model.
+func startCrashFleet(b *building.Building, plan string, shards int, bmsdPath, dataRoot, fsync string, seed uint64) (*crashFleet, error) {
+	if bmsdPath == "" {
+		return nil, fmt.Errorf("-kill needs -bmsd pointing at a built bmsd binary (make crashtest builds one)")
+	}
+	if dataRoot == "" {
+		dir, err := os.MkdirTemp("", "loadgen-crash-*")
+		if err != nil {
+			return nil, err
+		}
+		dataRoot = dir
+	}
+	c := &crashFleet{plan: plan, fsync: fsync, bmsdPath: bmsdPath}
+	for i := 0; i < shards; i++ {
+		port, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		p := &shardProc{
+			name: fmt.Sprintf("shard-%d", i),
+			addr: fmt.Sprintf("127.0.0.1:%d", port),
+			dir:  fmt.Sprintf("%s/shard-%d", dataRoot, i),
+		}
+		if err := c.spawn(p); err != nil {
+			c.stop()
+			return nil, err
+		}
+		c.procs = append(c.procs, p)
+	}
+	for _, p := range c.procs {
+		if err := waitHealthy(p.addr, 15*time.Second); err != nil {
+			c.stop()
+			return nil, fmt.Errorf("%s never became healthy: %w", p.name, err)
+		}
+	}
+	gw, err := c.newGateway()
+	if err != nil {
+		c.stop()
+		return nil, err
+	}
+	c.gw.Store(gw)
+	if len(b.Rooms) >= 2 {
+		if err := experiments.TrainAndDistribute(gw, b, seed); err != nil {
+			c.stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newGateway builds a fresh gateway over the subprocess shards. The
+// base URL is the ring identity, and restarted shards rebind the same
+// port, so routing is stable across every rebuild. Health probes are
+// never run in crash mode: routing must stay static so a killed
+// shard's reports retransmit into its recovered WAL state instead of
+// rebuilding (lossily) on a stand-in.
+func (c *crashFleet) newGateway() (*fleet.Gateway, error) {
+	ring := make([]fleet.Shard, len(c.procs))
+	for i, p := range c.procs {
+		hs, err := fleet.NewHTTPShard("http://"+p.addr, nil, transport.DefaultRetry())
+		if err != nil {
+			return nil, err
+		}
+		ring[i] = hs
+	}
+	return fleet.New(ring, fleet.Config{})
+}
+
+// spawn starts (or restarts) one bmsd over its data directory.
+func (c *crashFleet) spawn(p *shardProc) error {
+	cmd := exec.Command(c.bmsdPath,
+		"-addr", p.addr,
+		"-plan", c.plan,
+		"-shards", "1",
+		"-debounce", "2",
+		"-retain", "1000",
+		"-data-dir", p.dir,
+		"-fsync", c.fsync,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn %s: %w", p.name, err)
+	}
+	p.mu.Lock()
+	p.cmd = cmd
+	p.mu.Unlock()
+	return nil
+}
+
+// kill SIGKILLs the shard — no drain, no final snapshot; recovery must
+// come from the WAL alone — then restarts it and waits for health.
+func (c *crashFleet) kill(p *shardProc) error {
+	p.mu.Lock()
+	cmd := p.cmd
+	p.mu.Unlock()
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("kill %s: %w", p.name, err)
+	}
+	_ = cmd.Wait()
+	c.kills.Add(1)
+	if err := c.spawn(p); err != nil {
+		return err
+	}
+	return waitHealthy(p.addr, 15*time.Second)
+}
+
+// stop terminates every subprocess: SIGTERM first (a graceful bmsd
+// drain compacts the WAL), SIGKILL after a grace period.
+func (c *crashFleet) stop() {
+	var wg sync.WaitGroup
+	for _, p := range c.procs {
+		p.mu.Lock()
+		cmd := p.cmd
+		p.mu.Unlock()
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(cmd *exec.Cmd) {
+			defer wg.Done()
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() { _ = cmd.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = cmd.Process.Kill()
+				<-done
+			}
+		}(cmd)
+	}
+	wg.Wait()
+}
+
+// advanceClock folds a batch's report times into the scheduler clock.
+func (c *crashFleet) advanceClock(reports []transport.Report) {
+	maxAt := 0.0
+	for i := range reports {
+		if reports[i].AtSeconds > maxAt {
+			maxAt = reports[i].AtSeconds
+		}
+	}
+	c.clockMu.Lock()
+	if maxAt > c.clock {
+		c.clock = maxAt
+	}
+	c.clockMu.Unlock()
+}
+
+func (c *crashFleet) now() float64 {
+	c.clockMu.Lock()
+	defer c.clockMu.Unlock()
+	return c.clock
+}
+
+// runKiller fires the crash schedule: when the funnel's trace clock
+// passes each scheduled time it SIGKILLs one shard (rotating through
+// the pool so repeated kills spread over distinct processes) and — with
+// restartGateway — also discards and rebuilds the gateway, proving a
+// gateway restart mid-run is invisible too. Returns when the schedule
+// is exhausted or done closes; fired kills are counted in c.kills.
+func (c *crashFleet) runKiller(schedule []float64, restartGateway bool, done <-chan struct{}, errs chan<- error) {
+	for n, t := range schedule {
+		for c.now() < t {
+			select {
+			case <-done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		p := c.procs[n%len(c.procs)]
+		fmt.Printf("crash: t=%.0fs SIGKILL %s (restart over %s)\n", t, p.name, p.dir)
+		if err := c.kill(p); err != nil {
+			errs <- err
+			return
+		}
+		if restartGateway {
+			gw, err := c.newGateway()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if n, err := gw.RebuildRegistry(); err != nil {
+				errs <- fmt.Errorf("registry rebuild: %w", err)
+				return
+			} else {
+				fmt.Printf("crash: gateway restarted, registry rebuilt from shards (%d devices)\n", n)
+			}
+			c.gw.Store(gw)
+		}
+	}
+}
+
+// crashUplink is the funnel for crash runs: it advances the scheduler's
+// trace clock and sends through whatever gateway is current, so a
+// mid-run gateway swap is picked up by the very next exchange.
+type crashUplink struct{ c *crashFleet }
+
+func (u crashUplink) Name() string { return "crash-fleet-gateway" }
+
+func (u crashUplink) Send(r transport.Report) error {
+	u.c.advanceClock([]transport.Report{r})
+	_, err := u.c.gw.Load().Ingest(r)
+	return err
+}
+
+func (u crashUplink) SendBatch(reports []transport.Report) error {
+	u.c.advanceClock(reports)
+	_, err := u.c.gw.Load().IngestBatch(reports)
+	return err
+}
+
+// freePort reserves an ephemeral port long enough to read its number.
+// The tiny close-to-bind race is acceptable for a test harness.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	return port, l.Close()
+}
+
+// waitHealthy polls the shard's health endpoint until it answers 200.
+func waitHealthy(addr string, timeout time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get("http://" + addr + "/api/v1/health")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("health status %d", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -28,6 +28,14 @@
 // asserts the federated occupancy, events and dwell are byte-identical
 // to a clean single server fed the same streams exactly once (the
 // synthetic ground truth) and exits nonzero otherwise.
+//
+// With -kill "t1,t2,..." (and -bmsd pointing at a built binary), the
+// shards are real bmsd subprocesses with write-ahead logs: at each
+// listed trace time a shard is SIGKILLed mid-run and restarted over
+// its data directory, -restart-gateway additionally rebuilds the
+// gateway from the shards' recovered device sets, and the run ends
+// with the same byte-identical ground-truth assertion — the crashtest
+// that proves kill -9 loses nothing (see make crashtest).
 package main
 
 import (
@@ -68,15 +76,36 @@ func main() {
 	seed := flag.Uint64("seed", 11, "stream synthesis seed")
 	flaky := flag.Float64("flaky", 0, "fraction of in-process shard batch calls to fail (half after commit); uplinks retry and the final state is asserted against ground truth")
 	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports")
+	kill := flag.String("kill", "", "crash schedule \"t1,t2,...\" (trace seconds): SIGKILL a shard subprocess at each time, restart it, and assert the final state against ground truth")
+	bmsdPath := flag.String("bmsd", "", "path to a built bmsd binary (required with -kill)")
+	dataRoot := flag.String("data-root", "", "root directory for the crash shards' WALs (with -kill; empty: a temp dir)")
+	fsync := flag.String("fsync", "batch", "WAL sync policy for the crash shards: batch, interval, off")
+	restartGateway := flag.Bool("restart-gateway", false, "with -kill: also discard and rebuild the gateway at each crash, proving a gateway restart is invisible")
 	flag.Parse()
 
-	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch); err != nil {
+	crash := crashOpts{
+		Schedule:       *kill,
+		BmsdPath:       *bmsdPath,
+		DataRoot:       *dataRoot,
+		Fsync:          *fsync,
+		RestartGateway: *restartGateway,
+	}
+	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch, crash); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64) error {
+// crashOpts carries the -kill crash-schedule knobs (see crash.go).
+type crashOpts struct {
+	Schedule       string
+	BmsdPath       string
+	DataRoot       string
+	Fsync          string
+	RestartGateway bool
+}
+
+func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64, crash crashOpts) error {
 	if devices < 1 {
 		return fmt.Errorf("need at least 1 device")
 	}
@@ -108,12 +137,35 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	if flaky > 0 && target != "" {
 		return fmt.Errorf("-flaky injects faults into in-process shards; it cannot be combined with -target")
 	}
+	killSchedule, err := parseKillSchedule(crash.Schedule)
+	if err != nil {
+		return err
+	}
+	if len(killSchedule) > 0 {
+		if target != "" {
+			return fmt.Errorf("-kill spawns its own shard subprocesses; it cannot be combined with -target")
+		}
+		if flaky > 0 {
+			return fmt.Errorf("-kill and -flaky are separate drills; run them one at a time")
+		}
+	}
 
-	// Resolve the target: a remote HTTP gateway or an in-process fleet.
+	// Resolve the target: a remote HTTP gateway, subprocess crash
+	// shards, or an in-process fleet.
 	var sink transport.Uplink
 	var gw *fleet.Gateway
 	var flakies []*fleettest.FlakyShard
-	if target != "" {
+	var crashPool *crashFleet
+	if len(killSchedule) > 0 {
+		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		if err != nil {
+			return err
+		}
+		defer crashPool.stop()
+		sink = crashUplink{c: crashPool}
+		fmt.Printf("loadgen: %d devices, %d reports → %d bmsd subprocess shard(s), SIGKILL at trace t=%v (fsync=%s)\n",
+			devices, total, shards, killSchedule, crash.Fsync)
+	} else if target != "" {
 		sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry()}
 		fmt.Printf("loadgen: %d devices, %d reports → %s\n", devices, total, target)
 	} else {
@@ -135,6 +187,32 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		// Whole-batch retransmission against the flaky shards; every
 		// attempt is measured as its own exchange.
 		funnel = retryUplink{next: rec, max: 10}
+	}
+	var killerDone chan struct{}
+	killerErrs := make(chan error, len(killSchedule)+1)
+	if crashPool != nil {
+		// A killed shard is down for its whole restart (recovery +
+		// rebind), so retransmission needs a real gap and a deep budget —
+		// every attempt is still measured as its own exchange.
+		funnel = retryUplink{next: rec, max: 300, gap: 100 * time.Millisecond}
+		maxTrace := 0.0
+		for _, s := range streams {
+			for i := range s {
+				if s[i].AtSeconds > maxTrace {
+					maxTrace = s[i].AtSeconds
+				}
+			}
+		}
+		if last := killSchedule[len(killSchedule)-1]; last > maxTrace {
+			return fmt.Errorf("-kill time %v is beyond the streams' trace span (%.0fs) and would never fire; raise -reports", last, maxTrace)
+		}
+		killerDone = make(chan struct{})
+		stopKiller := make(chan struct{})
+		defer close(stopKiller)
+		go func() {
+			crashPool.runKiller(killSchedule, crash.RestartGateway, stopKiller, killerErrs)
+			close(killerDone)
+		}()
 	}
 	sequencer := transport.NewSequencer(epoch)
 
@@ -181,6 +259,32 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	}
 
 	printReport(total, elapsed, rec)
+	if crashPool != nil {
+		// The last kill can fire after the final batch it disturbs is
+		// retransmitted elsewhere; wait for the restart to finish before
+		// reading the recovered state.
+		select {
+		case <-killerDone:
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("crash schedule never completed — a killed shard failed to restart")
+		}
+		select {
+		case err := <-killerErrs:
+			return err
+		default:
+		}
+		if got := crashPool.kills.Load(); got != int64(len(killSchedule)) {
+			return fmt.Errorf("crash drill fired %d of %d scheduled kills — the drill was vacuous", got, len(killSchedule))
+		}
+		cgw := crashPool.gw.Load()
+		printRollup(cgw)
+		if err := verifyGroundTruth(b, cgw, streams, seed); err != nil {
+			return err
+		}
+		fmt.Printf("crash-recovery verified: %d kill -9 restart(s), recovered fleet state is byte-identical to the clean ground truth\n",
+			crashPool.kills.Load())
+		return nil
+	}
 	if gw != nil {
 		printRollup(gw)
 	} else {
@@ -241,10 +345,12 @@ func inProcessFleet(b *building.Building, shards int, seed uint64, flaky float64
 }
 
 // retryUplink retransmits failed exchanges whole — the loadgen-side
-// equivalent of transport.RetryPolicy for the in-process path.
+// equivalent of transport.RetryPolicy for the in-process path. gap
+// spaces the attempts; crash runs use it to ride out a shard restart.
 type retryUplink struct {
 	next transport.Uplink
 	max  int
+	gap  time.Duration
 }
 
 func (r retryUplink) Name() string { return "retry(" + r.next.Name() + ")" }
@@ -252,6 +358,9 @@ func (r retryUplink) Name() string { return "retry(" + r.next.Name() + ")" }
 func (r retryUplink) Send(rep transport.Report) error {
 	var err error
 	for i := 0; i < r.max; i++ {
+		if i > 0 && r.gap > 0 {
+			time.Sleep(r.gap)
+		}
 		if err = r.next.Send(rep); err == nil {
 			return nil
 		}
@@ -271,6 +380,9 @@ func (r retryUplink) SendBatch(reports []transport.Report) error {
 	}
 	var err error
 	for i := 0; i < r.max; i++ {
+		if i > 0 && r.gap > 0 {
+			time.Sleep(r.gap)
+		}
 		if err = bs.SendBatch(reports); err == nil {
 			return nil
 		}

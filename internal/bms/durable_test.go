@@ -1,0 +1,260 @@
+package bms
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/ibeacon"
+	"occusim/internal/store"
+	"occusim/internal/transport"
+)
+
+func openDurable(t *testing.T, dir string, policy store.FsyncPolicy) (*Server, *building.Building) {
+	t.Helper()
+	b := building.PaperHouse()
+	st, err := store.New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDurableServer(b, st, 2, DurableConfig{Dir: dir, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, b
+}
+
+// viewsJSON serialises every externally observable view the crashtest
+// compares: occupancy, events, dwell, known devices, model version.
+func viewsJSON(t *testing.T, s *Server) string {
+	t.Helper()
+	_, version := s.st.Model()
+	blob, err := json.Marshal(map[string]any{
+		"occupancy": s.Occupancy(),
+		"events":    s.Events(),
+		"dwell":     s.DwellTotals(),
+		"devices":   s.KnownDevices(),
+		"version":   version,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// sequenced stamps a monotone (epoch, seq) on a fabricated report.
+func sequenced(r transport.Report, seq uint64) transport.Report {
+	r.Epoch, r.Seq = 1, seq
+	return r
+}
+
+// TestDurableRecoverAfterKill simulates kill -9: the first server is
+// abandoned without Close (its WAL files keep every logged record) and
+// a second server recovers from the same directory. Every view must be
+// byte-identical.
+func TestDurableRecoverAfterKill(t *testing.T) {
+	for _, policy := range []store.FsyncPolicy{store.FsyncBatch, store.FsyncOff} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			s1, b := openDurable(t, dir, policy)
+			trainServer(t, s1, b)
+			seq := uint64(0)
+			for round := 0; round < 4; round++ {
+				var batch []transport.Report
+				for d := 0; d < 6; d++ {
+					dev := []string{"p0", "p1", "p2", "p3", "p4", "p5"}[d]
+					seq++
+					batch = append(batch, sequenced(reportNear(b, dev, (d+round)%len(b.Beacons), float64(10*round+d)), seq))
+				}
+				if _, err := s1.IngestBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := viewsJSON(t, s1)
+			// No Close: this is the crash. Recover into a fresh server.
+			s2, _ := openDurable(t, dir, policy)
+			defer s2.Close()
+			if got := viewsJSON(t, s2); got != want {
+				t.Fatalf("recovered views diverge\n got: %s\nwant: %s", got, want)
+			}
+			if s2.Classifier() != "scene-svm" {
+				t.Fatalf("recovered classifier = %s", s2.Classifier())
+			}
+		})
+	}
+}
+
+// TestDurableRecoveryDedupsRetransmissions proves replay idempotence:
+// a batch retransmitted to the recovered server is a no-op, because
+// the (Epoch, Seq) marks recovered with the log.
+func TestDurableRecoveryDedupsRetransmissions(t *testing.T) {
+	dir := t.TempDir()
+	s1, b := openDurable(t, dir, store.FsyncOff)
+	var batch []transport.Report
+	for i := 0; i < 5; i++ {
+		batch = append(batch, sequenced(reportNear(b, "phone", i%len(b.Beacons), float64(i)), uint64(i+1)))
+	}
+	if _, err := s1.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := viewsJSON(t, s1)
+
+	s2, _ := openDurable(t, dir, store.FsyncOff)
+	defer s2.Close()
+	if _, err := s2.IngestBatch(batch); err != nil { // full retransmission
+		t.Fatal(err)
+	}
+	if got := viewsJSON(t, s2); got != want {
+		t.Fatalf("retransmission after recovery changed state\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestDurableCompactionPreservesState: compact mid-stream, keep
+// ingesting, crash, recover — snapshot + tail must reassemble the full
+// state, and records from before the compaction must not double-apply.
+func TestDurableCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s1, b := openDurable(t, dir, store.FsyncOff)
+	trainServer(t, s1, b)
+	for i := 0; i < 6; i++ {
+		if _, err := s1.Ingest(sequenced(reportNear(b, "phone", i%len(b.Beacons), float64(i)), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.WALSize() != 0 {
+		t.Fatalf("wal size after compact = %d", s1.WALSize())
+	}
+	for i := 6; i < 12; i++ {
+		if _, err := s1.Ingest(sequenced(reportNear(b, "phone", i%len(b.Beacons), float64(i)), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := viewsJSON(t, s1)
+	s2, _ := openDurable(t, dir, store.FsyncOff)
+	defer s2.Close()
+	if got := viewsJSON(t, s2); got != want {
+		t.Fatalf("recovered views diverge after compaction\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestDurableDeviceLifecycleReplays covers the striped non-observation
+// records: evict, install and expire must land in the log and replay
+// in per-device order.
+func TestDurableDeviceLifecycleReplays(t *testing.T) {
+	dir := t.TempDir()
+	s1, b := openDurable(t, dir, store.FsyncOff)
+	for i := 0; i < 3; i++ {
+		if _, err := s1.Ingest(sequenced(reportNear(b, "mover", 0, float64(i)), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.Ingest(sequenced(reportNear(b, "sleeper", 1, float64(i)), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := s1.EvictDevice("mover")
+	if !ok {
+		t.Fatal("evict found no state")
+	}
+	st.Room = "bedroom2" // pretend another shard advanced it
+	if err := s1.InstallDevice(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.ExpireBefore(100 * time.Second); len(got) != 2 {
+		t.Fatalf("expired %v", got)
+	}
+	want := viewsJSON(t, s1)
+
+	s2, _ := openDurable(t, dir, store.FsyncOff)
+	defer s2.Close()
+	if got := viewsJSON(t, s2); got != want {
+		t.Fatalf("recovered views diverge\n got: %s\nwant: %s", got, want)
+	}
+	// The expire kept the marks: a stale retransmission stays dead.
+	if epoch, seq := s2.st.SeqMark("sleeper"); epoch != 1 || seq != 3 {
+		t.Fatalf("sleeper mark = (%d, %d)", epoch, seq)
+	}
+}
+
+// TestDurableGracefulClose drains through Close and recovers from the
+// snapshot alone (the log is empty after the final compaction).
+func TestDurableGracefulClose(t *testing.T) {
+	dir := t.TempDir()
+	s1, b := openDurable(t, dir, store.FsyncBatch)
+	for i := 0; i < 5; i++ {
+		if _, err := s1.Ingest(sequenced(reportNear(b, "phone", i%len(b.Beacons), float64(i)), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := viewsJSON(t, s1)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := openDurable(t, dir, store.FsyncBatch)
+	defer s2.Close()
+	if got := viewsJSON(t, s2); got != want {
+		t.Fatalf("views after graceful drain diverge\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestBinaryObsRecordRoundtrip pins the binary observation record
+// codec on its edge cases: empty beacon sets, empty rooms, zero
+// freshness marks, non-ASCII device names, and non-finite distances
+// (representable in binary, unlike JSON).
+func TestBinaryObsRecordRoundtrip(t *testing.T) {
+	id := ibeacon.BeaconID{UUID: ibeacon.MustUUID("B9407F30-F5F8-466E-AFF9-25556B57FE6D"), Major: 1, Minor: 65535}
+	obs := []store.Observation{
+		{Device: "phone", At: 90 * time.Second, Epoch: 3, Seq: 12, Beacons: []store.BeaconDistance{
+			{ID: id, Distance: 1.25, RSSI: -62},
+			{ID: id, Distance: math.Inf(1), RSSI: math.NaN()},
+		}},
+		{Device: "téléphone-→", At: 0, Epoch: 0, Seq: 0},
+		{Device: "", At: 1, Seq: 7, Beacons: []store.BeaconDistance{{ID: id, Distance: 0}}},
+	}
+	rooms := []string{"kitchen", "", "living room"}
+
+	payload := appendObsBinary(nil, obs, rooms)
+	if payload[0] != binObsTag {
+		t.Fatalf("record starts with %#02x, want the binary tag", payload[0])
+	}
+	got, gotRooms, err := decodeObsBinary(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(obs) || len(gotRooms) != len(rooms) {
+		t.Fatalf("decoded %d obs / %d rooms, want %d / %d", len(got), len(gotRooms), len(obs), len(rooms))
+	}
+	for i := range obs {
+		if gotRooms[i] != rooms[i] {
+			t.Errorf("obs %d: room %q, want %q", i, gotRooms[i], rooms[i])
+		}
+		a, b := got[i], obs[i]
+		if a.Device != b.Device || a.At != b.At || a.Epoch != b.Epoch || a.Seq != b.Seq || len(a.Beacons) != len(b.Beacons) {
+			t.Errorf("obs %d: decoded %+v, want %+v", i, a, b)
+			continue
+		}
+		for k := range b.Beacons {
+			x, y := a.Beacons[k], b.Beacons[k]
+			same := x.ID == y.ID &&
+				math.Float64bits(x.Distance) == math.Float64bits(y.Distance) &&
+				math.Float64bits(x.RSSI) == math.Float64bits(y.RSSI)
+			if !same {
+				t.Errorf("obs %d beacon %d: decoded %+v, want %+v", i, k, x, y)
+			}
+		}
+	}
+
+	// Every truncation of a valid record must error, never panic.
+	for cut := 1; cut < len(payload); cut++ {
+		if _, _, err := decodeObsBinary(payload[:cut]); err == nil && cut < len(payload) {
+			// Some cuts can land on a valid shorter record only if the
+			// leading count were smaller; with a fixed count they must
+			// all fail.
+			t.Fatalf("truncated record (%d of %d bytes) decoded without error", cut, len(payload))
+		}
+	}
+}

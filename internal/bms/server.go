@@ -53,6 +53,10 @@ type Server struct {
 	// tracker is striped per device; see occupancy.Sharded.
 	tracker *occupancy.Sharded
 
+	// dur is the WAL attachment (nil for a volatile server). Durable
+	// servers log every mutation before applying it; see durable.go.
+	dur *durability
+
 	// idCache interns parsed beacon identities. A deployment sees the
 	// same handful of beacon-id strings on every report, so ingest pays
 	// the UUID/major/minor parse once per distinct string rather than
@@ -148,11 +152,21 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Predict before storing: prediction is pure, and a durable server
+	// must log the report with its room before any state moves.
+	room := s.classifierSnapshot().Predict(sample)
+	if s.dur != nil {
+		end := s.dur.wal.Begin()
+		defer end()
+		if err := s.logObservations([]store.Observation{obs}, []string{room}); err != nil {
+			return "", err
+		}
+		defer s.maybeCompact()
+	}
 	fresh, err := s.st.AddObservation(obs)
 	if err != nil {
 		return "", err
 	}
-	room := s.classifierSnapshot().Predict(sample)
 	if fresh {
 		s.tracker.Observe(obs.At, r.Device, room)
 	}
@@ -193,6 +207,18 @@ func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 		obs[i] = o
 		rooms[i] = cls.Predict(sample)
 		track[i] = occupancy.Classification{At: o.At, Device: o.Device, Room: rooms[i]}
+	}
+	if s.dur != nil {
+		// Log-then-apply: the whole batch (dups included — replay
+		// re-deduplicates against the recovered marks) reaches the WAL
+		// before any state moves, under one Begin guard so a concurrent
+		// compaction cannot snapshot between the append and the apply.
+		end := s.dur.wal.Begin()
+		defer end()
+		if err := s.logObservations(obs, rooms); err != nil {
+			return nil, err
+		}
+		defer s.maybeCompact()
 	}
 	// The store decides freshness against each device's high-water mark;
 	// stale retransmissions keep their predicted room in the response
@@ -276,6 +302,17 @@ func (s *Server) AddFingerprint(sample fingerprint.Sample) error {
 	if !valid {
 		return fmt.Errorf("bms: fingerprint labelled with unknown room %q", sample.Room)
 	}
+	if s.dur != nil {
+		end := s.dur.wal.Begin()
+		defer end()
+		fp := fpRecJSON{Room: sample.Room, AtNanos: int64(sample.At), Distances: map[string]float64{}}
+		for id, d := range sample.Distances {
+			fp.Distances[id.String()] = d
+		}
+		if err := s.logMeta(walRecord{T: recFP, FP: &fp}); err != nil {
+			return err
+		}
+	}
 	return s.st.AddFingerprint(sample)
 }
 
@@ -321,6 +358,11 @@ func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
 	// The version decision and the classifier swap happen under one
 	// clsMu hold, so a concurrent InstallModel cannot interleave and
 	// leave the live classifier disagreeing with the stored version.
+	var end func()
+	if s.dur != nil {
+		end = s.dur.wal.Begin()
+		defer end()
+	}
 	s.clsMu.Lock()
 	version := s.st.SetModel(blob)
 	snap.Version = version
@@ -328,6 +370,16 @@ func (s *Server) Train(c, gamma float64, seed uint64) (TrainResult, error) {
 	s.classifier = scene
 	s.modelSnap = snap
 	s.clsMu.Unlock()
+	if s.dur != nil {
+		// Apply-then-log, unlike ingest: the version is assigned inside
+		// the swap. A crash in the gap loses only the training run (the
+		// fingerprints that produced it are already logged; retraining
+		// is deterministic given the same seed). The Begin guard still
+		// spans both halves, so compaction cannot split them.
+		if err := s.logMeta(walRecord{T: recModel, Snap: &snap}); err != nil {
+			return TrainResult{}, err
+		}
+	}
 
 	return TrainResult{
 		Samples:        ds.Len(),
@@ -392,6 +444,11 @@ func (s *Server) InstallModel(snap ModelSnapshot) (int, error) {
 	// section (clsMu is taken before the store's internal lock and
 	// never the other way round): two racing distributions cannot leave
 	// the store on one version and the live classifier on another.
+	var end func()
+	if s.dur != nil {
+		end = s.dur.wal.Begin()
+		defer end()
+	}
 	s.clsMu.Lock()
 	defer s.clsMu.Unlock()
 	version, installed := s.st.InstallModel(snap.Model, snap.Version)
@@ -404,6 +461,13 @@ func (s *Server) InstallModel(snap ModelSnapshot) (int, error) {
 	s.sceneSVM = scene
 	s.classifier = scene
 	s.modelSnap = snap
+	if s.dur != nil {
+		// Logged only when accepted (a crash in the gap is healed by the
+		// gateway retrying the distribution).
+		if err := s.logMeta(walRecord{T: recModel, Snap: &snap}); err != nil {
+			return 0, err
+		}
+	}
 	return version, nil
 }
 
@@ -455,6 +519,15 @@ func (s *Server) ExportDevice(device string) (DeviceState, bool) {
 // is absent from every occupancy view; its committed events remain,
 // as history. ok is false when the server held nothing.
 func (s *Server) EvictDevice(device string) (DeviceState, bool) {
+	if s.dur != nil {
+		end := s.dur.wal.Begin()
+		defer end()
+		// Logged unconditionally — evicting an unknown device replays as
+		// the same no-op it is live.
+		if err := s.logStriped(device, walRecord{T: recEvict, Device: device}); err != nil {
+			return DeviceState{}, false
+		}
+	}
 	tr, ok := s.tracker.Evict(device)
 	epoch, seq := s.st.EvictDevice(device)
 	return assembleDeviceState(device, tr, ok, epoch, seq)
@@ -466,6 +539,13 @@ func (s *Server) EvictDevice(device string) (DeviceState, bool) {
 func (s *Server) InstallDevice(st DeviceState) error {
 	if st.Device == "" {
 		return fmt.Errorf("bms: install device: empty device name")
+	}
+	if s.dur != nil {
+		end := s.dur.wal.Begin()
+		defer end()
+		if err := s.logStriped(st.Device, walRecord{T: recInstall, State: &st}); err != nil {
+			return err
+		}
 	}
 	s.tracker.Install(st.DeviceState)
 	s.st.InstallSeqMark(st.Device, st.Epoch, st.Seq)
@@ -486,9 +566,30 @@ func (s *Server) InstallDevice(st DeviceState) error {
 // after a long absence re-enters through the epoch bump its restart
 // declares.
 func (s *Server) ExpireBefore(cutoff time.Duration) []string {
+	var end func()
+	if s.dur != nil {
+		end = s.dur.wal.Begin()
+		defer end()
+	}
 	expired := s.tracker.ExpireBefore(cutoff)
 	for _, device := range expired {
 		s.st.ExpireDevice(device)
+	}
+	if s.dur != nil && len(expired) > 0 {
+		// Apply-then-log: the sweep resolves the cutoff into concrete
+		// device names, and those are what must replay (each in its own
+		// stripe, at this point in that stripe's record order). A crash
+		// in the gap merely resurrects residue the next sweep re-expires.
+		byStripe := map[int][]string{}
+		for _, device := range expired {
+			idx := store.StripeFor(device)
+			byStripe[idx] = append(byStripe[idx], device)
+		}
+		for _, devices := range byStripe {
+			if err := s.logStriped(devices[0], walRecord{T: recExpire, Devices: devices}); err != nil {
+				break
+			}
+		}
 	}
 	return expired
 }
@@ -530,6 +631,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/model", s.handleModel)
 	mux.HandleFunc("PUT /api/v1/model", s.handleModelInstall)
 	mux.HandleFunc("GET /api/v1/dwell", s.handleDwell)
+	mux.HandleFunc("GET /api/v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		devices := s.KnownDevices()
+		if devices == nil {
+			devices = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"devices": devices})
+	})
 	mux.HandleFunc("GET /api/v1/devices/{device}", s.handleDevice)
 	mux.HandleFunc("GET /api/v1/devices/{device}/state", s.handleDeviceState)
 	mux.HandleFunc("POST /api/v1/devices:evict", s.handleDeviceEvict)

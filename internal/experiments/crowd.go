@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"occusim/internal/bms"
@@ -10,11 +11,33 @@ import (
 	"occusim/internal/fingerprint"
 	"occusim/internal/geom"
 	"occusim/internal/ibeacon"
-	"occusim/internal/par"
 	"occusim/internal/rng"
 	"occusim/internal/store"
 	"occusim/internal/transport"
 )
+
+// eachDevice runs fn(d) on one goroutine per device and reports the
+// lowest-index error. It deliberately does NOT use par.ForEach: that
+// pool is sized to GOMAXPROCS for CPU-bound trials, while device
+// streams are independent sources whose blocking I/O must overlap.
+func eachDevice(devices int, fn func(d int) error) error {
+	errs := make([]error, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			errs[d] = fn(d)
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // CrowdIngestResult measures the server-side scaling axis the ROADMAP
 // targets: one BMS ingesting the coalesced report streams of a crowd of
@@ -131,9 +154,6 @@ func SynthCrowdStreams(b *building.Building, devices, reportsPer int, seed uint6
 // tracker state is per device and cross-device event order is
 // canonicalised by time.
 func CrowdIngest(devices int, seed uint64) (*CrowdIngestResult, error) {
-	if devices <= 0 {
-		devices = 32
-	}
 	b := building.PaperHouse()
 	st, err := store.New(1000)
 	if err != nil {
@@ -142,6 +162,40 @@ func CrowdIngest(devices int, seed uint64) (*CrowdIngestResult, error) {
 	server, err := bms.NewServer(b, st, 2)
 	if err != nil {
 		return nil, err
+	}
+	return runCrowdIngest(server, b, devices, seed)
+}
+
+// CrowdIngestDurable is CrowdIngest with the write-ahead log in the
+// loop: the same crowd streams into a durable server, so every
+// observation is framed, checksummed and (policy permitting) synced on
+// its way in. Its Throughput against CrowdIngest's prices the
+// durability tax — the PR pins it within 15% at FsyncBatch.
+func CrowdIngestDurable(devices int, seed uint64, dir string, policy store.FsyncPolicy) (*CrowdIngestResult, error) {
+	b := building.PaperHouse()
+	st, err := store.New(1000)
+	if err != nil {
+		return nil, err
+	}
+	server, err := bms.OpenDurableServer(b, st, 2, bms.DurableConfig{Dir: dir, Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	res, err := runCrowdIngest(server, b, devices, seed)
+	if cerr := server.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runCrowdIngest trains, synthesises and runs the measured ingest phase
+// against an already-constructed server (volatile or durable).
+func runCrowdIngest(server *bms.Server, b *building.Building, devices int, seed uint64) (*CrowdIngestResult, error) {
+	if devices <= 0 {
+		devices = 32
 	}
 	if err := TrainCrowdModel(server, b, seed); err != nil {
 		return nil, err
@@ -153,9 +207,14 @@ func CrowdIngest(devices int, seed uint64) (*CrowdIngestResult, error) {
 	streams, names, finalRoom := SynthCrowdStreams(b, devices, reportsPer, seed)
 
 	// The measured phase: every device streams through its own
-	// coalescing uplink into the shared server, concurrently.
+	// coalescing uplink into the shared server, concurrently. The fan
+	// out is literally one goroutine per device (not a GOMAXPROCS-sized
+	// worker pool): a device blocked in a WAL fsync must not stall the
+	// other devices' streams, exactly as independent phones would not —
+	// and it is what lets a durable server group-commit concurrent
+	// batches under one fsync.
 	start := time.Now()
-	err = par.ForEach(devices, func(d int) error {
+	err := eachDevice(devices, func(d int) error {
 		uplink, err := transport.NewBatchingUplink(bms.DirectUplink{Server: server}, transport.BatchConfig{
 			FlushSeconds: 20,
 		})

@@ -88,12 +88,17 @@ type Gateway struct {
 	serial   bool
 	replicas int
 
-	// mu guards down and pinned; routing takes it shared on every
-	// report. pinned marks shards an operator drained with MarkDown:
-	// health probes must not resurrect them.
+	// mu guards down, pinned and fenced; routing takes it shared on
+	// every report. pinned marks shards an operator drained with
+	// MarkDown: health probes must not resurrect them. fenced maps each
+	// mid-migration device to its ingest fence — fences are raised under
+	// the same exclusive hold that flips the routing table, so no report
+	// can resolve an owner under the new table before its device's fence
+	// is up (see applyRoutingChange).
 	mu     sync.RWMutex
 	down   []bool
 	pinned []bool
+	fenced map[string]*fence
 
 	// routed counts reports delivered per shard (batch + single).
 	routedMu sync.Mutex
@@ -114,6 +119,11 @@ type Gateway struct {
 	known     map[string]struct{}
 	maxAt     float64
 	lastSweep time.Duration
+	// flight counts in-flight shard deliveries per device (devMu);
+	// flightCond is signalled as counts return to zero, which is what
+	// the migration's drain phase waits on.
+	flight     map[string]int
+	flightCond *sync.Cond
 	// sweepAt/sweepOK back off retries of a failed sweep (sweepMu).
 	sweepAt time.Time
 	sweepOK bool
@@ -152,10 +162,13 @@ func New(shards []Shard, cfg Config) (*Gateway, error) {
 		probeEvery: cfg.ProbeInterval,
 		ttl:        cfg.ResidueTTL,
 		known:      map[string]struct{}{},
+		fenced:     map[string]*fence{},
+		flight:     map[string]int{},
 		down:       make([]bool, len(shards)),
 		pinned:     make([]bool, len(shards)),
 		routed:     make([]int64, len(shards)),
 	}
+	g.flightCond = sync.NewCond(&g.devMu)
 	g.ring = make([]ringEntry, 0, len(shards)*cfg.Replicas)
 	for i, s := range shards {
 		for r := 0; r < cfg.Replicas; r++ {
@@ -221,35 +234,95 @@ func (g *Gateway) ownerWith(down []bool, h uint64) (int, error) {
 	return -1, ErrNoHealthyShards
 }
 
+// fence pauses ingest for one device while its state migrates between
+// shards; done is closed when the move completes and waiters re-resolve
+// routing against the new table.
+type fence struct {
+	done chan struct{}
+}
+
+// acquire resolves routing for a batch under one consistent view:
+// fence check, owner resolution, registration and in-flight accounting
+// happen in a single critical section against the routing flip
+// (applyRoutingChange holds mu exclusively for the flip AND the fence
+// raise, so a report either resolves fully under the old table — and
+// is then drained before the move — or waits on the fence and resolves
+// under the new one; no report can thread between). Reports whose
+// device is mid-migration block until the fence lifts — the "pause"
+// half of pause → drain → move → resume. The returned release must be
+// called once the shard deliveries finish, success or not.
+func (g *Gateway) acquire(reports []transport.Report) (shardOf []int32, release func(), err error) {
+	for {
+		g.mu.RLock()
+		if len(g.fenced) > 0 {
+			var wait chan struct{}
+			for i := range reports {
+				if f, ok := g.fenced[reports[i].Device]; ok {
+					wait = f.done
+					break
+				}
+			}
+			if wait != nil {
+				g.mu.RUnlock()
+				<-wait
+				continue
+			}
+		}
+		shardOf = make([]int32, len(reports))
+		for i := range reports {
+			idx, err := g.ownerLocked(hash64(reports[i].Device))
+			if err != nil {
+				g.mu.RUnlock()
+				return nil, nil, err
+			}
+			shardOf[i] = int32(idx)
+		}
+		// Register and count in-flight under the same routing view: a
+		// migration that flips after this section sees these devices in
+		// the registry (its snapshot is taken under the exclusive hold)
+		// and drains these deliveries before moving state. Registering
+		// even before the delivery succeeds is deliberate — a lost
+		// response still committed on the shard, and the device must
+		// stay visible to rebalance migration.
+		g.devMu.Lock()
+		for i := range reports {
+			g.known[reports[i].Device] = struct{}{}
+			if reports[i].AtSeconds > g.maxAt {
+				g.maxAt = reports[i].AtSeconds
+			}
+			g.flight[reports[i].Device]++
+		}
+		g.devMu.Unlock()
+		g.mu.RUnlock()
+		return shardOf, func() {
+			g.devMu.Lock()
+			for i := range reports {
+				d := reports[i].Device
+				if g.flight[d]--; g.flight[d] <= 0 {
+					delete(g.flight, d)
+				}
+			}
+			g.devMu.Unlock()
+			g.flightCond.Broadcast()
+		}, nil
+	}
+}
+
 // Ingest routes one report to its owning shard and returns the
 // predicted room.
 func (g *Gateway) Ingest(r transport.Report) (string, error) {
-	idx, err := g.ShardFor(r.Device)
+	shardOf, release, err := g.acquire([]transport.Report{r})
 	if err != nil {
 		return "", err
 	}
-	// Register before the call: a lost response still committed on the
-	// shard, and the device must stay visible to rebalance migration.
-	g.register([]transport.Report{r})
+	defer release()
+	idx := int(shardOf[0])
 	room, err := g.shards[idx].Ingest(r)
 	if err != nil {
 		return "", fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
 	}
 	g.note(idx, 1)
 	return room, nil
-}
-
-// register records the devices and report times of a delivered batch
-// in the rebalance/TTL registry (one lock for the whole batch).
-func (g *Gateway) register(reports []transport.Report) {
-	g.devMu.Lock()
-	for i := range reports {
-		g.known[reports[i].Device] = struct{}{}
-		if reports[i].AtSeconds > g.maxAt {
-			g.maxAt = reports[i].AtSeconds
-		}
-	}
-	g.devMu.Unlock()
 }
 
 // IngestBatch splits a mixed-device batch into per-shard sub-batches
@@ -263,22 +336,18 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 	if len(reports) == 0 {
 		return nil, nil
 	}
+	shardOf, release, err := g.acquire(reports)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	perShard := make([][]transport.Report, len(g.shards))
-	shardOf := make([]int32, len(reports))
 	posOf := make([]int32, len(reports))
-
-	g.mu.RLock()
 	for i := range reports {
-		idx, err := g.ownerLocked(hash64(reports[i].Device))
-		if err != nil {
-			g.mu.RUnlock()
-			return nil, err
-		}
-		shardOf[i] = int32(idx)
+		idx := shardOf[i]
 		posOf[i] = int32(len(perShard[idx]))
 		perShard[idx] = append(perShard[idx], reports[i])
 	}
-	g.mu.RUnlock()
 
 	rooms := make([][]string, len(g.shards))
 	errs := make([]error, len(g.shards))
@@ -287,13 +356,6 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		if len(sub) == 0 {
 			return
 		}
-		// Register BEFORE the shard call, not after success: a lost
-		// response (the fail-after-commit case) leaves the sub-batch
-		// committed on the shard with an error here, and those devices
-		// must still be visible to rebalance migration. The registry is
-		// a superset — migrating a device the shard never saw is a
-		// harmless ok=false evict.
-		g.register(sub)
 		out, err := g.shards[idx].IngestBatch(sub)
 		if err != nil {
 			errs[idx] = fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
@@ -683,17 +745,14 @@ func (g *Gateway) probeAll() []ShardStatus {
 	}
 	wg.Wait()
 	out := make([]ShardStatus, len(g.shards))
-	// The down-set flip and its migration are one atomic step under
-	// migrateMu, for the same ordering reason as setDown.
+	// The down-set flip and its fenced migration are one atomic step
+	// under migrateMu, for the same ordering reason as setDown.
 	g.migrateMu.Lock()
-	g.mu.Lock()
-	oldDown := append([]bool(nil), g.down...)
-	for i := range g.shards {
-		g.down[i] = g.pinned[i] || errs[i] != nil
-	}
-	down := append([]bool(nil), g.down...)
-	g.mu.Unlock()
-	g.migrateLocked(oldDown, down)
+	down := g.applyRoutingChange(func() {
+		for i := range g.shards {
+			g.down[i] = g.pinned[i] || errs[i] != nil
+		}
+	})
 	g.migrateMu.Unlock()
 	g.routedMu.Lock()
 	routed := append([]int64(nil), g.routed...)
@@ -737,45 +796,53 @@ func (g *Gateway) MarkUp(i int) {
 func (g *Gateway) setDown(i int, down bool) {
 	g.migrateMu.Lock()
 	defer g.migrateMu.Unlock()
-	g.mu.Lock()
-	if i < 0 || i >= len(g.down) {
-		g.mu.Unlock()
+	if i < 0 || i >= len(g.shards) {
 		return
 	}
-	oldDown := append([]bool(nil), g.down...)
-	g.down[i] = down
-	g.pinned[i] = down
-	newDown := append([]bool(nil), g.down...)
-	g.mu.Unlock()
-	g.migrateLocked(oldDown, newDown)
+	g.applyRoutingChange(func() {
+		g.down[i] = down
+		g.pinned[i] = down
+	})
 }
 
-// migrateLocked moves per-device server state (committed room, pending
-// debounce, dwell, ingest high-water mark) from each reassigned
-// device's old owner to its new one after a routing change — the
-// mechanism that makes fail-over and fail-back invisible in the
-// federated views. Best effort by design: an unreachable old owner
-// (crash rather than drain) simply cannot be migrated from, so the
-// new owner rebuilds the device from its report stream and whatever
-// residue the dead box still holds ages out through the TTL sweep
-// when it returns. The set of moves is a pure function of (registry,
-// oldDown, newDown) and devices are disjoint, so the concurrent
-// execution below is deterministic in effect for a given routing
-// change.
+// move is one device's reassignment across a routing change.
+type move struct {
+	dev      string
+	from, to int
+}
+
+// applyRoutingChange is the fenced handover protocol — pause → drain →
+// move → resume — that makes device migration exact instead of
+// self-healing-via-TTL. change mutates g.down (and g.pinned) in place
+// under the exclusive routing lock; the new down set is returned.
 //
-// Migration is not atomic with ingest: routing flips before this runs
-// (the down set changed first), so a report racing the rebalance can
-// reach the new owner before its state is installed — the install
-// then overwrites that report's effect with the migrated copy — or
-// land on the old owner between its tracker and store eviction,
-// leaving recreatable residue for the TTL sweep. Both windows are one
-// in-flight report wide, cost at most a debounce restart or one
-// duplicated observation of state, and close as soon as the device's
-// next report arrives; rebalances under quiesced ingest (drain, then
-// move) are exact, which is what the equivalence pins exercise.
-// ROADMAP.md carries the fully-atomic handover as an open item.
-// Callers hold migrateMu (acquired before their g.mu flip).
-func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
+// Under that same exclusive hold the ownership diff is computed and a
+// fence is raised for every reassigned device. This one critical
+// section closes the two one-report-wide race windows the unfenced
+// migration had: no report can resolve an owner under the new table
+// before its device's fence is up (so nothing reaches the new owner
+// ahead of the install and gets overwritten), and the registry
+// snapshot is complete — a report routed under the old table
+// registered inside its own shared hold of the routing lock, which
+// strictly precedes this exclusive one (so nothing lands on the old
+// owner after its eviction).
+//
+// After the flip, in-flight deliveries for the moving devices are
+// drained to zero, each device's state is evicted from its old owner
+// and installed on the new one, and the fences lift — paused reports
+// then re-resolve routing and land on the new owner, after its state.
+//
+// Migration remains best effort against dead boxes: an unreachable old
+// owner (crash rather than drain) cannot be migrated from, so the new
+// owner rebuilds the device from its report stream and whatever
+// residue the dead box still holds is reconciled when it returns —
+// migrated back by the fail-back rebalance, or aged out by the TTL
+// sweep. Callers hold migrateMu.
+func (g *Gateway) applyRoutingChange(change func()) []bool {
+	g.mu.Lock()
+	oldDown := append([]bool(nil), g.down...)
+	change()
+	newDown := append([]bool(nil), g.down...)
 	changed := false
 	for i := range oldDown {
 		if oldDown[i] != newDown[i] {
@@ -784,8 +851,11 @@ func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
 		}
 	}
 	if !changed {
-		return
+		g.mu.Unlock()
+		return newDown
 	}
+	// Registry snapshot under the exclusive routing hold: complete
+	// w.r.t. every report ever routed under the old table.
 	g.devMu.Lock()
 	devices := make([]string, 0, len(g.known))
 	for d := range g.known {
@@ -793,10 +863,6 @@ func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
 	}
 	g.devMu.Unlock()
 	sort.Strings(devices)
-	type move struct {
-		dev      string
-		from, to int
-	}
 	var moves []move
 	for _, dev := range devices {
 		h := hash64(dev)
@@ -806,11 +872,38 @@ func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
 			continue
 		}
 		moves = append(moves, move{dev: dev, from: from, to: to})
+		g.fenced[dev] = &fence{done: make(chan struct{})}
 	}
-	// Each device's evict→install pair stays sequential (the mark must
-	// leave before it lands), but devices migrate concurrently under a
-	// bounded pool: a remote-shard rebalance costs O(moves/width × RTT),
-	// not one round trip per device in sequence.
+	g.mu.Unlock()
+	if len(moves) == 0 {
+		return newDown
+	}
+	g.drainMoves(moves)
+	g.migrate(moves)
+	g.resume(moves)
+	return newDown
+}
+
+// drainMoves waits until no shard delivery is in flight for any moving
+// device. New deliveries for those devices are already paused on their
+// fences, so the counts can only fall.
+func (g *Gateway) drainMoves(moves []move) {
+	g.devMu.Lock()
+	for _, m := range moves {
+		for g.flight[m.dev] > 0 {
+			g.flightCond.Wait()
+		}
+	}
+	g.devMu.Unlock()
+}
+
+// migrate executes the evict→install pairs. Each device's pair stays
+// sequential (the mark must leave before it lands), but devices move
+// concurrently under a bounded pool: a remote-shard rebalance costs
+// O(moves/width × RTT), not one round trip per device in sequence.
+// Devices are disjoint and ingest for each is fenced, so the
+// concurrent execution is deterministic in effect.
+func (g *Gateway) migrate(moves []move) {
 	width := migrateConcurrency
 	if width > len(moves) {
 		width = len(moves)
@@ -840,9 +933,61 @@ func (g *Gateway) migrateLocked(oldDown, newDown []bool) {
 	wg.Wait()
 }
 
+// resume lifts the moving devices' fences; paused reports re-resolve
+// routing against the new table.
+func (g *Gateway) resume(moves []move) {
+	g.mu.Lock()
+	for _, m := range moves {
+		if f, ok := g.fenced[m.dev]; ok {
+			close(f.done)
+			delete(g.fenced, m.dev)
+		}
+	}
+	g.mu.Unlock()
+}
+
 // migrateConcurrency bounds the parallel evict/install pairs one
 // rebalance runs at a time.
 const migrateConcurrency = 16
+
+// RebuildRegistry repopulates the gateway's device registry (and its
+// report high-water mark) from the shards' own recovered device sets —
+// the restart path that lets the gateway itself persist nothing. A
+// fresh gateway over durable shards calls this once at boot; a device
+// any shard still holds state for is then visible to the next
+// rebalance migration and TTL sweep, exactly as if this gateway had
+// routed its reports. Down shards are skipped (their devices surface
+// when they recover or re-report through the new owner); per-shard
+// errors are joined but do not abort the rebuild — the registry is
+// additive, so a partial rebuild is strictly better than none.
+func (g *Gateway) RebuildRegistry() (devices int, err error) {
+	healthy := g.healthyShards()
+	perShard := make([][]string, len(healthy))
+	errs := make([]error, len(healthy))
+	var wg sync.WaitGroup
+	for k, i := range healthy {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			devs, derr := g.shards[i].Devices()
+			if derr != nil {
+				errs[k] = fmt.Errorf("fleet: shard %s: %w", g.shards[i].Name(), derr)
+				return
+			}
+			perShard[k] = devs
+		}(k, i)
+	}
+	wg.Wait()
+	g.devMu.Lock()
+	for _, devs := range perShard {
+		for _, d := range devs {
+			g.known[d] = struct{}{}
+		}
+	}
+	devices = len(g.known)
+	g.devMu.Unlock()
+	return devices, errors.Join(errs...)
+}
 
 // Statuses returns the current routing view without probing.
 func (g *Gateway) Statuses() []ShardStatus {

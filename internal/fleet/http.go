@@ -219,6 +219,21 @@ func (h *HTTPShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
 	return resp.Expired, nil
 }
 
+// Devices implements Shard via GET /api/v1/devices.
+func (h *HTTPShard) Devices() ([]string, error) {
+	payload, err := transport.GetJSON(h.client, h.base+"/api/v1/devices", h.retry)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Devices []string `json:"devices"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("%w: decode devices: %v", ErrShardMisbehaved, err)
+	}
+	return resp.Devices, nil
+}
+
 // Health implements Shard with a one-shot probe (no retries): routing
 // should notice a dead shard on the first check, not mask it behind a
 // backoff budget.

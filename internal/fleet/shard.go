@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"occusim/internal/bms"
@@ -43,6 +45,10 @@ type Shard interface {
 	// ExpireBefore evicts devices last observed before cutoff (on the
 	// reports' own clock) and returns their names — the TTL sweep.
 	ExpireBefore(cutoff time.Duration) ([]string, error)
+	// Devices returns every device the shard knows (tracked or marked),
+	// sorted — the source a restarted gateway rebuilds its migration
+	// registry from (see Gateway.RebuildRegistry).
+	Devices() ([]string, error)
 	// Health reports whether the shard can take traffic.
 	Health() error
 }
@@ -109,6 +115,11 @@ func (l *LocalShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
 	return l.srv.ExpireBefore(cutoff), nil
 }
 
+// Devices implements Shard.
+func (l *LocalShard) Devices() ([]string, error) {
+	return l.srv.KnownDevices(), nil
+}
+
 // Health implements Shard: an in-process server is always reachable.
 func (l *LocalShard) Health() error { return nil }
 
@@ -152,6 +163,66 @@ func NewLocalPool(b *building.Building, n, debounce, retain int) (*LocalPool, er
 		pool.Stores[i] = st
 	}
 	return pool, nil
+}
+
+// NewDurableLocalPool builds the pool as NewLocalPool does, but every
+// server opens a per-stripe WAL under dataDir/shard-<i>/ — the durable
+// substrate bmsd -shards and the crashtest harness run on. Recovery is
+// implicit: a pool opened over a directory a previous (possibly
+// killed) pool wrote replays each shard back to its pre-crash state.
+// Close the pool (or each server) to drain through a final compaction.
+func NewDurableLocalPool(b *building.Building, n, debounce, retain int, dataDir string, policy store.FsyncPolicy) (*LocalPool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: pool needs at least 1 shard, got %d", n)
+	}
+	if dataDir == "" {
+		return nil, fmt.Errorf("fleet: durable pool needs a data directory")
+	}
+	pool := &LocalPool{
+		Shards:  make([]Shard, n),
+		Servers: make([]*bms.Server, n),
+		Stores:  make([]*store.Store, n),
+	}
+	for i := 0; i < n; i++ {
+		st, err := store.New(retain)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("shard-%d", i)
+		srv, err := bms.OpenDurableServer(b, st, debounce, bms.DurableConfig{
+			Dir:    filepath.Join(dataDir, name),
+			Policy: policy,
+		})
+		if err != nil {
+			pool.Close()
+			return nil, fmt.Errorf("fleet: open durable shard %s: %w", name, err)
+		}
+		ls, err := NewLocalShard(name, srv)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		pool.Shards[i] = ls
+		pool.Servers[i] = srv
+		pool.Stores[i] = st
+	}
+	return pool, nil
+}
+
+// Close drains every server in the pool: each takes a final snapshot
+// and truncates its log (volatile servers no-op). Errors are joined;
+// all servers are attempted regardless.
+func (p *LocalPool) Close() error {
+	var errs []error
+	for _, srv := range p.Servers {
+		if srv == nil {
+			continue
+		}
+		if err := srv.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // GatewayUplink adapts a Gateway to transport.Uplink and

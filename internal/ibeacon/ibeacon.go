@@ -67,10 +67,27 @@ func MustUUID(s string) UUID {
 	return u
 }
 
-// String renders the canonical 8-4-4-4-12 uppercase form.
+// hexUpper is the digit set of the canonical uppercase rendering.
+const hexUpper = "0123456789ABCDEF"
+
+// String renders the canonical 8-4-4-4-12 uppercase form. Beacon IDs
+// are stringified per report on the ingest and WAL hot paths, so this
+// writes straight into a fixed buffer instead of going through
+// hex.EncodeToString + ToUpper + concatenation.
 func (u UUID) String() string {
-	h := strings.ToUpper(hex.EncodeToString(u[:]))
-	return h[0:8] + "-" + h[8:12] + "-" + h[12:16] + "-" + h[16:20] + "-" + h[20:32]
+	var b [36]byte
+	j := 0
+	for i, x := range u {
+		switch i {
+		case 4, 6, 8, 10:
+			b[j] = '-'
+			j++
+		}
+		b[j] = hexUpper[x>>4]
+		b[j+1] = hexUpper[x&0x0f]
+		j += 2
+	}
+	return string(b[:])
 }
 
 // Packet is a decoded iBeacon advertisement.
@@ -142,9 +159,16 @@ type BeaconID struct {
 	Minor uint16
 }
 
-// String renders "UUID/major/minor".
+// String renders "UUID/major/minor". Like UUID.String it sits on the
+// per-report hot paths, so it appends rather than Sprintf.
 func (id BeaconID) String() string {
-	return fmt.Sprintf("%s/%d/%d", id.UUID, id.Major, id.Minor)
+	b := make([]byte, 0, 36+1+5+1+5)
+	b = append(b, id.UUID.String()...)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(id.Major), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(id.Minor), 10)
+	return string(b)
 }
 
 // Compare orders beacon identities lexicographically by (UUID, major,

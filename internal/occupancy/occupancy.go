@@ -181,6 +181,38 @@ func (t *Tracker) Devices() []string {
 	return out
 }
 
+// KnownDevices returns every device the tracker holds ANY state for —
+// committed room, pending debounce progress or an observation clock —
+// sorted. Devices() deliberately reports only committed devices (the
+// occupancy views build on it); recovery needs the wider set, because
+// a device mid-debounce at the crash must survive the restart.
+func (t *Tracker) KnownDevices() []string {
+	seen := make(map[string]bool, len(t.lastAt))
+	for d := range t.lastAt {
+		seen[d] = true
+	}
+	for d := range t.current {
+		seen[d] = true
+	}
+	for d := range t.pending {
+		seen[d] = true
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstallEvents appends recovered committed events — the
+// snapshot-restore path. Events are history, not per-device state, so
+// Install does not carry them; a recovered tracker replays them here
+// before observing anything new.
+func (t *Tracker) InstallEvents(events []Event) {
+	t.events = append(t.events, events...)
+}
+
 // DeviceState is the migratable slice of one device's tracker state:
 // committed room, in-flight debounce progress, observation clock and
 // dwell accounting. The fleet layer hands it from a device's old shard

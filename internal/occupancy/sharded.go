@@ -178,6 +178,38 @@ func (s *Sharded) Counts() map[string]int {
 	return out
 }
 
+// KnownDevices returns every device any stripe holds state for, in the
+// wider recovery sense of Tracker.KnownDevices, sorted.
+func (s *Sharded) KnownDevices() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.tr.KnownDevices()...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstallEvents routes recovered events to their devices' stripes in
+// input order, so a later Events() merge reproduces the pre-crash
+// output byte-for-byte (the input comes from Events(), whose stable
+// (At, Device) sort this round-trips through unchanged).
+func (s *Sharded) InstallEvents(events []Event) {
+	for i := 0; i < len(events); {
+		sh := s.shardFor(events[i].Device)
+		j := i + 1
+		for j < len(events) && s.shardFor(events[j].Device) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		sh.tr.InstallEvents(events[i:j])
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
 // Devices returns all known devices, sorted.
 func (s *Sharded) Devices() []string {
 	var out []string

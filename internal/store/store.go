@@ -306,6 +306,58 @@ func (s *Store) Devices() []string {
 	return out
 }
 
+// KnownDevices returns every device the store holds any state for —
+// retained observations or an ingest high-water mark — sorted. This is
+// the durable notion of "known": a device whose observations were
+// TTL-expired but whose mark survives must still be reported, or a
+// recovered gateway would route its retransmissions as if the device
+// were new.
+func (s *Store) KnownDevices() []string {
+	seen := map[string]bool{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for d := range sh.observations {
+			seen[d] = true
+		}
+		for d := range sh.marks {
+			seen[d] = true
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RestoreObservations replaces the device's retained observations
+// wholesale — the snapshot-restore path, which must reproduce the
+// pre-crash list exactly rather than re-run freshness decisions. The
+// retention bound still applies. The high-water mark is NOT touched;
+// restore it separately with InstallSeqMark.
+func (s *Store) RestoreObservations(device string, obs []Observation) {
+	if device == "" {
+		return
+	}
+	sh := s.shardFor(device)
+	sh.mu.Lock()
+	if len(obs) == 0 {
+		delete(sh.observations, device)
+	} else {
+		if len(obs) > s.maxPerDevice {
+			obs = obs[len(obs)-s.maxPerDevice:]
+		}
+		sh.observations[device] = append([]Observation(nil), obs...)
+	}
+	sh.mu.Unlock()
+	for _, o := range obs {
+		s.noteBeacons(o.Beacons)
+	}
+}
+
 // AddFingerprint stores one labelled sample from the collection phase.
 // New beacons are noted in sorted identity order, not map iteration
 // order: first-seen order defines the feature columns of the training

@@ -1,0 +1,620 @@
+// Write-ahead log: the store's crash-safety layer. A WAL is a data
+// directory holding one append-only log file per observation stripe
+// (so concurrent ingest appends do not serialise on one file mutex, in
+// the same way the in-memory store is lock-striped), one meta log for
+// unstriped records (model snapshots, fingerprints), and a compacting
+// snapshot.
+//
+// The WAL carries opaque payloads: framing, checksums, fsync policy,
+// compaction and torn-tail recovery live here; record semantics (what
+// an observation batch or a device install looks like on disk) belong
+// to the owner (internal/bms), which writes records before mutating
+// in-memory state and replays them through Replay at boot.
+//
+// Frame format, little-endian:
+//
+//	[u32 payload length][u32 CRC32-C of gen+payload][u64 generation][payload]
+//
+// Each frame is written with a single Write call, so a killed process
+// (SIGKILL, OOM) can never tear a record — the kernel completes the
+// write it accepted. Torn frames can still appear after a power or
+// kernel crash; recovery tolerates a torn or truncated FINAL frame
+// (the tail is discarded and the file repaired), while a
+// checksum-corrupted frame with valid data after it is silent damage
+// in the middle of committed history and fails loudly.
+//
+// The generation is the compaction barrier. Compact writes the
+// snapshot to snapshot-<gen+1> (atomically: temp file, fsync, rename),
+// bumps the generation, then truncates the logs. Replay skips frames
+// whose generation is below the newest snapshot's, so a crash between
+// the snapshot rename and the truncation — when the logs still carry
+// records the snapshot already contains — cannot double-apply or, for
+// destructive records (evictions), re-apply stale mutations over the
+// newer snapshot state.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"occusim/internal/stripe"
+)
+
+// FsyncPolicy selects how eagerly WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch syncs after every appended frame: a committed batch
+	// survives power loss. The strongest and slowest policy.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncInterval syncs on a background ticker (default 100 ms): at
+	// most one interval of committed-and-acknowledged records can be
+	// lost to a power or kernel crash. Process kills lose nothing.
+	FsyncInterval
+	// FsyncOff never syncs explicitly. Appends still reach the kernel
+	// page cache on every frame, so state survives kill -9 of the
+	// process; only a power or kernel crash can lose or tear the tail.
+	FsyncOff
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto the policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "batch":
+		return FsyncBatch, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want batch, interval or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("fsyncPolicy(%d)", int(p))
+	}
+}
+
+// ObsStripes is the store's observation lock-stripe count, exported so
+// the WAL's owner can group records by the same device → stripe map the
+// in-memory store uses.
+const ObsStripes = obsShards
+
+// StripeFor maps a device name onto its observation stripe — the same
+// mapping AddObservationBatch coalesces runs with.
+func StripeFor(device string) int { return stripe.Index(device, obsShards) }
+
+// frameHeaderLen is the fixed frame prefix: length + checksum + generation.
+const frameHeaderLen = 4 + 4 + 8
+
+// maxFrameLen rejects absurd length prefixes while scanning (a
+// corrupted length would otherwise drive a huge allocation).
+const maxFrameLen = 64 << 20
+
+// crcTable is CRC32-Castagnoli, hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walFile is one append-only log file behind its own mutex.
+type walFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// dirty marks bytes written since the last sync (interval policy
+	// skips clean files).
+	dirty bool
+
+	// Group commit (FsyncBatch): writeSeq counts frames written (under
+	// mu); synced holds the highest writeSeq a completed fsync covered.
+	// Concurrent appenders whose frame was already on disk when an
+	// earlier leader's fsync returned skip their own — one fsync
+	// commits every frame written before it started.
+	writeSeq uint64
+	syncMu   sync.Mutex
+	synced   atomic.Uint64
+}
+
+// syncUpTo blocks until a completed fsync covers frame seq. The caller
+// either finds it already covered, or becomes the next leader: it reads
+// the current write frontier, fsyncs, and publishes the frontier so the
+// followers queued on syncMu return without syncing.
+func (wf *walFile) syncUpTo(seq uint64) error {
+	if wf.synced.Load() >= seq {
+		return nil
+	}
+	wf.syncMu.Lock()
+	defer wf.syncMu.Unlock()
+	if wf.synced.Load() >= seq {
+		return nil
+	}
+	wf.mu.Lock()
+	covered := wf.writeSeq
+	wf.mu.Unlock()
+	if err := syncFile(wf.f); err != nil {
+		return err
+	}
+	wf.synced.Store(covered)
+	wf.mu.Lock()
+	if wf.writeSeq == covered {
+		wf.dirty = false
+	}
+	wf.mu.Unlock()
+	return nil
+}
+
+// WAL is a striped write-ahead log in a data directory. Safe for
+// concurrent use.
+type WAL struct {
+	dir    string
+	policy FsyncPolicy
+
+	// appendMu is the compaction barrier. Owners hold it shared (Begin)
+	// across one WHOLE log-then-apply operation — append plus the
+	// in-memory mutation — so Compact (exclusive) only ever observes
+	// quiesced owner state that includes every appended record. A
+	// record appended under generation g whose apply raced past the
+	// g+1 snapshot would otherwise be skipped at replay and lost.
+	appendMu sync.RWMutex
+
+	stripes []walFile
+	meta    walFile
+
+	// gen is the current compaction generation, stamped into every
+	// frame; guarded by appendMu (written only under the exclusive
+	// hold).
+	gen uint64
+
+	// sizeMu guards size, the total frame bytes appended since the last
+	// compaction — the owner's compaction trigger.
+	sizeMu sync.Mutex
+	size   int64
+
+	// interval-policy syncer.
+	stop chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+// DefaultFsyncInterval spaces background syncs under FsyncInterval.
+const DefaultFsyncInterval = 100 * time.Millisecond
+
+// OpenWAL opens (creating if needed) the striped log in dir. stripes
+// must match the store's stripe count (use ObsStripes); interval
+// configures the FsyncInterval ticker (0 takes DefaultFsyncInterval).
+// The returned WAL has NOT been replayed: the owner restores the
+// newest snapshot (Snapshot), replays the tail (Replay), and only then
+// starts appending.
+func OpenWAL(dir string, stripes int, policy FsyncPolicy, interval time.Duration) (*WAL, error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("store: wal needs at least 1 stripe")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: wal dir: %w", err)
+	}
+	w := &WAL{
+		dir:     dir,
+		policy:  policy,
+		stripes: make([]walFile, stripes),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	open := func(wf *walFile, name string) error {
+		wf.path = filepath.Join(dir, name)
+		f, err := os.OpenFile(wf.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		wf.f = f
+		return nil
+	}
+	for i := range w.stripes {
+		if err := open(&w.stripes[i], fmt.Sprintf("stripe-%02d.wal", i)); err != nil {
+			w.closeFiles()
+			return nil, fmt.Errorf("store: wal: %w", err)
+		}
+	}
+	if err := open(&w.meta, "meta.wal"); err != nil {
+		w.closeFiles()
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	gen, _, err := w.newestSnapshot()
+	if err != nil {
+		w.closeFiles()
+		return nil, err
+	}
+	w.gen = gen
+	if policy == FsyncInterval {
+		if interval <= 0 {
+			interval = DefaultFsyncInterval
+		}
+		go w.syncLoop(interval)
+	} else {
+		close(w.done)
+	}
+	return w, nil
+}
+
+// Dir returns the WAL's data directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// snapshotName formats the generation-stamped snapshot filename.
+func snapshotName(gen uint64) string { return fmt.Sprintf("snapshot-%016d.snap", gen) }
+
+// newestSnapshot locates the highest-generation snapshot file in the
+// directory (gen 0 and ok=false when none exists). Lower-generation
+// leftovers — a crash between rename and cleanup — are ignored here
+// and removed by the next Compact.
+func (w *WAL) newestSnapshot() (gen uint64, path string, err error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0, "", fmt.Errorf("store: wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if len(name) == len(snapshotName(0)) &&
+			filepath.Ext(name) == ".snap" && name[:9] == "snapshot-" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return 0, "", nil
+	}
+	sort.Strings(names) // zero-padded, so lexicographic == numeric
+	newest := names[len(names)-1]
+	if _, err := fmt.Sscanf(newest, "snapshot-%d.snap", &gen); err != nil {
+		return 0, "", fmt.Errorf("store: wal: malformed snapshot name %q", newest)
+	}
+	return gen, filepath.Join(w.dir, newest), nil
+}
+
+// Snapshot opens the newest snapshot for reading (ok=false when the
+// log has never been compacted).
+func (w *WAL) Snapshot() (r io.ReadCloser, ok bool, err error) {
+	_, path, err := w.newestSnapshot()
+	if err != nil || path == "" {
+		return nil, false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: wal: %w", err)
+	}
+	return f, true, nil
+}
+
+// Begin opens one log-then-apply operation and returns its end
+// function. The guard blocks compaction for the operation's duration;
+// every Append/AppendMeta call AND the in-memory apply of what it
+// logged must happen between Begin and end. Operations run
+// concurrently with each other (the guard is shared); only Compact and
+// Replay exclude them.
+func (w *WAL) Begin() (end func()) {
+	w.appendMu.RLock()
+	return w.appendMu.RUnlock
+}
+
+// Append frames payload and appends it to the stripe's log, syncing
+// per policy. It returns once the frame is written to the kernel (and,
+// under FsyncBatch, to stable storage): the caller may then apply the
+// mutation to in-memory state. The caller must hold a Begin guard.
+func (w *WAL) Append(stripeIdx int, payload []byte) error {
+	if stripeIdx < 0 || stripeIdx >= len(w.stripes) {
+		return fmt.Errorf("store: wal: stripe %d out of range", stripeIdx)
+	}
+	return w.append(&w.stripes[stripeIdx], payload)
+}
+
+// AppendMeta appends an unstriped record (model snapshots,
+// fingerprints) to the meta log. The caller must hold a Begin guard.
+func (w *WAL) AppendMeta(payload []byte) error {
+	return w.append(&w.meta, payload)
+}
+
+func (w *WAL) append(wf *walFile, payload []byte) error {
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], w.gen)
+	copy(frame[16:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(frame[8:], crcTable))
+
+	wf.mu.Lock()
+	_, err := wf.f.Write(frame)
+	var seq uint64
+	if err == nil {
+		wf.dirty = true
+		wf.writeSeq++
+		seq = wf.writeSeq
+	}
+	wf.mu.Unlock()
+	if err == nil && w.policy == FsyncBatch {
+		err = wf.syncUpTo(seq)
+	}
+	if err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.sizeMu.Lock()
+	w.size += int64(len(frame))
+	w.sizeMu.Unlock()
+	return nil
+}
+
+// Size returns the frame bytes appended since the last compaction —
+// the owner's compaction trigger.
+func (w *WAL) Size() int64 {
+	w.sizeMu.Lock()
+	defer w.sizeMu.Unlock()
+	return w.size
+}
+
+// Replay scans the logs and hands every live frame's payload to the
+// callbacks: meta frames first (in append order), then each stripe in
+// index order (records of one device always share a stripe, so
+// per-device order is exactly append order; cross-stripe order is not
+// reconstructed — device partitions are disjoint). Frames below the
+// newest snapshot's generation are skipped: the snapshot already
+// contains them. A torn or truncated final frame is discarded and the
+// file truncated to its valid prefix; corruption before valid data
+// fails loudly.
+func (w *WAL) Replay(meta func(payload []byte) error, strip func(idx int, payload []byte) error) error {
+	w.appendMu.Lock()
+	defer w.appendMu.Unlock()
+	barrier := w.gen
+	if err := replayFile(&w.meta, barrier, meta); err != nil {
+		return err
+	}
+	for i := range w.stripes {
+		cb := func(p []byte) error { return strip(i, p) }
+		if err := replayFile(&w.stripes[i], barrier, cb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayFile scans one log, invoking apply per live frame, and repairs
+// a torn tail by truncating to the valid prefix.
+func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
+	wf.mu.Lock()
+	defer wf.mu.Unlock()
+	data, err := os.ReadFile(wf.path)
+	if err != nil {
+		return fmt.Errorf("store: wal replay %s: %w", wf.path, err)
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			break // truncated header: torn tail
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxFrameLen {
+			// A length this absurd is either a torn tail or corruption;
+			// decide exactly as for a bad checksum below.
+			if looksLikeTail(rest[frameHeaderLen:]) {
+				break
+			}
+			return fmt.Errorf("store: wal %s: corrupt frame length %d at offset %d", wf.path, n, off)
+		}
+		if len(rest) < frameHeaderLen+n {
+			break // truncated payload: torn tail
+		}
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		body := rest[8 : frameHeaderLen+n] // gen + payload
+		if crc32.Checksum(body, crcTable) != sum {
+			// The full declared extent is present but the checksum
+			// disagrees. If nothing but zero padding follows, treat it
+			// as a torn tail (filesystems can expose preallocated zero
+			// blocks after a crash); any non-zero data after a bad
+			// frame means committed history was damaged — fail loudly
+			// rather than silently dropping records.
+			if looksLikeTail(rest[frameHeaderLen+n:]) && !anyNonZero(body) {
+				break
+			}
+			return fmt.Errorf("store: wal %s: checksum mismatch at offset %d (committed history is damaged; refusing to recover past it)", wf.path, off)
+		}
+		gen := binary.LittleEndian.Uint64(rest[8:16])
+		if gen >= barrier {
+			if err := apply(rest[16 : frameHeaderLen+n]); err != nil {
+				return fmt.Errorf("store: wal %s: apply record at offset %d: %w", wf.path, off, err)
+			}
+		}
+		off += frameHeaderLen + n
+	}
+	if off < len(data) {
+		// Discard the torn tail so future appends continue from a clean
+		// frame boundary.
+		if err := wf.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("store: wal %s: truncate torn tail: %w", wf.path, err)
+		}
+		if _, err := wf.f.Seek(int64(off), io.SeekStart); err != nil {
+			return fmt.Errorf("store: wal %s: %w", wf.path, err)
+		}
+	}
+	return nil
+}
+
+// looksLikeTail reports whether the bytes after a bad frame are all
+// zero — consistent with a torn final write over preallocated blocks,
+// not with damaged committed history.
+func looksLikeTail(rest []byte) bool { return !anyNonZero(rest) }
+
+func anyNonZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Compact writes a new snapshot and truncates the logs. writeSnapshot
+// must serialise the owner's full durable state; it runs with all
+// appenders blocked, so the snapshot observes every record the log
+// holds (owners apply mutations only after their append returns). The
+// snapshot lands atomically — temp file, fsync, rename — under the
+// next generation; the generation bump is what makes a crash anywhere
+// in Compact safe: before the rename, recovery uses the old snapshot
+// and the full log; after it, recovery uses the new snapshot and skips
+// every frame of the old generation, truncated or not.
+func (w *WAL) Compact(writeSnapshot func(io.Writer) error) error {
+	w.appendMu.Lock()
+	defer w.appendMu.Unlock()
+	next := w.gen + 1
+	path := filepath.Join(w.dir, snapshotName(next))
+	if err := WriteFileAtomic(path, writeSnapshot); err != nil {
+		return fmt.Errorf("store: wal compact: %w", err)
+	}
+	w.gen = next
+	// The snapshot is durable and the barrier moved: everything below
+	// is space reclaim, not correctness.
+	truncate := func(wf *walFile) {
+		wf.mu.Lock()
+		defer wf.mu.Unlock()
+		if err := wf.f.Truncate(0); err == nil {
+			_, _ = wf.f.Seek(0, io.SeekStart)
+			if w.policy != FsyncOff {
+				_ = syncFile(wf.f)
+			}
+		}
+		wf.dirty = false
+	}
+	for i := range w.stripes {
+		truncate(&w.stripes[i])
+	}
+	truncate(&w.meta)
+	w.sizeMu.Lock()
+	w.size = 0
+	w.sizeMu.Unlock()
+	// Sweep superseded snapshots (best effort).
+	entries, err := os.ReadDir(w.dir)
+	if err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if filepath.Ext(name) == ".snap" && name < snapshotName(next) {
+				_ = os.Remove(filepath.Join(w.dir, name))
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes every log file to stable storage.
+func (w *WAL) Sync() error {
+	var first error
+	sync := func(wf *walFile) {
+		wf.mu.Lock()
+		defer wf.mu.Unlock()
+		if !wf.dirty {
+			return
+		}
+		if err := syncFile(wf.f); err != nil && first == nil {
+			first = err
+		}
+		wf.dirty = false
+	}
+	for i := range w.stripes {
+		sync(&w.stripes[i])
+	}
+	sync(&w.meta)
+	return first
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (w *WAL) syncLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = w.Sync()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Close stops the background syncer, syncs once more, and closes the
+// log files. The owner snapshots (Compact) before Close on a graceful
+// drain; Close alone is the crash-adjacent path.
+func (w *WAL) Close() error {
+	var err error
+	w.closeOnce.Do(func() {
+		close(w.stop)
+		<-w.done
+		if w.policy != FsyncOff {
+			err = w.Sync()
+		}
+		w.closeFiles()
+	})
+	return err
+}
+
+func (w *WAL) closeFiles() {
+	for i := range w.stripes {
+		if w.stripes[i].f != nil {
+			_ = w.stripes[i].f.Close()
+		}
+	}
+	if w.meta.f != nil {
+		_ = w.meta.f.Close()
+	}
+}
+
+// WriteFileAtomic writes a file so that a crash at any point leaves
+// either the old content or the new, never a torn mix: the content is
+// written to a temp file in the same directory, fsynced, renamed over
+// the target, and the directory entry fsynced. Shared by the WAL's
+// snapshot writer and bmsd's training-state snapshot.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = ""
+	// Persist the rename itself: fsync the directory (best effort on
+	// filesystems that do not support it).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

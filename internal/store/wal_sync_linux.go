@@ -1,0 +1,21 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// syncFile is fdatasync on Linux: WAL durability needs the data and the
+// file size on stable storage, not the mtime update a full fsync also
+// journals. The difference is a measurably cheaper journal commit on
+// ext4, and every frame append pays it.
+func syncFile(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// syncFile falls back to a full fsync where fdatasync is not available.
+func syncFile(f *os.File) error { return f.Sync() }
