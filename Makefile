@@ -2,9 +2,9 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 6
+PR ?= 7
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR5.json
+DIFF_BASE ?= BENCH_PR6.json
 
 .PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest crashtest
 
@@ -41,15 +41,22 @@ bench-smoke:
 bench-diff:
 	$(GO) run ./cmd/bench -pr $(PR) -diff $(DIFF_BASE)
 
-# loadtest is the CI smoke of the fleet layer: cmd/loadgen drives a
-# synthetic crowd through an in-process 2-shard fleet.Gateway (train,
-# distribute, route, federate) in a few seconds. The second run injects
-# shard failures (-flaky) — half of them after the shard committed —
-# and exits nonzero unless the retried, deduplicated run ends
-# byte-identical to the clean ground truth (the exactly-once pin).
+# loadtest is the CI smoke of the fleet layer: a matrix of adversarial
+# crowds through an in-process fleet.Gateway, each checked against its
+# ground-truth oracle (internal/scenario). clean pins the harness;
+# -flaky injects shard failures half of which land after the commit;
+# storm retransmits every batch 3x above admission capacity (must shed
+# with 429s, drop nothing accepted, end byte-identical); skew runs
+# devices with clocks hours wrong (re-anchored, set-equivalent); and
+# diurnal runs the campus arrive/dwell/depart wave (departures swept by
+# TTL to exactly the reference's expired state). Every run exits
+# nonzero on oracle divergence or a vacuous drill.
 loadtest:
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 -flaky 0.2
+	$(GO) run ./cmd/loadgen -scenario storm -shards 2 -devices 12 -reports 60 -seed 7
+	$(GO) run ./cmd/loadgen -scenario skew -shards 2 -devices 12 -reports 60 -seed 7
+	$(GO) run ./cmd/loadgen -scenario diurnal -shards 2 -devices 12 -reports 60 -seed 7
 
 # crashtest is the durability pin: the shards run as real bmsd
 # subprocesses over write-ahead logs, two of them are SIGKILLed at

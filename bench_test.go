@@ -280,6 +280,35 @@ func BenchmarkCrowdFleet1Shard(b *testing.B) { benchCrowdFleet(b, 1) }
 // slowest shard well under half the work).
 func BenchmarkCrowdFleet4Shards(b *testing.B) { benchCrowdFleet(b, 4) }
 
+// benchCrowdFleetStorm is the shared body of the storm pair: the
+// 32-device crowd with every batch retransmitted 3× against shards
+// that cost real time per call. goodput_rep_per_s counts unique
+// reports only (duplicates are load, not work); shed_batches is how
+// many admissions the gate refused with a Retry-After hint; p99_ms is
+// the per-exchange latency tail, retries included. The shed/no-shed
+// pair prices overload protection: bounded admission trades a little
+// goodput for a bounded tail and a gateway that stays answerable.
+func benchCrowdFleetStorm(b *testing.B, shed bool) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdFleetStorm(32, 4, uint64(i)+11, 3, shed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Goodput, "goodput_rep_per_s")
+		b.ReportMetric(float64(res.Shed), "shed_batches")
+		b.ReportMetric(res.P99ms, "p99_ms")
+		b.ReportMetric(float64(res.DevicesTracked), "devices_tracked")
+	}
+}
+
+// BenchmarkCrowdFleetStormShed: the storm against a gated gateway —
+// excess admissions shed with 429s, devices back off and retransmit.
+func BenchmarkCrowdFleetStormShed(b *testing.B) { benchCrowdFleetStorm(b, true) }
+
+// BenchmarkCrowdFleetStormNoShed: the same storm with admission
+// unbounded; every duplicate queues on the shard locks.
+func BenchmarkCrowdFleetStormNoShed(b *testing.B) { benchCrowdFleetStorm(b, false) }
+
 // BenchmarkCrowdIngest measures the server-side scale axis: 32 devices
 // streaming coalesced report batches into one BMS concurrently (striped
 // store/tracker, lock-free scene-analysis classification). rep_per_s is

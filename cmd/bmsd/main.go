@@ -37,6 +37,14 @@
 // restored at boot and persisted after the drain, so a restarted server
 // keeps classifying without a fresh collection walk.
 //
+// With -admit-inflight/-admit-queue, ingest runs behind a bounded
+// admission gate: excess load is shed with 429 + Retry-After instead of
+// queueing without bound (see internal/overload). In fleet mode,
+// -skew-window re-anchors device clocks that report outside the window,
+// and -breaker-threshold/-breaker-cooldown trip a per-shard circuit
+// breaker on consecutive infrastructure failures so a black-holed shard
+// fails fast instead of eating a timeout per request.
+//
 // With -data-dir, every shard opens a per-stripe write-ahead log under
 // <data-dir>/shard-<i>/ and recovers its full state — observations,
 // occupancy, dedup marks, model — at boot, so even a kill -9 loses
@@ -65,12 +73,13 @@ import (
 
 	"occusim/internal/building"
 	"occusim/internal/fleet"
+	"occusim/internal/overload"
 	"occusim/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	plan := flag.String("plan", "paper-house", "floor plan: paper-house, office-floor, single-room, corridor")
+	plan := flag.String("plan", "paper-house", "floor plan: paper-house, office-floor, single-room, corridor, campus")
 	shards := flag.Int("shards", 1, "BMS shard count (1: single server, >1: in-process fleet behind a gateway)")
 	debounce := flag.Int("debounce", 2, "occupancy tracker debounce (consecutive classifications)")
 	retain := flag.Int("retain", 1000, "observations retained per device")
@@ -79,6 +88,12 @@ func main() {
 	residueTTL := flag.Duration("residue-ttl", 10*time.Minute, "fleet mode: age out device state stranded on a shard that could not be migrated from (report-clock TTL, 0 disables)")
 	dataDir := flag.String("data-dir", "", "directory for per-shard write-ahead logs and snapshots (empty: volatile)")
 	fsync := flag.String("fsync", "batch", "WAL sync policy with -data-dir: batch, interval, off")
+	admitInflight := flag.Int("admit-inflight", 0, "ingest admission limit: concurrent ingest calls before queueing (0 disables overload protection)")
+	admitQueue := flag.Int("admit-queue", 0, "ingest admission queue beyond -admit-inflight; excess is shed with 429 + Retry-After (0: twice -admit-inflight)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint advertised on shed ingest requests")
+	skewWindow := flag.Duration("skew-window", 0, "fleet mode: tolerated device clock skew; reports further out are re-anchored per device (0 disables)")
+	breakerTrips := flag.Int("breaker-threshold", 0, "fleet mode: consecutive shard infrastructure failures that trip its circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "fleet mode: open-circuit cooldown before a half-open probe")
 	flag.Parse()
 
 	b, err := building.ByName(*plan)
@@ -119,9 +134,18 @@ func main() {
 		}
 	}
 
+	admission := overload.Config{
+		MaxInflight: *admitInflight,
+		MaxQueue:    *admitQueue,
+		RetryAfter:  *retryAfter,
+	}
+
 	var handler http.Handler
 	var gateway *fleet.Gateway
 	if *shards == 1 {
+		// Single server: the admission gate sits directly on the BMS
+		// ingest path; shed requests answer 429 + Retry-After.
+		trainer.SetAdmission(admission)
 		handler = trainer.Handler()
 	} else {
 		// ProbeInterval keeps external health polling from fanning a
@@ -130,8 +154,12 @@ func main() {
 		// federated views when an unreachable shard's devices could not
 		// be migrated off it.
 		gateway, err = fleet.New(pool.Shards, fleet.Config{
-			ProbeInterval: 2 * time.Second,
-			ResidueTTL:    *residueTTL,
+			ProbeInterval:    2 * time.Second,
+			ResidueTTL:       *residueTTL,
+			Admission:        admission,
+			SkewWindow:       *skewWindow,
+			BreakerThreshold: *breakerTrips,
+			BreakerCooldown:  *breakerCooldown,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -39,7 +39,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,14 +50,13 @@ import (
 	"sync"
 	"time"
 
-	"occusim/internal/bms"
 	"occusim/internal/building"
 	"occusim/internal/experiments"
 	"occusim/internal/filter"
 	"occusim/internal/fleet"
 	"occusim/internal/fleet/fleettest"
+	"occusim/internal/scenario"
 	"occusim/internal/stats"
-	"occusim/internal/store"
 	"occusim/internal/trace"
 	"occusim/internal/transport"
 )
@@ -81,7 +79,17 @@ func main() {
 	dataRoot := flag.String("data-root", "", "root directory for the crash shards' WALs (with -kill; empty: a temp dir)")
 	fsync := flag.String("fsync", "batch", "WAL sync policy for the crash shards: batch, interval, off")
 	restartGateway := flag.Bool("restart-gateway", false, "with -kill: also discard and rebuild the gateway at each crash, proving a gateway restart is invisible")
+	scenarioName := flag.String("scenario", "", "run a named adversarial scenario from internal/scenario against its ground-truth oracle (see -scenario list)")
+	storm := flag.Int("storm", 0, "shorthand for -scenario storm with each batch retransmitted k times")
 	flag.Parse()
+
+	if *scenarioName != "" || *storm > 0 {
+		if err := runScenario(*scenarioName, *storm, *shards, *devices, *reports, *seed, *epoch); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	crash := crashOpts{
 		Schedule:       *kill,
@@ -390,86 +398,65 @@ func (r retryUplink) SendBatch(reports []transport.Report) error {
 	return err
 }
 
+// runScenario drives one adversarial scenario from internal/scenario
+// through an in-process fleet and its ground-truth oracle, and — for
+// the scenarios whose whole point is a hostile mechanism firing —
+// exits nonzero if the run was vacuous.
+func runScenario(name string, storm, shards, devices, reports int, seed, epoch uint64) error {
+	if name == "" {
+		name = "storm"
+	}
+	if name == "list" {
+		for _, sc := range scenario.All() {
+			fmt.Printf("%-8s %s (oracle: %s)\n", sc.Name, sc.Description, sc.Oracle)
+		}
+		return nil
+	}
+	sc, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
+	if storm > 0 && name != "storm" {
+		return fmt.Errorf("-storm only applies to the storm scenario, not %q", name)
+	}
+	res, err := scenario.Run(sc, scenario.Config{
+		Devices: devices,
+		Reports: reports,
+		Shards:  shards,
+		Seed:    seed,
+		Epoch:   epoch,
+		Repeat:  storm,
+	})
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "storm":
+		if res.Shed == 0 {
+			return fmt.Errorf("storm run shed nothing — the drill was vacuous; raise -storm or -devices")
+		}
+	case "skew":
+		if res.SkewAdjusted == 0 {
+			return fmt.Errorf("skew run re-anchored nothing — the drill was vacuous")
+		}
+	}
+	fmt.Println(res)
+	return nil
+}
+
 // verifyGroundTruth replays the same streams — exactly once, no
 // faults — into a single reference server trained identically, and
 // requires the flaky fleet's federated occupancy, events and dwell to
 // be byte-identical, with every device accounted for. This is the
-// exactly-once contract made an executable assertion.
+// exactly-once contract made an executable assertion; the heavy
+// lifting lives in internal/scenario so the adversarial matrix and the
+// crash drill share one oracle.
 func verifyGroundTruth(b *building.Building, gw *fleet.Gateway, streams [][]transport.Report, seed uint64) error {
-	st, err := store.New(1000)
+	ref, err := scenario.Reference(b, streams, seed)
 	if err != nil {
 		return err
 	}
-	ref, err := bms.NewServer(b, st, 2)
-	if err != nil {
-		return err
-	}
-	if len(b.Rooms) >= 2 {
-		// Same seed, same survey schedule → the identical model the
-		// fleet shards classified with.
-		if err := experiments.TrainCrowdModel(ref, b, seed); err != nil {
-			return err
-		}
-	}
-	for _, stream := range streams {
-		if _, err := ref.IngestBatch(stream); err != nil {
-			return err
-		}
-	}
-
-	occ, err := gw.Occupancy()
-	if err != nil {
-		return err
-	}
-	// Counts compare against the clean reference, not the raw crowd
-	// size: a run too short for the debounce to commit legitimately
-	// tracks fewer devices on BOTH sides, and that is not an
-	// exactly-once failure.
-	refOcc := ref.Occupancy()
-	if len(occ.Devices) != len(refOcc.Devices) {
-		return fmt.Errorf("ground truth: fleet tracks %d devices, clean reference tracks %d", len(occ.Devices), len(refOcc.Devices))
-	}
-	heads, refHeads := 0, 0
-	for _, n := range occ.Rooms {
-		heads += n
-	}
-	for _, n := range refOcc.Rooms {
-		refHeads += n
-	}
-	if heads != refHeads {
-		return fmt.Errorf("ground truth: head count %d across rooms, clean reference has %d", heads, refHeads)
-	}
-	if err := compareJSON("occupancy", occ, refOcc); err != nil {
-		return err
-	}
-	events, err := gw.Events()
-	if err != nil {
-		return err
-	}
-	if err := compareJSON("events", events, ref.Events()); err != nil {
-		return err
-	}
-	dwell, err := gw.DwellTotals()
-	if err != nil {
-		return err
-	}
-	return compareJSON("dwell", dwell, ref.DwellTotals())
-}
-
-// compareJSON byte-compares two views in canonical JSON form.
-func compareJSON(what string, got, want any) error {
-	g, err := json.Marshal(got)
-	if err != nil {
-		return err
-	}
-	w, err := json.Marshal(want)
-	if err != nil {
-		return err
-	}
-	if !bytes.Equal(g, w) {
-		return fmt.Errorf("ground truth: %s diverged under retries:\nfleet: %s\nclean: %s", what, g, w)
-	}
-	return nil
+	return scenario.VerifyExact(gw, ref)
 }
 
 // traceStreams replays a recorded session through the paper's history

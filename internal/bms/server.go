@@ -29,6 +29,7 @@ import (
 	"occusim/internal/fingerprint"
 	"occusim/internal/ibeacon"
 	"occusim/internal/occupancy"
+	"occusim/internal/overload"
 	"occusim/internal/store"
 	"occusim/internal/svm"
 	"occusim/internal/transport"
@@ -56,6 +57,12 @@ type Server struct {
 	// dur is the WAL attachment (nil for a volatile server). Durable
 	// servers log every mutation before applying it; see durable.go.
 	dur *durability
+
+	// gate bounds concurrent ingest admissions; nil (the default) admits
+	// everything. Both the in-process Ingest/IngestBatch entry points
+	// and the HTTP handlers pass through it, so a LocalShard fleet sheds
+	// exactly like an HTTP one. See SetAdmission.
+	gate *overload.Gate
 
 	// idCache interns parsed beacon identities. A deployment sees the
 	// same handful of beacon-id strings on every report, so ingest pays
@@ -93,6 +100,22 @@ func NewServer(b *building.Building, st *store.Store, debounce int) (*Server, er
 		tracker:    tr,
 		classifier: classify.NewProximity(b, 0),
 	}, nil
+}
+
+// SetAdmission installs a bounded admission gate on the ingest paths:
+// up to MaxInflight ingests run at once, MaxQueue more wait, and the
+// rest are shed with an overload error (HTTP face: 429 + Retry-After).
+// The zero config removes the gate. Call before serving traffic; the
+// gate only covers observation ingest — reads, training and migration
+// are never shed.
+func (s *Server) SetAdmission(cfg overload.Config) {
+	s.gate = overload.NewGate(cfg)
+}
+
+// AdmissionStats returns lifetime (admitted, shed) ingest counts;
+// zeros when no gate is installed.
+func (s *Server) AdmissionStats() (admitted, shed uint64) {
+	return s.gate.Stats()
 }
 
 // Classifier returns the name of the classifier currently in use.
@@ -148,6 +171,11 @@ func (s *Server) buildObservation(r transport.Report, dists map[ibeacon.BeaconID
 // original delivery — but neither store nor tracker advance, which is
 // what makes retrying transports exactly-once.
 func (s *Server) Ingest(r transport.Report) (string, error) {
+	release, err := s.gate.Acquire()
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	obs, sample, err := s.buildObservation(r, make(map[ibeacon.BeaconID]float64, len(r.Beacons)))
 	if err != nil {
 		return "", err
@@ -190,6 +218,11 @@ func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 	if len(reports) == 0 {
 		return nil, nil
 	}
+	release, err := s.gate.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	obs := make([]store.Observation, len(reports))
 	// One scratch distance map serves the whole batch: each sample is
 	// classified before the map is cleared for the next report.
@@ -729,10 +762,27 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 	}
 	room, err := s.Ingest(rep)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeIngestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"room": room})
+}
+
+// writeIngestError maps an ingest failure to its HTTP face: a shed
+// admission becomes 429 Too Many Requests with a Retry-After header
+// (integer seconds, rounded up per RFC 9110); anything else is the
+// client's fault and stays 400.
+func writeIngestError(w http.ResponseWriter, err error) {
+	if after, ok := overload.IsOverload(err); ok {
+		secs := int64((after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // handleObservationBatch ingests a JSON array of reports in one pass and
@@ -745,7 +795,7 @@ func (s *Server) handleObservationBatch(w http.ResponseWriter, r *http.Request) 
 	}
 	rooms, err := s.IngestBatch(reports)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeIngestError(w, err)
 		return
 	}
 	if rooms == nil {

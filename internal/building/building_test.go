@@ -142,7 +142,7 @@ func TestWallWithDoor(t *testing.T) {
 }
 
 func TestPrebuiltPlansAreValid(t *testing.T) {
-	for _, b := range []*Building{SingleRoom(), TwoBeaconCorridor(), PaperHouse(), OfficeFloor()} {
+	for _, b := range []*Building{SingleRoom(), TwoBeaconCorridor(), PaperHouse(), OfficeFloor(), Campus()} {
 		if err := b.Validate(); err != nil {
 			t.Errorf("%s: %v", b.Name, err)
 		}
@@ -177,6 +177,27 @@ func TestOfficeFloorHasSharedOpenSpaceBeacons(t *testing.T) {
 	o := OfficeFloor()
 	if got := len(o.BeaconsInRoom("open-space")); got != 2 {
 		t.Fatalf("open-space beacons = %d, want 2", got)
+	}
+}
+
+// TestCampusSpansTwoMajors pins the multi-building convention: hall A
+// installs under major 3, hall B under major 4, one shared UUID.
+func TestCampusSpansTwoMajors(t *testing.T) {
+	c := Campus()
+	majors := map[uint16]int{}
+	for _, bc := range c.Beacons {
+		majors[bc.ID.Major]++
+	}
+	if len(majors) != 2 || majors[3] == 0 || majors[4] == 0 {
+		t.Fatalf("campus majors = %v, want beacons under both 3 and 4", majors)
+	}
+	if _, err := ByName("campus"); err != nil {
+		t.Fatalf("ByName(campus): %v", err)
+	}
+	for _, bc := range c.Beacons {
+		if got := c.RoomAt(bc.Pos); got != bc.Room {
+			t.Errorf("beacon %v: RoomAt(%v) = %q, want %q", bc.ID, bc.Pos, got, bc.Room)
+		}
 	}
 }
 

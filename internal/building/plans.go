@@ -179,6 +179,83 @@ func OfficeFloor() *Building {
 	return b
 }
 
+// Campus returns a two-hall campus joined by an outdoor walkway — the
+// multi-building deployment the fleet layer federates over. Each hall
+// gets its own iBeacon major (3 and 4), the convention the paper
+// suggests for telling buildings apart under one organisation UUID. The
+// walkway is a room of its own so a device crossing between halls stays
+// tracked rather than flickering to "unknown".
+//
+//	+----------+----------+           +----------+----------+
+//	| lecture  | lab      |           | office   | seminar  |  y: 5..10
+//	+----------+----------+==walkway==+----------+----------+
+//	| lobby-a  | study-a  |           | lobby-b  | canteen  |  y: 0..5
+//	+----------+----------+           +----------+----------+
+//	  x: 0..6    6..12      12..20      20..26     26..32
+func Campus() *Building {
+	b := &Building{
+		Name: "campus",
+		Rooms: []Room{
+			// Hall A.
+			{Name: "a-lobby", Bounds: geom.NewRect(geom.Pt(0, 0), geom.Pt(6, 5))},
+			{Name: "a-study", Bounds: geom.NewRect(geom.Pt(6, 0), geom.Pt(12, 5))},
+			{Name: "a-lecture", Bounds: geom.NewRect(geom.Pt(0, 5), geom.Pt(6, 10))},
+			{Name: "a-lab", Bounds: geom.NewRect(geom.Pt(6, 5), geom.Pt(12, 10))},
+			// Covered walkway between the halls.
+			{Name: "walkway", Bounds: geom.NewRect(geom.Pt(12, 4), geom.Pt(20, 6))},
+			// Hall B.
+			{Name: "b-lobby", Bounds: geom.NewRect(geom.Pt(20, 0), geom.Pt(26, 5))},
+			{Name: "b-canteen", Bounds: geom.NewRect(geom.Pt(26, 0), geom.Pt(32, 5))},
+			{Name: "b-office", Bounds: geom.NewRect(geom.Pt(20, 5), geom.Pt(26, 10))},
+			{Name: "b-seminar", Bounds: geom.NewRect(geom.Pt(26, 5), geom.Pt(32, 10))},
+		},
+	}
+
+	const door = 1.0
+	// Hall A shell; the walkway door punches the east wall.
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(0, 0), geom.Pt(12, 0)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(0, 10), geom.Pt(12, 10)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(0, 0), geom.Pt(0, 10)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(12, 0), geom.Pt(12, 4)))
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(12, 4), geom.Pt(12, 6), door)...)
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(12, 6), geom.Pt(12, 10)))
+	// Hall A interior.
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(6, 0), geom.Pt(6, 10), door)...)
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(0, 5), geom.Pt(6, 5), door)...)
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(6, 5), geom.Pt(12, 5), door)...)
+
+	// Walkway side rails (open ends at the hall doors).
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(12, 4), geom.Pt(20, 4)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(12, 6), geom.Pt(20, 6)))
+
+	// Hall B shell; the walkway door punches the west wall.
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(20, 0), geom.Pt(32, 0)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(20, 10), geom.Pt(32, 10)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(32, 0), geom.Pt(32, 10)))
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(20, 0), geom.Pt(20, 4)))
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(20, 4), geom.Pt(20, 6), door)...)
+	b.Walls = append(b.Walls, geom.Seg(geom.Pt(20, 6), geom.Pt(20, 10)))
+	// Hall B interior.
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(26, 0), geom.Pt(26, 10), door)...)
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(20, 5), geom.Pt(26, 5), door)...)
+	b.Walls = append(b.Walls, WallWithDoor(geom.Pt(26, 5), geom.Pt(32, 5), door)...)
+
+	// Hall A beacons under major 3, hall B under major 4; the walkway
+	// belongs to hall A's install.
+	b.Beacons = []Beacon{
+		beacon(3, 1, geom.Pt(0.4, 2.5), "a-lobby"),
+		beacon(3, 2, geom.Pt(11.6, 2.5), "a-study"),
+		beacon(3, 3, geom.Pt(0.4, 7.5), "a-lecture"),
+		beacon(3, 4, geom.Pt(11.6, 7.5), "a-lab"),
+		beacon(3, 5, geom.Pt(16.0, 4.2), "walkway"),
+		beacon(4, 1, geom.Pt(20.4, 2.5), "b-lobby"),
+		beacon(4, 2, geom.Pt(31.6, 2.5), "b-canteen"),
+		beacon(4, 3, geom.Pt(20.4, 7.5), "b-office"),
+		beacon(4, 4, geom.Pt(31.6, 7.5), "b-seminar"),
+	}
+	return b
+}
+
 // MustValidate panics if the building is inconsistent; used by the plan
 // constructors' tests and the examples.
 func MustValidate(b *Building) *Building {
@@ -201,7 +278,9 @@ func ByName(name string) (*Building, error) {
 		return SingleRoom(), nil
 	case "corridor":
 		return TwoBeaconCorridor(), nil
+	case "campus":
+		return Campus(), nil
 	default:
-		return nil, fmt.Errorf("building: unknown plan %q (want paper-house, office-floor, single-room or corridor)", name)
+		return nil, fmt.Errorf("building: unknown plan %q (want paper-house, office-floor, single-room, corridor or campus)", name)
 	}
 }

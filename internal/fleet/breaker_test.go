@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"occusim/internal/overload"
+	"occusim/internal/transport"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ at time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.at }
+func (c *fakeClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cooldown)
+	clk := &fakeClock{at: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b, clk := testBreaker(3, 10*time.Second)
+
+	// Closed: failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused delivery %d", i)
+		}
+		b.failure()
+	}
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	// A success resets the consecutive count.
+	b.success()
+	for i := 0; i < 2; i++ {
+		b.failure()
+	}
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatal("success should have reset the consecutive-failure count")
+	}
+	// The third consecutive failure trips it.
+	b.failure()
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 1 {
+		t.Fatalf("after threshold: state=%v trips=%d, want open/1", st, trips)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a delivery inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one half-open probe.
+	clk.advance(10 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker allowed a second concurrent delivery")
+	}
+	// Probe fails: re-open for another full cooldown.
+	b.failure()
+	if st, trips := b.snapshot(); st != breakerOpen || trips != 2 {
+		t.Fatalf("after failed probe: state=%v trips=%d, want open/2", st, trips)
+	}
+	clk.advance(9 * time.Second)
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed a delivery before the fresh cooldown expired")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second half-open probe refused")
+	}
+	// Probe succeeds: closed, counters reset.
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("after successful probe: state=%v, want closed", st)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused delivery")
+	}
+}
+
+// TestBreakerFailureClassification: only infrastructure trouble counts
+// — a shard that sheds 429 or rejects a bad report is alive.
+func TestBreakerFailureClassification(t *testing.T) {
+	if breakerFailure(nil) {
+		t.Fatal("nil error counted as failure")
+	}
+	if breakerFailure(&overload.Error{RetryAfter: time.Second}) {
+		t.Fatal("overload shed counted as failure")
+	}
+	if breakerFailure(fmt.Errorf("fleet: shard x: %w", &overload.Error{RetryAfter: time.Second})) {
+		t.Fatal("wrapped overload shed counted as failure")
+	}
+	if !breakerFailure(errors.New("connection refused")) {
+		t.Fatal("plain connection error not counted as failure")
+	}
+	if breakerFailure(fmt.Errorf("wrap: %w", ErrShardTripped)) {
+		t.Fatal("a tripped-circuit error must not feed back into the breaker")
+	}
+
+	// Status-coded errors via a real exchange: 5xx is a failure,
+	// 429/4xx is not.
+	for _, tc := range []struct {
+		code    int
+		failure bool
+	}{
+		{http.StatusInternalServerError, true},
+		{http.StatusServiceUnavailable, true},
+		{http.StatusTooManyRequests, false},
+		{http.StatusBadRequest, false},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "x", tc.code)
+		}))
+		_, err := transport.PostJSON(nil, ts.URL, []byte(`{}`), transport.RetryPolicy{})
+		ts.Close()
+		if err == nil {
+			t.Fatalf("status %d should error", tc.code)
+		}
+		if got := breakerFailure(err); got != tc.failure {
+			t.Fatalf("breakerFailure(status %d) = %v, want %v", tc.code, got, tc.failure)
+		}
+	}
+}

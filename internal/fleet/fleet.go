@@ -26,6 +26,7 @@ import (
 
 	"occusim/internal/bms"
 	"occusim/internal/occupancy"
+	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
 
@@ -58,10 +59,33 @@ type Config struct {
 	// contract that AtSeconds is one building-wide clock (see
 	// transport.Report): a device whose clock lags the building's by
 	// more than the TTL would be swept as residue, so do not enable
-	// this with unsynchronised device clocks. 0 disables the sweep;
-	// migration alone then keeps the views exact as long as old owners
-	// stay reachable.
+	// this with unsynchronised device clocks — or enable SkewWindow,
+	// which re-establishes that contract against hostile clocks. 0
+	// disables the sweep; migration alone then keeps the views exact as
+	// long as old owners stay reachable.
 	ResidueTTL time.Duration
+	// Admission bounds concurrent gateway ingest (see overload.Config):
+	// beyond MaxInflight running and MaxQueue waiting, Ingest and
+	// IngestBatch shed with an overload error (HTTP face: 429 +
+	// Retry-After) instead of queuing without bound. The zero config
+	// admits everything.
+	Admission overload.Config
+	// SkewWindow enables skew-tolerant ingest: a device whose report
+	// times sit further than the window from the building's report
+	// clock has a per-device offset estimated and subtracted before
+	// routing, so one phone with a broken clock cannot poison the
+	// ResidueTTL sweep or the federated timeline (see skewTracker). 0
+	// trusts device clocks, the historical behaviour.
+	SkewWindow time.Duration
+	// BreakerThreshold arms a per-shard circuit breaker on the ingest
+	// dispatch path: after that many CONSECUTIVE infrastructure
+	// failures (timeouts, connection errors, 5xx — never 4xx/429) the
+	// shard's circuit opens and deliveries to it fail fast with
+	// ErrShardTripped until BreakerCooldown (default 5s) elapses, then
+	// one half-open probe decides re-close vs re-open. Distinct from
+	// MarkDown: the breaker never reassigns keys. 0 disables.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // ErrNoHealthyShards is returned when every shard is down — the
@@ -133,6 +157,14 @@ type Gateway struct {
 	probeMu      sync.Mutex
 	lastProbe    time.Time
 	lastStatuses []ShardStatus
+
+	// gate bounds concurrent ingest admissions (nil admits all); skew
+	// re-anchors hostile device clocks (nil trusts them); breakers hold
+	// one circuit per shard on the dispatch path (nil disables). All
+	// three are fixed at New and internally synchronized.
+	gate     *overload.Gate
+	skew     *skewTracker
+	breakers []*breaker
 }
 
 // New builds a gateway over the shards. Shard names must be non-empty
@@ -169,6 +201,16 @@ func New(shards []Shard, cfg Config) (*Gateway, error) {
 		routed:     make([]int64, len(shards)),
 	}
 	g.flightCond = sync.NewCond(&g.devMu)
+	g.gate = overload.NewGate(cfg.Admission)
+	if cfg.SkewWindow > 0 {
+		g.skew = newSkewTracker(cfg.SkewWindow)
+	}
+	if cfg.BreakerThreshold > 0 {
+		g.breakers = make([]*breaker, len(shards))
+		for i := range g.breakers {
+			g.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+	}
 	g.ring = make([]ringEntry, 0, len(shards)*cfg.Replicas)
 	for i, s := range shards {
 		for r := 0; r < cfg.Replicas; r++ {
@@ -309,15 +351,28 @@ func (g *Gateway) acquire(reports []transport.Report) (shardOf []int32, release 
 }
 
 // Ingest routes one report to its owning shard and returns the
-// predicted room.
+// predicted room. With Admission configured the call may shed (an
+// overload error the HTTP face maps to 429 + Retry-After); with a
+// breaker armed and the owner's circuit open it fails fast with
+// ErrShardTripped.
 func (g *Gateway) Ingest(r transport.Report) (string, error) {
-	shardOf, release, err := g.acquire([]transport.Report{r})
+	admit, err := g.gate.Acquire()
+	if err != nil {
+		return "", err
+	}
+	defer admit()
+	batch := g.skew.correct([]transport.Report{r})
+	shardOf, release, err := g.acquire(batch)
 	if err != nil {
 		return "", err
 	}
 	defer release()
 	idx := int(shardOf[0])
-	room, err := g.shards[idx].Ingest(r)
+	if err := g.breakerAllow(idx); err != nil {
+		return "", err
+	}
+	room, err := g.shards[idx].Ingest(batch[0])
+	g.breakerObserve(idx, err)
 	if err != nil {
 		return "", fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
 	}
@@ -336,6 +391,12 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 	if len(reports) == 0 {
 		return nil, nil
 	}
+	admit, err := g.gate.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer admit()
+	reports = g.skew.correct(reports)
 	shardOf, release, err := g.acquire(reports)
 	if err != nil {
 		return nil, err
@@ -356,7 +417,12 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		if len(sub) == 0 {
 			return
 		}
+		if err := g.breakerAllow(idx); err != nil {
+			errs[idx] = err
+			return
+		}
 		out, err := g.shards[idx].IngestBatch(sub)
+		g.breakerObserve(idx, err)
 		if err != nil {
 			errs[idx] = fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
 			return
@@ -401,6 +467,18 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		out[i] = rooms[shardOf[i]][posOf[i]]
 	}
 	return out, nil
+}
+
+// AdmissionStats returns lifetime (admitted, shed) ingest counts of the
+// gateway's own gate; zeros when Admission is not configured.
+func (g *Gateway) AdmissionStats() (admitted, shed uint64) {
+	return g.gate.Stats()
+}
+
+// SkewAdjusted returns how many reports have had their timestamps
+// re-anchored onto the building clock; zero when SkewWindow is off.
+func (g *Gateway) SkewAdjusted() uint64 {
+	return g.skew.stats()
 }
 
 // note bumps the per-shard routed counter.
@@ -693,6 +771,28 @@ type ShardStatus struct {
 	Routed int64 `json:"routed"`
 	// Err is the last health-check failure ("" when healthy).
 	Err string `json:"err,omitempty"`
+	// Breaker is the shard's circuit state ("closed", "open",
+	// "half-open"); empty when no breaker is armed. Trips counts how
+	// often the circuit has opened.
+	Breaker string `json:"breaker,omitempty"`
+	Trips   uint64 `json:"trips,omitempty"`
+}
+
+// breakerStatus annotates one status with its shard's circuit state.
+func (g *Gateway) breakerStatus(i int, st *ShardStatus) {
+	if g.breakers == nil {
+		return
+	}
+	state, trips := g.breakers[i].snapshot()
+	switch state {
+	case breakerOpen:
+		st.Breaker = "open"
+	case breakerHalfOpen:
+		st.Breaker = "half-open"
+	default:
+		st.Breaker = "closed"
+	}
+	st.Trips = trips
 }
 
 // CheckHealth probes every shard and updates the routing table: a
@@ -1000,6 +1100,7 @@ func (g *Gateway) Statuses() []ShardStatus {
 	out := make([]ShardStatus, len(g.shards))
 	for i, s := range g.shards {
 		out[i] = ShardStatus{Name: s.Name(), Down: down[i], Routed: routed[i]}
+		g.breakerStatus(i, &out[i])
 	}
 	return out
 }

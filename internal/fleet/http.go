@@ -7,10 +7,12 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"occusim/internal/bms"
 	"occusim/internal/occupancy"
+	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
 
@@ -295,7 +297,7 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 		}
 		room, err := g.Ingest(rep)
 		if err != nil {
-			fleetError(w, ingestStatus(err), err)
+			fleetIngestError(w, err)
 			return
 		}
 		fleetJSON(w, http.StatusOK, map[string]string{"room": room})
@@ -308,7 +310,7 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 		}
 		rooms, err := g.IngestBatch(reports)
 		if err != nil {
-			fleetError(w, ingestStatus(err), err)
+			fleetIngestError(w, err)
 			return
 		}
 		if rooms == nil {
@@ -421,17 +423,25 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 // ingestStatus maps a gateway ingest failure to the status a single
 // bms.Server would have produced, keeping the "clients cannot tell a
 // fleet from a box" contract: a report the shard rejected as invalid is
-// the client's fault (400 — retrying is pointless), only connectivity
-// failures and upstream 5xx are the fleet's (502), and a fleet with no
-// healthy shards is 503.
+// the client's fault (400 — retrying is pointless), an overload shed —
+// the gateway's own gate or a shard's, in-process or over HTTP — is
+// 429, a tripped circuit and a fleet with no healthy shards are 503
+// (transient, retry later), and only connectivity failures and
+// upstream 5xx are 502.
 func ingestStatus(err error) int {
-	if errors.Is(err, ErrNoHealthyShards) {
+	if _, ok := overload.IsOverload(err); ok {
+		return http.StatusTooManyRequests
+	}
+	if errors.Is(err, ErrNoHealthyShards) || errors.Is(err, ErrShardTripped) {
 		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, ErrShardMisbehaved) {
 		return http.StatusBadGateway
 	}
 	if code, ok := transport.StatusCode(err); ok {
+		if code == http.StatusTooManyRequests {
+			return http.StatusTooManyRequests
+		}
 		if code/100 == 4 {
 			return http.StatusBadRequest
 		}
@@ -444,6 +454,28 @@ func ingestStatus(err error) int {
 	// What remains is report validation (in-process shards fail only on
 	// that) — a client error, exactly as bms answers it.
 	return http.StatusBadRequest
+}
+
+// fleetIngestError writes an ingest failure, attaching a Retry-After
+// header to 429 sheds — the gateway's own hint, or a downstream shard's
+// propagated verbatim, so the client backs off for whoever actually
+// shed. Seconds are rounded up per RFC 9110, minimum 1.
+func fleetIngestError(w http.ResponseWriter, err error) {
+	code := ingestStatus(err)
+	if code == http.StatusTooManyRequests {
+		after := time.Second
+		if d, ok := overload.IsOverload(err); ok {
+			after = d
+		} else if d, ok := transport.RetryAfter(err); ok {
+			after = d
+		}
+		secs := int64((after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	fleetError(w, code, err)
 }
 
 func fleetJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"occusim/internal/transport"
+)
+
+func rep(dev string, at float64) transport.Report {
+	return transport.Report{Device: dev, AtSeconds: at}
+}
+
+func TestSkewHonestDevicesUntouched(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	in := []transport.Report{rep("a", 10), rep("b", 12), rep("a", 14)}
+	out := s.correct(in)
+	if &out[0] != &in[0] {
+		t.Fatal("untouched batch should be returned without copying")
+	}
+	for i := range in {
+		if out[i].AtSeconds != in[i].AtSeconds {
+			t.Fatalf("honest report %d changed: %v", i, out[i].AtSeconds)
+		}
+	}
+	if s.stats() != 0 {
+		t.Fatalf("adjusted = %d, want 0", s.stats())
+	}
+}
+
+// TestSkewFutureDeviceSnapped: a device 2h in the future is snapped to
+// the building "now" on first contact and keeps its own deltas after.
+func TestSkewFutureDeviceSnapped(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	s.correct([]transport.Report{rep("honest", 10)})
+
+	in := []transport.Report{rep("skewed", 7210), rep("skewed", 7212)}
+	out := s.correct(in)
+	if out[0].AtSeconds != 10 || out[1].AtSeconds != 12 {
+		t.Fatalf("corrected times = %v, %v, want 10, 12", out[0].AtSeconds, out[1].AtSeconds)
+	}
+	// The caller's slice must not be mutated (retrying uplinks resend it).
+	if in[0].AtSeconds != 7210 || in[1].AtSeconds != 7212 {
+		t.Fatalf("caller slice mutated: %v, %v", in[0].AtSeconds, in[1].AtSeconds)
+	}
+	// A whole-batch retransmit corrects to the identical times.
+	again := s.correct([]transport.Report{rep("skewed", 7210), rep("skewed", 7212)})
+	if again[0].AtSeconds != 10 || again[1].AtSeconds != 12 {
+		t.Fatalf("retransmit corrected to %v, %v — not idempotent", again[0].AtSeconds, again[1].AtSeconds)
+	}
+	if s.stats() != 4 {
+		t.Fatalf("adjusted = %d, want 4", s.stats())
+	}
+}
+
+// TestSkewPastDeviceSnappedForward: a device far behind the building
+// clock would be instantly swept as TTL residue; its frame is pulled
+// forward on first contact.
+func TestSkewPastDeviceSnappedForward(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	s.correct([]transport.Report{rep("honest", 7200)})
+	out := s.correct([]transport.Report{rep("behind", 100), rep("behind", 104)})
+	if out[0].AtSeconds != 7200 || out[1].AtSeconds != 7204 {
+		t.Fatalf("corrected times = %v, %v, want 7200, 7204", out[0].AtSeconds, out[1].AtSeconds)
+	}
+}
+
+// TestSkewStepReanchors: a known device whose clock jumps forward
+// mid-stream is re-anchored, and the jump report replays idempotently.
+func TestSkewStepReanchors(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	s.correct([]transport.Report{rep("d", 10), rep("other", 20)})
+
+	out := s.correct([]transport.Report{rep("d", 3600)})
+	if out[0].AtSeconds != 20 {
+		t.Fatalf("stepped report corrected to %v, want the building now (20)", out[0].AtSeconds)
+	}
+	// Retransmit of the jump report: identical correction.
+	again := s.correct([]transport.Report{rep("d", 3600)})
+	if again[0].AtSeconds != 20 {
+		t.Fatalf("retransmitted step corrected to %v, want 20", again[0].AtSeconds)
+	}
+	// Later reports keep the device's own deltas in the new frame.
+	next := s.correct([]transport.Report{rep("d", 3605)})
+	if next[0].AtSeconds != 25 {
+		t.Fatalf("post-step report corrected to %v, want 25", next[0].AtSeconds)
+	}
+}
+
+// TestSkewWithinWindowTolerated: constant skew inside the window is
+// deliberately left alone — debounce is count-based and dwell is
+// per-device deltas, so it cancels.
+func TestSkewWithinWindowTolerated(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	s.correct([]transport.Report{rep("honest", 100)})
+	out := s.correct([]transport.Report{rep("slightly", 115)})
+	if out[0].AtSeconds != 115 {
+		t.Fatalf("within-window report corrected to %v, want untouched 115", out[0].AtSeconds)
+	}
+}
+
+// TestSkewColdStartAnchorsFirstReporter: with no traffic yet, the first
+// reporter defines the frame — even if ITS clock is absurd, everything
+// after is relative to it, consistently.
+func TestSkewColdStartAnchorsFirstReporter(t *testing.T) {
+	s := newSkewTracker(30 * time.Second)
+	out := s.correct([]transport.Report{rep("first", 99999)})
+	if out[0].AtSeconds != 99999 {
+		t.Fatalf("cold-start report corrected to %v, want untouched", out[0].AtSeconds)
+	}
+	// A later honest-looking device far from that frame is snapped TO it.
+	out = s.correct([]transport.Report{rep("second", 5)})
+	if out[0].AtSeconds != 99999 {
+		t.Fatalf("second device corrected to %v, want the first reporter's frame", out[0].AtSeconds)
+	}
+}
+
+func TestNilSkewTrackerPassthrough(t *testing.T) {
+	var s *skewTracker
+	in := []transport.Report{rep("a", 1)}
+	if out := s.correct(in); &out[0] != &in[0] {
+		t.Fatal("nil tracker should pass the batch through")
+	}
+	if s.stats() != 0 {
+		t.Fatal("nil tracker stats should be 0")
+	}
+}

@@ -1,0 +1,153 @@
+// Package overload implements the bounded admission gate the ingest
+// servers shed load through. The paper's cooperative crowd never
+// overloads its Flask BMS; a hostile fleet — retransmit storms, NAT'd
+// whole-batch replays, synchronized retry waves — will. The gate bounds
+// the work a server accepts at once: up to MaxInflight ingest calls run
+// concurrently, up to MaxQueue more wait their turn, and everything
+// beyond that is rejected immediately with an Error carrying a
+// Retry-After hint, so a storm sees fast, explicit 429s instead of an
+// unbounded queue melting the box (and the shed responses tell clients
+// exactly how long to back off).
+//
+// Both bms.Server and fleet.Gateway embed a Gate, so single servers and
+// gateways shed with identical semantics; a nil *Gate admits everything,
+// keeping the historical unbounded behaviour for in-process callers
+// that want it.
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config bounds an admission gate; the zero value disables gating.
+type Config struct {
+	// MaxInflight is the number of ingest calls allowed to run
+	// concurrently. 0 disables the gate entirely (NewGate returns nil).
+	MaxInflight int
+	// MaxQueue is how many further calls may wait for an inflight slot
+	// before the gate starts shedding (default: 2 × MaxInflight).
+	MaxQueue int
+	// RetryAfter is the backoff hint attached to shed responses
+	// (default 1s). HTTP faces surface it as a Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Error is a shed admission: the server is over capacity and the caller
+// should retry after the hinted delay. HTTP handlers map it to
+// 429 Too Many Requests with a Retry-After header.
+type Error struct {
+	// RetryAfter is the suggested backoff before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("overloaded: admission queue full, retry after %v", e.RetryAfter)
+}
+
+// IsOverload reports whether err (or anything it wraps) is a shed
+// admission, returning the retry hint when it is.
+func IsOverload(err error) (retryAfter time.Duration, ok bool) {
+	var oe *Error
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// Gate is the bounded admission queue. A nil *Gate admits everything —
+// callers embed one unconditionally and only construct it when gating
+// is configured.
+type Gate struct {
+	maxInflight int
+	maxQueue    int
+	retryAfter  time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	queued   int
+
+	// lifetime counters, for operators and vacuity checks in tests.
+	admitted uint64
+	shed     uint64
+}
+
+// NewGate builds a gate from cfg; it returns nil (admit everything)
+// when MaxInflight is 0 or negative.
+func NewGate(cfg Config) *Gate {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 2 * cfg.MaxInflight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	g := &Gate{
+		maxInflight: cfg.MaxInflight,
+		maxQueue:    cfg.MaxQueue,
+		retryAfter:  cfg.RetryAfter,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire admits one ingest call: it returns immediately when an
+// inflight slot is free, waits when the queue has room, and sheds with
+// an *Error when the queue is full. The returned release must be called
+// exactly once when the admitted work finishes. A nil gate admits
+// without bookkeeping.
+func (g *Gate) Acquire() (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	g.mu.Lock()
+	if g.inflight >= g.maxInflight {
+		if g.queued >= g.maxQueue {
+			g.shed++
+			after := g.retryAfter
+			g.mu.Unlock()
+			return nil, &Error{RetryAfter: after}
+		}
+		g.queued++
+		for g.inflight >= g.maxInflight {
+			g.cond.Wait()
+		}
+		g.queued--
+	}
+	g.inflight++
+	g.admitted++
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		g.inflight--
+		g.mu.Unlock()
+		g.cond.Signal()
+	}, nil
+}
+
+// Load returns the instantaneous (inflight, queued) occupancy; zeros on
+// a nil gate.
+func (g *Gate) Load() (inflight, queued int) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight, g.queued
+}
+
+// Stats returns lifetime (admitted, shed) counts; zeros on a nil gate.
+func (g *Gate) Stats() (admitted, shed uint64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admitted, g.shed
+}

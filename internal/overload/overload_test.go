@@ -1,0 +1,168 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGateAdmitsEverything(t *testing.T) {
+	var g *Gate
+	for i := 0; i < 100; i++ {
+		release, err := g.Acquire()
+		if err != nil {
+			t.Fatalf("nil gate shed: %v", err)
+		}
+		release()
+	}
+	if a, s := g.Stats(); a != 0 || s != 0 {
+		t.Fatalf("nil gate stats = (%d, %d), want zeros", a, s)
+	}
+}
+
+func TestZeroConfigDisablesGate(t *testing.T) {
+	if g := NewGate(Config{}); g != nil {
+		t.Fatalf("NewGate(zero) = %v, want nil", g)
+	}
+	if g := NewGate(Config{MaxInflight: -3}); g != nil {
+		t.Fatalf("NewGate(negative) = %v, want nil", g)
+	}
+}
+
+func TestGateShedsBeyondQueue(t *testing.T) {
+	g := NewGate(Config{MaxInflight: 2, MaxQueue: 1, RetryAfter: 250 * time.Millisecond})
+
+	// Fill both inflight slots.
+	r1, err := g.Acquire()
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	r2, err := g.Acquire()
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+
+	// Third acquire queues; wait until it is registered as queued.
+	queuedDone := make(chan struct{})
+	go func() {
+		r3, err := g.Acquire()
+		if err != nil {
+			t.Errorf("queued acquire shed: %v", err)
+		} else {
+			r3()
+		}
+		close(queuedDone)
+	}()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.queued == 1
+	})
+
+	// Fourth acquire finds the queue full and sheds immediately.
+	_, err = g.Acquire()
+	var oe *Error
+	if !errors.As(err, &oe) {
+		t.Fatalf("over-queue acquire err = %v, want *Error", err)
+	}
+	if oe.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 250ms", oe.RetryAfter)
+	}
+	if after, ok := IsOverload(err); !ok || after != 250*time.Millisecond {
+		t.Fatalf("IsOverload = (%v, %v), want (250ms, true)", after, ok)
+	}
+
+	// Releasing an inflight slot lets the queued caller through.
+	r1()
+	<-queuedDone
+	r2()
+
+	if _, shed := g.Stats(); shed != 1 {
+		t.Fatalf("shed count = %d, want 1", shed)
+	}
+	if admitted, _ := g.Stats(); admitted != 3 {
+		t.Fatalf("admitted count = %d, want 3", admitted)
+	}
+}
+
+func TestGateDefaults(t *testing.T) {
+	g := NewGate(Config{MaxInflight: 4})
+	if g.maxQueue != 8 {
+		t.Fatalf("default MaxQueue = %d, want 8", g.maxQueue)
+	}
+	if g.retryAfter != time.Second {
+		t.Fatalf("default RetryAfter = %v, want 1s", g.retryAfter)
+	}
+}
+
+// TestGateConcurrentChurn hammers the gate from many goroutines and
+// checks the inflight bound is never exceeded and all admitted work
+// releases cleanly (run under -race in CI).
+func TestGateConcurrentChurn(t *testing.T) {
+	const inflight = 3
+	g := NewGate(Config{MaxInflight: inflight, MaxQueue: 4})
+
+	var (
+		mu      sync.Mutex
+		cur     int
+		peak    int
+		shedded int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				release, err := g.Acquire()
+				if err != nil {
+					mu.Lock()
+					shedded++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if peak > inflight {
+		t.Fatalf("observed %d concurrent admissions, bound is %d", peak, inflight)
+	}
+	admitted, shed := g.Stats()
+	if int(shed) != shedded {
+		t.Fatalf("gate shed count %d != observed %d", shed, shedded)
+	}
+	if admitted+shed != 64*50 {
+		t.Fatalf("admitted %d + shed %d != %d total attempts", admitted, shed, 64*50)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight != 0 || g.queued != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", g.inflight, g.queued)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

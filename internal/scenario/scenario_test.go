@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// testConfig is CI-sized: every scenario's hostile mechanism still
+// fires at this scale (each case asserts its own non-vacuity below).
+var testConfig = Config{Devices: 8, Reports: 48, Shards: 2, Seed: 7}
+
+// TestScenarioMatrix runs every library scenario against its oracle —
+// the same matrix "make loadtest" drives — and asserts each scenario's
+// hostile mechanism actually fired, so a refactor cannot quietly turn
+// a drill into a no-op that trivially passes.
+func TestScenarioMatrix(t *testing.T) {
+	full := testConfig.Devices * testConfig.Reports
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc, testConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res)
+			switch sc.Name {
+			case "clean":
+				if res.Duplicates != 0 || res.Unique != full {
+					t.Fatalf("clean sent %d unique + %d duplicates, want %d + 0", res.Unique, res.Duplicates, full)
+				}
+			case "burst", "droop":
+				if res.Unique >= full || res.Unique == 0 {
+					t.Fatalf("%s offered %d of %d reports — thinning never fired", sc.Name, res.Unique, full)
+				}
+			case "skew":
+				if res.SkewAdjusted == 0 {
+					t.Fatal("no reports were re-anchored — the skewed devices never lied")
+				}
+			case "storm":
+				if res.Duplicates == 0 {
+					t.Fatal("storm sent no duplicate batches")
+				}
+				if res.Shed == 0 {
+					t.Fatal("storm never overran admission — raise the pressure or drop the limits")
+				}
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("storm"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ByName("zombie-horde")
+	if err == nil || !strings.Contains(err.Error(), "zombie-horde") {
+		t.Fatalf("unknown scenario error = %v", err)
+	}
+}
+
+// TestOracleModeNames pins the strings reported in Result and CLI docs.
+func TestOracleModeNames(t *testing.T) {
+	for mode, want := range map[OracleMode]string{
+		Exact:           "exact",
+		ExactAfterSweep: "exact-after-sweep",
+		Explained:       "explained",
+	} {
+		if got := mode.String(); got != want {
+			t.Fatalf("OracleMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}

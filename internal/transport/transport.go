@@ -14,11 +14,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -118,9 +120,12 @@ type BatchSender interface {
 }
 
 // RetryPolicy bounds how an HTTP exchange retransmits after transient
-// failures: connection-level errors (reset, refused, timeout) and 5xx
-// responses are retried with capped exponential backoff; any other
-// non-2xx status is a permanent rejection and fails immediately. Each
+// failures: connection-level errors (reset, refused, timeout), 5xx
+// responses and 429 sheds are retried with capped exponential backoff;
+// any other non-2xx status is a permanent rejection and fails
+// immediately. A 429 carrying a Retry-After header is retried after the
+// server's hint instead of the computed backoff — an overloaded server
+// knows its own recovery horizon better than the client does. Each
 // retry resends the identical request body, so a multi-report batch
 // keeps its order across attempts.
 //
@@ -142,15 +147,67 @@ type RetryPolicy struct {
 	// retry doubles it, capped at MaxDelay. Defaults: 100 ms and 2 s.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Jitter draws each backoff uniformly from (0, d] instead of the
+	// deterministic doubled delay d. Without it a fleet of devices that
+	// failed together retries together — every backoff step re-delivers
+	// the same synchronized storm that caused the failure. Full jitter
+	// decorrelates the herd. Draws come from a seeded package-level
+	// source (SeedBackoffJitter pins it in tests, observable through the
+	// Sleep hook); a Retry-After hint is stretched by up to +50% instead
+	// of shrunk, so the jittered fleet never returns before the server
+	// asked it to.
+	Jitter bool
+	// Budget caps the total backoff this policy will sleep across one
+	// exchange (one DoJSON call). When the next computed delay would
+	// push the cumulative spend past the budget, the exchange fails with
+	// the last error instead of sleeping — bounding how long a device's
+	// uplink window can stall on a dead or shedding server. 0 means
+	// unbudgeted.
+	Budget time.Duration
 	// Sleep is the wait hook; nil means time.Sleep. Tests inject a
 	// recorder so backoff is observable without real waiting.
 	Sleep func(time.Duration)
 }
 
 // DefaultRetry is the policy the command-line clients use: four
-// attempts spanning roughly 100+200+400 ms of backoff.
+// attempts, full-jitter backoff drawn from (0, 100ms], (0, 200ms] and
+// (0, 400ms] (≤ 700 ms expected-case ≈ 350 ms), and a 5 s total retry
+// budget so one uplink window can never stall past its flush period.
+// Before jitter existed this policy slept exactly 100+200+400 ms, which
+// synchronized whole-fleet retry storms; the envelope is unchanged,
+// only the draw inside it is randomized.
 func DefaultRetry() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Jitter:      true,
+		Budget:      5 * time.Second,
+	}
+}
+
+// backoffJitter is the shared source behind RetryPolicy.Jitter.
+// RetryPolicy is a value copied across goroutines, so the source cannot
+// live on the policy; one locked package-level source keeps draws
+// race-free and lets tests pin the stream.
+var backoffJitter = struct {
+	mu  sync.Mutex
+	src *rng.Source
+}{src: rng.New(uint64(time.Now().UnixNano()))}
+
+// SeedBackoffJitter re-seeds the shared jitter source, making jittered
+// backoff deterministic for tests.
+func SeedBackoffJitter(seed uint64) {
+	backoffJitter.mu.Lock()
+	backoffJitter.src = rng.New(seed)
+	backoffJitter.mu.Unlock()
+}
+
+func jitterFloat() float64 {
+	backoffJitter.mu.Lock()
+	f := backoffJitter.src.Float64()
+	backoffJitter.mu.Unlock()
+	return f
 }
 
 // attempts returns the effective attempt budget.
@@ -178,7 +235,24 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 	if d > max {
 		d = max
 	}
+	if p.Jitter {
+		j := time.Duration(jitterFloat() * float64(d))
+		if j < time.Millisecond {
+			j = time.Millisecond // never a zero sleep: that is a hot retry loop
+		}
+		d = j
+	}
 	return d
+}
+
+// shedDelay turns a server Retry-After hint into the actual wait: the
+// hint verbatim, or hint + uniform(0, hint/2) under Jitter so a fleet
+// shed at the same instant does not return at the same instant.
+func (p RetryPolicy) shedDelay(hint time.Duration) time.Duration {
+	if !p.Jitter || hint <= 0 {
+		return hint
+	}
+	return hint + time.Duration(jitterFloat()*float64(hint)/2)
 }
 
 func (p RetryPolicy) sleep(d time.Duration) {
@@ -195,6 +269,10 @@ type statusError struct {
 	code   int
 	status string
 	body   string
+	// retryAfter carries the server's Retry-After hint (429 sheds);
+	// hasRetryAfter distinguishes "no header" from "Retry-After: 0".
+	retryAfter    time.Duration
+	hasRetryAfter bool
 }
 
 func (e *statusError) Error() string {
@@ -205,12 +283,17 @@ func (e *statusError) Error() string {
 }
 
 // DoJSON performs one JSON exchange under the retry policy and returns
-// the response payload. A nil client gets a 5-second timeout. The fleet
-// layer's HTTP shard client shares this path with HTTPUplink, so both
-// see identical retry and error semantics.
+// the response payload. A nil client gets a 5-second deadline PER
+// ATTEMPT (a per-attempt request context, not http.Client.Timeout —
+// the client timeout would span every attempt and the backoff sleeps
+// between them, leaving the last attempt born dead). The fleet layer's
+// HTTP shard client shares this path with HTTPUplink, so both see
+// identical retry and error semantics.
 func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPolicy) ([]byte, error) {
+	var attemptTimeout time.Duration
 	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
+		client = &http.Client{}
+		attemptTimeout = nilClientAttemptTimeout
 	}
 	// A request that cannot even be constructed (malformed URL) fails
 	// identically on every attempt; surface it without burning backoff.
@@ -218,30 +301,51 @@ func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPo
 		return nil, fmt.Errorf("transport: request: %w", err)
 	}
 	var lastErr error
+	var spent time.Duration
 	for attempt := 0; attempt < policy.attempts(); attempt++ {
 		if attempt > 0 {
-			policy.sleep(policy.backoff(attempt - 1))
+			d := policy.backoff(attempt - 1)
+			if hint, ok := RetryAfter(lastErr); ok {
+				d = policy.shedDelay(hint)
+			}
+			if policy.Budget > 0 && spent+d > policy.Budget {
+				return nil, fmt.Errorf("transport: retry budget %v exhausted after %d attempts: %w", policy.Budget, attempt, lastErr)
+			}
+			spent += d
+			policy.sleep(d)
 		}
-		payload, err := doOnce(client, method, url, body)
+		payload, err := doOnce(client, method, url, body, attemptTimeout)
 		if err == nil {
 			return payload, nil
 		}
 		lastErr = err
 		var se *statusError
-		if errors.As(err, &se) && se.code/100 != 5 {
-			return nil, err // permanent rejection: do not retry 4xx
+		if errors.As(err, &se) && se.code/100 != 5 && se.code != http.StatusTooManyRequests {
+			return nil, err // permanent rejection: do not retry 4xx (429 sheds excepted)
 		}
 	}
 	return nil, lastErr
 }
 
-// doOnce is a single exchange attempt.
-func doOnce(client *http.Client, method, url string, body []byte) ([]byte, error) {
+// nilClientAttemptTimeout is the deadline DoJSON applies to EACH
+// attempt when handed a nil client. A var so tests can shrink the
+// window without waiting out real 5-second timeouts.
+var nilClientAttemptTimeout = 5 * time.Second
+
+// doOnce is a single exchange attempt; timeout > 0 bounds just this
+// attempt via the request context.
+func doOnce(client *http.Client, method, url string, body []byte, timeout time.Duration) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, url, rd)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return nil, fmt.Errorf("transport: request: %w", err)
 	}
@@ -257,7 +361,15 @@ func doOnce(client *http.Client, method, url string, body []byte) ([]byte, error
 		if len(snippet) > 200 {
 			snippet = snippet[:200] + "…"
 		}
-		return nil, &statusError{code: resp.StatusCode, status: resp.Status, body: snippet}
+		se := &statusError{code: resp.StatusCode, status: resp.Status, body: snippet}
+		if ra := strings.TrimSpace(resp.Header.Get("Retry-After")); ra != "" {
+			// Integer seconds per RFC 9110; fractional accepted leniently.
+			if secs, perr := strconv.ParseFloat(ra, 64); perr == nil && secs >= 0 {
+				se.retryAfter = time.Duration(secs * float64(time.Second))
+				se.hasRetryAfter = true
+			}
+		}
+		return nil, se
 	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: read response: %w", err)
@@ -274,6 +386,17 @@ func StatusCode(err error) (int, bool) {
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code, true
+	}
+	return 0, false
+}
+
+// RetryAfter extracts the server's Retry-After hint from a rejection
+// error (typically a 429 shed). ok is false when the response carried
+// no parseable hint.
+func RetryAfter(err error) (time.Duration, bool) {
+	var se *statusError
+	if errors.As(err, &se) && se.hasRetryAfter {
+		return se.retryAfter, true
 	}
 	return 0, false
 }
