@@ -2,9 +2,9 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 7
+PR ?= 8
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR6.json
+DIFF_BASE ?= BENCH_PR7.json
 
 .PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest crashtest
 
@@ -58,13 +58,21 @@ loadtest:
 	$(GO) run ./cmd/loadgen -scenario skew -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -scenario diurnal -shards 2 -devices 12 -reports 60 -seed 7
 
-# crashtest is the durability pin: the shards run as real bmsd
-# subprocesses over write-ahead logs, two of them are SIGKILLed at
-# trace times 40s and 80s and restarted over their data directories,
-# the gateway is discarded and rebuilt at each crash, and the run exits
-# nonzero unless the recovered fleet's occupancy/events/dwell are
-# byte-identical to a clean single server fed the same streams once.
+# crashtest is the durability pin, two drills over real bmsd
+# subprocesses with write-ahead logs. First the shard drill: two shards
+# are SIGKILLed at trace times 40s and 80s and restarted over their
+# data directories, with the gateway discarded and rebuilt at each
+# crash. Then the gateway-failover drill: an active/standby HA gateway
+# pair fronts the shards, the ACTIVE is SIGKILLed at t=40s (no drain),
+# the standby claims the next leadership epoch through the shard
+# quorum and takes over, the dead gateway respawns as the new standby —
+# and at t=80s the NEW active is killed too, failing leadership back.
+# Both runs exit nonzero unless the final fleet occupancy/events/dwell
+# are byte-identical to a clean single server fed the same streams
+# once, so kill -9 of any layer loses nothing and lands nothing twice.
 crashtest:
 	$(GO) build -o bin/bmsd ./cmd/bmsd
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \
 		-kill 40,80 -restart-gateway -bmsd bin/bmsd -fsync batch
+	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \
+		-kill-gateway 40,80 -bmsd bin/bmsd -fsync batch

@@ -94,7 +94,36 @@ func main() {
 	skewWindow := flag.Duration("skew-window", 0, "fleet mode: tolerated device clock skew; reports further out are re-anchored per device (0 disables)")
 	breakerTrips := flag.Int("breaker-threshold", 0, "fleet mode: consecutive shard infrastructure failures that trip its circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "fleet mode: open-circuit cooldown before a half-open probe")
+	shardURLs := flag.String("shard-urls", "", "comma-separated remote shard base URLs: serve an HA gateway over them instead of in-process shards (see gateway.go)")
+	selfURL := flag.String("self", "", "gateway-HA mode: this gateway's advertised URL (the leader hint; required with -shard-urls)")
+	peerURL := flag.String("peer", "", "gateway-HA mode: the partner gateway's URL (probed by a standby)")
+	standby := flag.Bool("standby", false, "gateway-HA mode: start as warm standby instead of claiming leadership")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "gateway-HA mode: leadership lease TTL (renew and probe at TTL/3)")
 	flag.Parse()
+
+	if *shardURLs != "" {
+		runGatewayHA(gatewayHAConfig{
+			addr:      *addr,
+			shardURLs: *shardURLs,
+			self:      *selfURL,
+			peer:      *peerURL,
+			standby:   *standby,
+			leaseTTL:  *leaseTTL,
+			drain:     *drain,
+			// ResidueTTL stays off: the leader that routed the reports
+			// owns the sweep; a freshly promoted standby has no business
+			// expiring devices it has not yet seen report.
+			admission: overload.Config{
+				MaxInflight: *admitInflight,
+				MaxQueue:    *admitQueue,
+				RetryAfter:  *retryAfter,
+			},
+			skewWindow:      *skewWindow,
+			breakerTrips:    *breakerTrips,
+			breakerCooldown: *breakerCooldown,
+		})
+		return
+	}
 
 	b, err := building.ByName(*plan)
 	if err != nil {

@@ -1,0 +1,272 @@
+package main
+
+// Gateway-failover drill: loadgen spawns the shard pool as bmsd
+// subprocesses (reusing the crash-fleet machinery), fronts them with
+// TWO more bmsd subprocesses running -shard-urls gateway-HA mode — an
+// active and a warm -standby — and drives the trace through a
+// transport.FailoverUplink aimed at the pair. At each scheduled trace
+// time the CURRENT active (found by asking the shards who holds the
+// lease) is SIGKILLed with no drain; the standby notices the silence,
+// claims the next epoch on the shard quorum, and takes over, while the
+// dead gateway is respawned as the new standby. The uplink rides the
+// takeover via 409 leader hints and target rotation, retransmitting
+// whole batches, and the run ends with the same byte-identical
+// ground-truth assertion as every other drill: leadership moved, a
+// zombie's partial work was fenced, and nothing landed twice.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/transport"
+)
+
+// drillLeaseTTL is deliberately short so a takeover completes well
+// inside the uplink's retransmission budget.
+const drillLeaseTTL = 500 * time.Millisecond
+
+// gatewayProc is one bmsd -shard-urls subprocess of the HA pair.
+type gatewayProc struct {
+	name string
+	addr string
+	self string // advertised URL ("http://" + addr): the lease holder identity
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// gatewayDrill is the full stack for -kill-gateway runs: the shard
+// subprocess pool (with its in-process verification gateway) plus the
+// active/standby gateway subprocess pair.
+type gatewayDrill struct {
+	fleet     *crashFleet // shard pool, trace clock, and the read-side gateway
+	gws       [2]*gatewayProc
+	shardURLs string
+	kills     atomic.Int64
+}
+
+// startGatewayDrill brings up shards, trains and distributes the crowd
+// model (through the in-process gateway, before any lease exists, so
+// the writes are unfenced), spawns the HA pair, and waits until the
+// shards agree the active holds epoch 1.
+func startGatewayDrill(b *building.Building, plan string, shards int, bmsdPath, dataRoot, fsync string, seed uint64) (*gatewayDrill, error) {
+	c, err := startCrashFleet(b, plan, shards, bmsdPath, dataRoot, fsync, seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &gatewayDrill{fleet: c}
+	for i, p := range c.procs {
+		if i > 0 {
+			d.shardURLs += ","
+		}
+		d.shardURLs += "http://" + p.addr
+	}
+	for i, name := range []string{"gateway-A", "gateway-B"} {
+		port, err := freePort()
+		if err != nil {
+			d.stop()
+			return nil, err
+		}
+		addr := fmt.Sprintf("127.0.0.1:%d", port)
+		d.gws[i] = &gatewayProc{name: name, addr: addr, self: "http://" + addr}
+	}
+	if err := d.spawnGateway(d.gws[0], d.gws[1], false); err != nil {
+		d.stop()
+		return nil, err
+	}
+	if err := d.spawnGateway(d.gws[1], d.gws[0], true); err != nil {
+		d.stop()
+		return nil, err
+	}
+	for _, g := range d.gws {
+		if err := waitHealthy(g.addr, 15*time.Second); err != nil {
+			d.stop()
+			return nil, fmt.Errorf("%s never became healthy: %w", g.name, err)
+		}
+	}
+	if err := d.waitLeader(d.gws[0].self, 0, 15*time.Second); err != nil {
+		d.stop()
+		return nil, fmt.Errorf("%s never claimed leadership: %w", d.gws[0].name, err)
+	}
+	return d, nil
+}
+
+// spawnGateway starts (or restarts) one gateway of the pair.
+func (d *gatewayDrill) spawnGateway(g, peer *gatewayProc, standby bool) error {
+	args := []string{
+		"-addr", g.addr,
+		"-shard-urls", d.shardURLs,
+		"-self", g.self,
+		"-peer", peer.self,
+		"-lease-ttl", drillLeaseTTL.String(),
+	}
+	if standby {
+		args = append(args, "-standby")
+	}
+	cmd := exec.Command(d.fleet.bmsdPath, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawn %s: %w", g.name, err)
+	}
+	g.mu.Lock()
+	g.cmd = cmd
+	g.mu.Unlock()
+	return nil
+}
+
+// leaseView asks one shard who holds the gateway lease. Any shard
+// works: no shards are killed in this drill, so every claim reaches
+// all of them.
+func (d *gatewayDrill) leaseView() (epoch uint64, holder string, err error) {
+	client := &http.Client{Timeout: time.Second}
+	payload, err := transport.GetJSON(client,
+		"http://"+d.fleet.procs[0].addr+"/api/v1/lease", transport.RetryPolicy{})
+	if err != nil {
+		return 0, "", err
+	}
+	var view struct {
+		Granted uint64 `json:"granted"`
+		Holder  string `json:"holder"`
+	}
+	if err := json.Unmarshal(payload, &view); err != nil {
+		return 0, "", err
+	}
+	return view.Granted, view.Holder, nil
+}
+
+// waitLeader polls the shards until `want` holds a lease above
+// minEpoch — i.e. a takeover (or the bootstrap claim) completed.
+func (d *gatewayDrill) waitLeader(want string, minEpoch uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		epoch, holder, err := d.leaseView()
+		if err == nil && holder == want && epoch > minEpoch {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("lease is %d/%q, want holder %q above epoch %d", epoch, holder, want, minEpoch)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// killActive SIGKILLs whichever gateway the shards say is leading, no
+// drain — the standby must detect the silence and claim the next epoch
+// on its own. Once leadership has moved, the dead process is respawned
+// as the new standby, restoring the pair for the next kill.
+func (d *gatewayDrill) killActive() error {
+	epoch, holder, err := d.leaseView()
+	if err != nil {
+		return fmt.Errorf("finding the active: %w", err)
+	}
+	var victim, survivor *gatewayProc
+	for i, g := range d.gws {
+		if g.self == holder {
+			victim, survivor = g, d.gws[1-i]
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("lease holder %q is neither gateway of the pair", holder)
+	}
+	victim.mu.Lock()
+	cmd := victim.cmd
+	victim.mu.Unlock()
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return fmt.Errorf("kill %s: %w", victim.name, err)
+	}
+	_ = cmd.Wait()
+	d.kills.Add(1)
+	if err := d.waitLeader(survivor.self, epoch, 30*time.Second); err != nil {
+		return fmt.Errorf("%s never took over from the killed %s: %w", survivor.name, victim.name, err)
+	}
+	fmt.Printf("gateway-kill: %s took over (epoch advanced past %d); respawning %s as standby\n",
+		survivor.name, epoch, victim.name)
+	if err := d.spawnGateway(victim, survivor, true); err != nil {
+		return err
+	}
+	return waitHealthy(victim.addr, 15*time.Second)
+}
+
+// runKiller fires the gateway-kill schedule against the trace clock.
+func (d *gatewayDrill) runKiller(schedule []float64, done <-chan struct{}, errs chan<- error) {
+	for _, t := range schedule {
+		for d.fleet.now() < t {
+			select {
+			case <-done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		fmt.Printf("gateway-kill: t=%.0fs SIGKILL the active gateway\n", t)
+		if err := d.killActive(); err != nil {
+			errs <- err
+			return
+		}
+	}
+}
+
+// stop tears the whole stack down: gateways first (SIGTERM, then
+// SIGKILL after a grace period), then the shard pool.
+func (d *gatewayDrill) stop() {
+	for _, g := range d.gws {
+		if g == nil {
+			continue
+		}
+		g.mu.Lock()
+		cmd := g.cmd
+		g.mu.Unlock()
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		doneCh := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(doneCh) }()
+		select {
+		case <-doneCh:
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+			<-doneCh
+		}
+	}
+	d.fleet.stop()
+}
+
+// drillUplink is the -kill-gateway funnel: it advances the kill
+// scheduler's trace clock, then sends through the failover uplink so
+// leadership moves are followed mid-stream.
+type drillUplink struct {
+	d    *gatewayDrill
+	next transport.Uplink
+}
+
+func (u drillUplink) Name() string { return "ha-gateway-pair" }
+
+func (u drillUplink) Send(r transport.Report) error {
+	u.d.fleet.advanceClock([]transport.Report{r})
+	return u.next.Send(r)
+}
+
+func (u drillUplink) SendBatch(reports []transport.Report) error {
+	u.d.fleet.advanceClock(reports)
+	if bs, ok := u.next.(transport.BatchSender); ok {
+		return bs.SendBatch(reports)
+	}
+	for _, r := range reports {
+		if err := u.next.Send(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

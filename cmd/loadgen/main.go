@@ -75,6 +75,7 @@ func main() {
 	flaky := flag.Float64("flaky", 0, "fraction of in-process shard batch calls to fail (half after commit); uplinks retry and the final state is asserted against ground truth")
 	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports")
 	kill := flag.String("kill", "", "crash schedule \"t1,t2,...\" (trace seconds): SIGKILL a shard subprocess at each time, restart it, and assert the final state against ground truth")
+	killGateway := flag.String("kill-gateway", "", "gateway-failover schedule \"t1,t2,...\" (trace seconds): SIGKILL the ACTIVE HA-gateway subprocess at each time, let the standby claim the lease and take over, and assert the final state against ground truth")
 	bmsdPath := flag.String("bmsd", "", "path to a built bmsd binary (required with -kill)")
 	dataRoot := flag.String("data-root", "", "root directory for the crash shards' WALs (with -kill; empty: a temp dir)")
 	fsync := flag.String("fsync", "batch", "WAL sync policy for the crash shards: batch, interval, off")
@@ -92,11 +93,12 @@ func main() {
 	}
 
 	crash := crashOpts{
-		Schedule:       *kill,
-		BmsdPath:       *bmsdPath,
-		DataRoot:       *dataRoot,
-		Fsync:          *fsync,
-		RestartGateway: *restartGateway,
+		Schedule:        *kill,
+		GatewaySchedule: *killGateway,
+		BmsdPath:        *bmsdPath,
+		DataRoot:        *dataRoot,
+		Fsync:           *fsync,
+		RestartGateway:  *restartGateway,
 	}
 	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch, crash); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -104,13 +106,15 @@ func main() {
 	}
 }
 
-// crashOpts carries the -kill crash-schedule knobs (see crash.go).
+// crashOpts carries the -kill and -kill-gateway schedule knobs (see
+// crash.go and gatewaydrill.go).
 type crashOpts struct {
-	Schedule       string
-	BmsdPath       string
-	DataRoot       string
-	Fsync          string
-	RestartGateway bool
+	Schedule        string
+	GatewaySchedule string
+	BmsdPath        string
+	DataRoot        string
+	Fsync           string
+	RestartGateway  bool
 }
 
 func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64, crash crashOpts) error {
@@ -157,6 +161,24 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 			return fmt.Errorf("-kill and -flaky are separate drills; run them one at a time")
 		}
 	}
+	gwSchedule, err := parseKillSchedule(crash.GatewaySchedule)
+	if err != nil {
+		return err
+	}
+	if len(gwSchedule) > 0 {
+		if target != "" {
+			return fmt.Errorf("-kill-gateway spawns its own gateway subprocesses; it cannot be combined with -target")
+		}
+		if flaky > 0 || len(killSchedule) > 0 {
+			return fmt.Errorf("-kill-gateway, -kill and -flaky are separate drills; run them one at a time")
+		}
+		if crash.RestartGateway {
+			return fmt.Errorf("-restart-gateway applies to -kill; -kill-gateway always restarts the killed gateway as a standby")
+		}
+		if crash.BmsdPath == "" {
+			return fmt.Errorf("-kill-gateway needs -bmsd pointing at a built bmsd binary (make crashtest builds one)")
+		}
+	}
 
 	// Resolve the target: a remote HTTP gateway, subprocess crash
 	// shards, or an in-process fleet.
@@ -164,7 +186,23 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	var gw *fleet.Gateway
 	var flakies []*fleettest.FlakyShard
 	var crashPool *crashFleet
-	if len(killSchedule) > 0 {
+	var drill *gatewayDrill
+	var failover *transport.FailoverUplink
+	if len(gwSchedule) > 0 {
+		drill, err = startGatewayDrill(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		if err != nil {
+			return err
+		}
+		defer drill.stop()
+		failover, err = transport.NewFailoverUplink(
+			[]string{drill.gws[0].self, drill.gws[1].self}, nil, transport.DefaultRetry())
+		if err != nil {
+			return err
+		}
+		sink = drillUplink{d: drill, next: failover}
+		fmt.Printf("loadgen: %d devices, %d reports → active/standby HA gateway pair over %d bmsd shard(s), SIGKILL the active at trace t=%v (fsync=%s)\n",
+			devices, total, shards, gwSchedule, crash.Fsync)
+	} else if len(killSchedule) > 0 {
 		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
 		if err != nil {
 			return err
@@ -197,12 +235,19 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		funnel = retryUplink{next: rec, max: 10}
 	}
 	var killerDone chan struct{}
-	killerErrs := make(chan error, len(killSchedule)+1)
-	if crashPool != nil {
-		// A killed shard is down for its whole restart (recovery +
-		// rebind), so retransmission needs a real gap and a deep budget —
-		// every attempt is still measured as its own exchange.
+	killerErrs := make(chan error, len(killSchedule)+len(gwSchedule)+1)
+	if crashPool != nil || drill != nil {
+		// A killed shard or gateway is down for its whole restart
+		// (recovery/takeover + rebind), so retransmission needs a real
+		// gap and a deep budget — every attempt is still measured as its
+		// own exchange.
 		funnel = retryUplink{next: rec, max: 300, gap: 100 * time.Millisecond}
+		schedule := killSchedule
+		flagName := "-kill"
+		if drill != nil {
+			schedule = gwSchedule
+			flagName = "-kill-gateway"
+		}
 		maxTrace := 0.0
 		for _, s := range streams {
 			for i := range s {
@@ -211,14 +256,18 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 				}
 			}
 		}
-		if last := killSchedule[len(killSchedule)-1]; last > maxTrace {
-			return fmt.Errorf("-kill time %v is beyond the streams' trace span (%.0fs) and would never fire; raise -reports", last, maxTrace)
+		if last := schedule[len(schedule)-1]; last > maxTrace {
+			return fmt.Errorf("%s time %v is beyond the streams' trace span (%.0fs) and would never fire; raise -reports", flagName, last, maxTrace)
 		}
 		killerDone = make(chan struct{})
 		stopKiller := make(chan struct{})
 		defer close(stopKiller)
 		go func() {
-			crashPool.runKiller(killSchedule, crash.RestartGateway, stopKiller, killerErrs)
+			if drill != nil {
+				drill.runKiller(schedule, stopKiller, killerErrs)
+			} else {
+				crashPool.runKiller(schedule, crash.RestartGateway, stopKiller, killerErrs)
+			}
 			close(killerDone)
 		}()
 	}
@@ -267,6 +316,47 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	}
 
 	printReport(total, elapsed, rec)
+	if drill != nil {
+		// The last kill's takeover can outlive the final batch (it lands
+		// through the survivor); wait for the schedule to finish before
+		// reading the shards.
+		select {
+		case <-killerDone:
+		case <-time.After(120 * time.Second):
+			return fmt.Errorf("gateway-kill schedule never completed — a takeover stalled")
+		}
+		select {
+		case err := <-killerErrs:
+			return err
+		default:
+		}
+		if got := drill.kills.Load(); got != int64(len(gwSchedule)) {
+			return fmt.Errorf("gateway drill fired %d of %d scheduled kills — the drill was vacuous", got, len(gwSchedule))
+		}
+		redirects, rotations := failover.Stats()
+		if redirects+rotations == 0 {
+			return fmt.Errorf("the uplink never failed over — the drill was vacuous")
+		}
+		epoch, holder, err := drill.leaseView()
+		if err != nil {
+			return err
+		}
+		// Read-side verification: a fresh registry rebuild over the
+		// shards, exactly what a newly promoted gateway does at boot.
+		cgw := drill.fleet.gw.Load()
+		n, err := cgw.RebuildRegistry()
+		if err != nil {
+			return fmt.Errorf("registry rebuild: %w", err)
+		}
+		fmt.Printf("verification gateway rebuilt its registry from the shards (%d devices)\n", n)
+		printRollup(cgw)
+		if err := verifyGroundTruth(b, cgw, streams, seed); err != nil {
+			return err
+		}
+		fmt.Printf("gateway-failover verified: %d active-gateway kill(s), %d leader-hint redirect(s) + %d rotation(s), leadership settled at epoch %d (%s), fleet state byte-identical to the clean ground truth\n",
+			drill.kills.Load(), redirects, rotations, epoch, holder)
+		return nil
+	}
 	if crashPool != nil {
 		// The last kill can fire after the final batch it disturbs is
 		// retransmitted elsewhere; wait for the restart to finish before

@@ -157,6 +157,7 @@ const (
 	recExpire  = "expire"  // striped: TTL sweep expired these devices
 	recModel   = "model"   // meta: a model snapshot went live
 	recFP      = "fp"      // meta: a fingerprint sample was stored
+	recLease   = "lease"   // meta: a gateway leadership epoch was granted
 )
 
 // walRecord is the JSON envelope of every WAL payload. Field presence
@@ -169,6 +170,15 @@ type walRecord struct {
 	Devices []string        `json:"devices,omitempty"`
 	Snap    *ModelSnapshot  `json:"snap,omitempty"`
 	FP      *fpRecJSON      `json:"fp,omitempty"`
+	Lease   *leaseRecJSON   `json:"lease,omitempty"`
+}
+
+// leaseRecJSON is a gateway leadership grant on disk — the cold meta
+// record (and snapshot field) that makes write fencing survive a shard
+// restart: a crashed arbiter must never re-grant a deposed epoch.
+type leaseRecJSON struct {
+	Epoch  uint64 `json:"epoch"`
+	Holder string `json:"holder,omitempty"`
 }
 
 // obsRecJSON is one observation on disk: the store form plus the room
@@ -368,6 +378,13 @@ func decodeObsBinary(payload []byte) ([]store.Observation, []string, error) {
 			return nil, nil, err
 		}
 		const beaconWire = 16 + 2 + 2 + 8 + 8
+		// Bound the count by the bytes actually present BEFORE any
+		// arithmetic on it: a huge declared count would overflow the
+		// int(bn)*beaconWire below (wrapping past the bytes check) and
+		// panic the make — a record must error, never crash replay.
+		if bn > uint64(len(r.buf))/beaconWire {
+			return nil, nil, errShortObsRecord
+		}
 		raw, err := r.bytes(int(bn) * beaconWire)
 		if err != nil {
 			return nil, nil, err
@@ -484,6 +501,11 @@ func (s *Server) replayRecord(payload []byte) error {
 		if err := s.restoreModel(*rec.Snap); err != nil {
 			return err
 		}
+	case recLease:
+		if rec.Lease == nil {
+			return fmt.Errorf("bms: wal replay: lease record without grant")
+		}
+		s.installLease(rec.Lease.Epoch, rec.Lease.Holder)
 	case recFP:
 		if rec.FP == nil {
 			return fmt.Errorf("bms: wal replay: fingerprint record without sample")
@@ -574,6 +596,7 @@ type durableSnapJSON struct {
 	ModelSnap *ModelSnapshot   `json:"modelSnap,omitempty"`
 	Devices   []deviceSnapJSON `json:"devices,omitempty"`
 	Events    []eventRecJSON   `json:"events,omitempty"`
+	Lease     *leaseRecJSON    `json:"lease,omitempty"`
 }
 
 type deviceSnapJSON struct {
@@ -632,6 +655,9 @@ func (s *Server) writeDurableSnapshot(w io.Writer) error {
 			AtNanos: int64(e.At), Device: e.Device, Kind: int(e.Kind), Room: e.Room,
 		})
 	}
+	if epoch, holder := s.GrantedLease(); epoch > 0 {
+		snap.Lease = &leaseRecJSON{Epoch: epoch, Holder: holder}
+	}
 	return json.NewEncoder(w).Encode(snap)
 }
 
@@ -677,6 +703,9 @@ func (s *Server) restoreDurableSnapshot(r io.Reader) error {
 			})
 		}
 		s.tracker.InstallEvents(events)
+	}
+	if snap.Lease != nil {
+		s.installLease(snap.Lease.Epoch, snap.Lease.Holder)
 	}
 	return nil
 }

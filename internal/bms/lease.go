@@ -1,0 +1,274 @@
+// Gateway leadership leases. The fleet layer runs an active/standby
+// gateway pair; the shards themselves are the lease arbiter. Each
+// server durably records the highest gateway epoch it has ever granted
+// (a cold WAL meta record, replayed on restart, carried through
+// snapshots) and fences every write stamped with a lower epoch. A
+// gateway that wins epoch e+1 on a majority of shards is the leader; a
+// deposed "zombie" gateway — partitioned, paused mid-batch, or simply
+// slow to notice — finds all of its subsequent writes rejected with
+// ErrStaleLeader, so its retransmitted batches can only land through
+// the new leader, exactly once via the per-device seq marks.
+//
+// Writes stamped with epoch zero are unfenced: single-server
+// deployments and fleets without HA never claim a lease, and their
+// traffic must keep flowing. The fence therefore binds only gateways
+// that opted into leadership epochs — which is exactly the population
+// that can be deposed.
+package bms
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"occusim/internal/transport"
+)
+
+// ErrStaleLeader is the sentinel every stale-epoch rejection matches
+// (errors.Is). The concrete error is *StaleLeaderError, which carries
+// the granted epoch and the leader hint for the HTTP 409 face.
+var ErrStaleLeader = errors.New("bms: stale gateway leadership epoch")
+
+// StaleLeaderError rejects a lease claim or a fenced write stamped
+// with an epoch below the highest this server has granted.
+type StaleLeaderError struct {
+	// Granted is the highest epoch this server has granted.
+	Granted uint64
+	// Leader is the advertised URL of the gateway holding Granted,
+	// "" when unknown (the grant advanced through a stamped write
+	// rather than an explicit claim).
+	Leader string
+}
+
+func (e *StaleLeaderError) Error() string {
+	if e.Leader != "" {
+		return fmt.Sprintf("bms: stale gateway epoch: shard granted epoch %d to %s", e.Granted, e.Leader)
+	}
+	return fmt.Sprintf("bms: stale gateway epoch: shard granted epoch %d", e.Granted)
+}
+
+// Is makes errors.Is(err, ErrStaleLeader) match.
+func (e *StaleLeaderError) Is(target error) bool { return target == ErrStaleLeader }
+
+// leaseState is the server's view of gateway leadership: the highest
+// epoch granted and who holds it.
+type leaseState struct {
+	mu     sync.Mutex
+	epoch  uint64
+	holder string
+}
+
+// GrantLease records holder as the leaseholder at epoch, durably
+// (when the server is durable) before acknowledging. The grant rules:
+//
+//   - epoch above the current grant: granted, logged, and the old
+//     holder is deposed.
+//   - epoch equal to the current grant from the same holder: a
+//     renewal; granted without re-logging (the grant is already
+//     durable).
+//   - epoch equal to the current grant from a different holder: the
+//     epoch was already won by someone else — rejected, so two
+//     claimants can never both count this shard toward a quorum at
+//     the same epoch.
+//   - epoch below the current grant: rejected.
+//
+// Rejections return *StaleLeaderError carrying the current grant, so
+// a losing claimant learns which epoch to outbid and where the leader
+// is.
+func (s *Server) GrantLease(epoch uint64, holder string) (uint64, string, error) {
+	if epoch == 0 {
+		return 0, "", fmt.Errorf("bms: lease claim at epoch 0 (epoch 0 means unfenced)")
+	}
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	switch {
+	case epoch < s.lease.epoch:
+		return s.lease.epoch, s.lease.holder, &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
+	case epoch == s.lease.epoch:
+		if s.lease.holder != "" && s.lease.holder != holder {
+			return s.lease.epoch, s.lease.holder, &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
+		}
+		// A renewal (or a holder filling in the hint a write-implied
+		// advance left empty). The epoch itself is already durable.
+		s.lease.holder = holder
+		return s.lease.epoch, s.lease.holder, nil
+	default:
+		if err := s.logLease(epoch, holder); err != nil {
+			return s.lease.epoch, s.lease.holder, err
+		}
+		s.lease.epoch = epoch
+		s.lease.holder = holder
+		return epoch, holder, nil
+	}
+}
+
+// GrantedLease returns the highest epoch this server has granted and
+// the holder's advertised URL (zero and "" before any grant).
+func (s *Server) GrantedLease() (uint64, string) {
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	return s.lease.epoch, s.lease.holder
+}
+
+// admitEpoch fences a write stamped with a gateway epoch. Zero is
+// unfenced and always admitted. An epoch below the grant is the
+// zombie case — rejected. An epoch above it means the stamping
+// gateway won a quorum this shard was not part of (it was down or in
+// the minority); the write itself is proof of the newer leadership,
+// so the grant advances durably before the write is admitted —
+// fencing stays monotone on every shard, not just the claim quorum.
+func (s *Server) admitEpoch(epoch uint64) error {
+	if epoch == 0 {
+		return nil
+	}
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	if epoch < s.lease.epoch {
+		return &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
+	}
+	if epoch > s.lease.epoch {
+		if err := s.logLease(epoch, ""); err != nil {
+			return err
+		}
+		s.lease.epoch = epoch
+		s.lease.holder = ""
+	}
+	return nil
+}
+
+// logLease appends the grant record to the meta log. The caller holds
+// s.lease.mu; the record must be durable before the grant is
+// acknowledged, or a crashed shard could re-grant a deposed epoch.
+func (s *Server) logLease(epoch uint64, holder string) error {
+	if s.dur == nil {
+		return nil
+	}
+	end := s.dur.wal.Begin()
+	defer end()
+	return s.logMeta(walRecord{T: recLease, Lease: &leaseRecJSON{Epoch: epoch, Holder: holder}})
+}
+
+// installLease applies a recovered grant (WAL replay or snapshot
+// restore): the highest record wins.
+func (s *Server) installLease(epoch uint64, holder string) {
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	if epoch > s.lease.epoch {
+		s.lease.epoch = epoch
+		s.lease.holder = holder
+	}
+}
+
+// --- fenced write entry points ---------------------------------------
+//
+// The fleet's shard clients stamp every write with their gateway's
+// leadership epoch; these variants check the fence first and then run
+// the unfenced path. Epoch zero degenerates to the plain methods.
+
+// IngestFenced is Ingest behind the leadership fence.
+func (s *Server) IngestFenced(gwEpoch uint64, r transport.Report) (string, error) {
+	if err := s.admitEpoch(gwEpoch); err != nil {
+		return "", err
+	}
+	return s.Ingest(r)
+}
+
+// IngestBatchFenced is IngestBatch behind the leadership fence.
+func (s *Server) IngestBatchFenced(gwEpoch uint64, reports []transport.Report) ([]string, error) {
+	if err := s.admitEpoch(gwEpoch); err != nil {
+		return nil, err
+	}
+	return s.IngestBatch(reports)
+}
+
+// EvictDeviceFenced is EvictDevice behind the leadership fence — a
+// deposed gateway must not be able to rip device state out of a shard
+// mid-migration.
+func (s *Server) EvictDeviceFenced(gwEpoch uint64, device string) (DeviceState, bool, error) {
+	if err := s.admitEpoch(gwEpoch); err != nil {
+		return DeviceState{}, false, err
+	}
+	st, ok := s.EvictDevice(device)
+	return st, ok, nil
+}
+
+// InstallDeviceFenced is InstallDevice behind the leadership fence.
+func (s *Server) InstallDeviceFenced(gwEpoch uint64, st DeviceState) error {
+	if err := s.admitEpoch(gwEpoch); err != nil {
+		return err
+	}
+	return s.InstallDevice(st)
+}
+
+// ExpireBeforeFenced is ExpireBefore behind the leadership fence — a
+// zombie's TTL sweep would otherwise evict devices the new leader is
+// actively serving.
+func (s *Server) ExpireBeforeFenced(gwEpoch uint64, cutoff time.Duration) ([]string, error) {
+	if err := s.admitEpoch(gwEpoch); err != nil {
+		return nil, err
+	}
+	return s.ExpireBefore(cutoff), nil
+}
+
+// --- HTTP face --------------------------------------------------------
+
+// gatewayEpochFrom reads the write's leadership stamp; absent or
+// malformed means unfenced (epoch zero), matching pre-HA clients.
+func gatewayEpochFrom(r *http.Request) uint64 {
+	v := r.Header.Get(transport.HeaderGatewayEpoch)
+	if v == "" {
+		return 0
+	}
+	epoch, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return epoch
+}
+
+// writeStaleLeader answers 409 Conflict with the granted epoch and
+// leader hint in headers, so a deposed gateway (or a failover uplink)
+// can redirect to the real leader without guessing.
+func writeStaleLeader(w http.ResponseWriter, stale *StaleLeaderError) {
+	w.Header().Set(transport.HeaderLeaderEpoch, strconv.FormatUint(stale.Granted, 10))
+	if stale.Leader != "" {
+		w.Header().Set(transport.HeaderLeaderHint, stale.Leader)
+	}
+	writeError(w, http.StatusConflict, stale)
+}
+
+// leaseClaimRequest is the POST /api/v1/lease:claim payload.
+type leaseClaimRequest struct {
+	Epoch  uint64 `json:"epoch"`
+	Leader string `json:"leader"`
+}
+
+// handleLeaseClaim is the lease arbiter's HTTP face: grant, renewal,
+// or 409 with the winning epoch and holder.
+func (s *Server) handleLeaseClaim(w http.ResponseWriter, r *http.Request) {
+	var req leaseClaimRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	granted, holder, err := s.GrantLease(req.Epoch, req.Leader)
+	if err != nil {
+		var stale *StaleLeaderError
+		if errors.As(err, &stale) {
+			writeStaleLeader(w, stale)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"granted": granted, "holder": holder})
+}
+
+// handleLease reports the current grant (observability; never 409s).
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	epoch, holder := s.GrantedLease()
+	writeJSON(w, http.StatusOK, map[string]any{"granted": epoch, "holder": holder})
+}

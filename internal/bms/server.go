@@ -17,6 +17,7 @@ package bms
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -63,6 +64,12 @@ type Server struct {
 	// and the HTTP handlers pass through it, so a LocalShard fleet sheds
 	// exactly like an HTTP one. See SetAdmission.
 	gate *overload.Gate
+
+	// lease is the gateway-leadership grant this shard arbitrates:
+	// the highest epoch ever granted (durable on durable servers) and
+	// its holder. Writes stamped with a lower epoch are fenced; see
+	// lease.go.
+	lease leaseState
 
 	// idCache interns parsed beacon identities. A deployment sees the
 	// same handful of beacon-id strings on every report, so ingest pays
@@ -676,6 +683,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/devices:evict", s.handleDeviceEvict)
 	mux.HandleFunc("POST /api/v1/devices:install", s.handleDeviceInstall)
 	mux.HandleFunc("POST /api/v1/devices:expire", s.handleDeviceExpire)
+	mux.HandleFunc("POST /api/v1/lease:claim", s.handleLeaseClaim)
+	mux.HandleFunc("GET /api/v1/lease", s.handleLease)
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/rooms", s.handleRooms)
 	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
@@ -760,7 +769,7 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	room, err := s.Ingest(rep)
+	room, err := s.IngestFenced(gatewayEpochFrom(r), rep)
 	if err != nil {
 		writeIngestError(w, err)
 		return
@@ -770,8 +779,9 @@ func (s *Server) handleObservation(w http.ResponseWriter, r *http.Request) {
 
 // writeIngestError maps an ingest failure to its HTTP face: a shed
 // admission becomes 429 Too Many Requests with a Retry-After header
-// (integer seconds, rounded up per RFC 9110); anything else is the
-// client's fault and stays 400.
+// (integer seconds, rounded up per RFC 9110); a write from a deposed
+// gateway becomes 409 Conflict with the leader hint; anything else is
+// the client's fault and stays 400.
 func writeIngestError(w http.ResponseWriter, err error) {
 	if after, ok := overload.IsOverload(err); ok {
 		secs := int64((after + time.Second - 1) / time.Second)
@@ -780,6 +790,11 @@ func writeIngestError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	var stale *StaleLeaderError
+	if errors.As(err, &stale) {
+		writeStaleLeader(w, stale)
 		return
 	}
 	writeError(w, http.StatusBadRequest, err)
@@ -793,7 +808,7 @@ func (s *Server) handleObservationBatch(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	rooms, err := s.IngestBatch(reports)
+	rooms, err := s.IngestBatchFenced(gatewayEpochFrom(r), reports)
 	if err != nil {
 		writeIngestError(w, err)
 		return
@@ -925,12 +940,27 @@ func (s *Server) handleDeviceEvict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("evict without device"))
 		return
 	}
-	st, ok := s.EvictDevice(req.Device)
+	st, ok, err := s.EvictDeviceFenced(gatewayEpochFrom(r), req.Device)
+	if err != nil {
+		writeMigrationError(w, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no state for device %q", req.Device))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// writeMigrationError maps a fenced migration/expiry failure: stale
+// leadership is 409 with the leader hint, everything else 400.
+func writeMigrationError(w http.ResponseWriter, err error) {
+	var stale *StaleLeaderError
+	if errors.As(err, &stale) {
+		writeStaleLeader(w, stale)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // handleDeviceInstall accepts a migrated device's state — the
@@ -941,8 +971,8 @@ func (s *Server) handleDeviceInstall(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	if err := s.InstallDevice(st); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.InstallDeviceFenced(gatewayEpochFrom(r), st); err != nil {
+		writeMigrationError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"installed": st.Device})
@@ -958,7 +988,11 @@ func (s *Server) handleDeviceExpire(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	expired := s.ExpireBefore(time.Duration(req.BeforeNanos))
+	expired, err := s.ExpireBeforeFenced(gatewayEpochFrom(r), time.Duration(req.BeforeNanos))
+	if err != nil {
+		writeMigrationError(w, err)
+		return
+	}
 	if expired == nil {
 		expired = []string{}
 	}

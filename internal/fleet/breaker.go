@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"occusim/internal/bms"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
@@ -131,6 +132,11 @@ func breakerFailure(err error) bool {
 		return false
 	}
 	if _, ok := overload.IsOverload(err); ok {
+		return false
+	}
+	// A stale-leader fence is the shard working correctly — it answered,
+	// and the fault is this gateway's deposed epoch, not shard health.
+	if errors.Is(err, bms.ErrStaleLeader) {
 		return false
 	}
 	if code, ok := transport.StatusCode(err); ok {

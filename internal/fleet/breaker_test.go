@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"occusim/internal/bms"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
@@ -126,5 +129,91 @@ func TestBreakerFailureClassification(t *testing.T) {
 		if got := breakerFailure(err); got != tc.failure {
 			t.Fatalf("breakerFailure(status %d) = %v, want %v", tc.code, got, tc.failure)
 		}
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe pins the half-open admission contract
+// under concurrency: when the cooldown expires, EXACTLY ONE caller may
+// pass as the probe no matter how many race through allow() at once —
+// a half-open circuit that admits a thundering herd would re-stampede
+// the very shard it was protecting. It also pins the re-arm rules: a
+// failed probe re-opens the circuit (nobody else slips in until the
+// next cooldown), a successful probe closes it for everyone, and the
+// stale-leader fence is never an infrastructure failure.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := testBreaker(1, 10*time.Second)
+	b.failure() // trip it
+	clk.advance(10 * time.Second)
+
+	const racers = 64
+	var admitted atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// The probe fails: the circuit re-opens and holds everyone out for a
+	// fresh cooldown — including half-open stragglers.
+	b.failure()
+	if b.allow() {
+		t.Fatal("allow() during the re-opened cooldown")
+	}
+	clk.advance(9 * time.Second)
+	if b.allow() {
+		t.Fatal("cooldown restarted by the failed probe was not honoured")
+	}
+	clk.advance(time.Second)
+
+	// Next cooldown: again one probe — this time it succeeds and the
+	// circuit closes for all callers.
+	admitted.Store(0)
+	start = make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("second half-open window admitted %d probes, want exactly 1", got)
+	}
+	b.success()
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed circuit after a successful probe must admit everyone")
+	}
+	if state, trips := b.snapshot(); state != breakerClosed || trips != 2 {
+		t.Fatalf("final state=%v trips=%d, want closed/2", state, trips)
+	}
+}
+
+// TestBreakerIgnoresStaleLeaderFence pins that a 409 leadership fence
+// never counts against shard health: a deposed gateway's every write is
+// fenced, and tripping breakers on that would amputate healthy shards
+// from a gateway that may yet be re-elected.
+func TestBreakerIgnoresStaleLeaderFence(t *testing.T) {
+	if breakerFailure(&bms.StaleLeaderError{Granted: 4, Leader: "http://gwB"}) {
+		t.Fatal("a stale-leader fence counted as an infrastructure failure")
+	}
+	if breakerFailure(fmt.Errorf("shard says: %w", &bms.StaleLeaderError{Granted: 4})) {
+		t.Fatal("a wrapped stale-leader fence counted as an infrastructure failure")
 	}
 }

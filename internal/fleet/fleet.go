@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"occusim/internal/bms"
@@ -165,7 +166,26 @@ type Gateway struct {
 	gate     *overload.Gate
 	skew     *skewTracker
 	breakers []*breaker
+
+	// gwEpoch is the leadership epoch stamped on every shard write; see
+	// SetEpoch. Zero (the default) writes unfenced.
+	gwEpoch atomic.Uint64
 }
+
+// SetEpoch stamps the gateway's leadership epoch onto every shard
+// client: all subsequent ingest, migration and expiry writes carry it,
+// so a shard that has granted a newer epoch fences them with
+// bms.ErrStaleLeader. The LeaseController calls this on every
+// leadership transition; zero returns to unfenced legacy writes.
+func (g *Gateway) SetEpoch(epoch uint64) {
+	g.gwEpoch.Store(epoch)
+	for _, s := range g.shards {
+		s.StampEpoch(epoch)
+	}
+}
+
+// Epoch returns the leadership epoch set by SetEpoch (zero = unfenced).
+func (g *Gateway) Epoch() uint64 { return g.gwEpoch.Load() }
 
 // New builds a gateway over the shards. Shard names must be non-empty
 // and distinct: they seed the virtual nodes, and a duplicate name would

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"occusim/internal/bms"
@@ -26,6 +27,10 @@ type HTTPShard struct {
 	base   string
 	client *http.Client
 	retry  transport.RetryPolicy
+
+	// epoch is the gateway leadership stamp this client attaches to
+	// every write (X-Gateway-Epoch); see Shard.StampEpoch.
+	epoch atomic.Uint64
 }
 
 // NewHTTPShard points a shard client at a bms server root, e.g.
@@ -41,13 +46,50 @@ func NewHTTPShard(baseURL string, client *http.Client, retry transport.RetryPoli
 // Name implements Shard: the base URL is the stable ring identity.
 func (h *HTTPShard) Name() string { return h.base }
 
+// StampEpoch implements Shard.
+func (h *HTTPShard) StampEpoch(epoch uint64) { h.epoch.Store(epoch) }
+
+// stamp builds the write headers: the leadership epoch when one is
+// set, nil (no extra headers) for unfenced clients.
+func (h *HTTPShard) stamp() map[string]string {
+	epoch := h.epoch.Load()
+	if epoch == 0 {
+		return nil
+	}
+	return map[string]string{transport.HeaderGatewayEpoch: strconv.FormatUint(epoch, 10)}
+}
+
+// postWrite posts a fenced write: the leadership stamp rides the
+// request headers, and a 409 stale-leader answer comes back as the
+// same typed error the in-process arbiter returns.
+func (h *HTTPShard) postWrite(path string, body []byte) ([]byte, error) {
+	payload, err := transport.DoJSONHeaders(h.client, http.MethodPost, h.base+path, body, h.stamp(), h.retry)
+	if err != nil {
+		return nil, staleLeaderFrom(err)
+	}
+	return payload, nil
+}
+
+// staleLeaderFrom converts a 409 carrying lease headers into
+// *bms.StaleLeaderError, so gateway logic handles a remote rejection
+// and an in-process one identically. Any other error passes through.
+func staleLeaderFrom(err error) error {
+	if code, ok := transport.StatusCode(err); ok && code == http.StatusConflict {
+		if granted, ok := transport.LeaderEpoch(err); ok {
+			hint, _ := transport.LeaderHint(err)
+			return &bms.StaleLeaderError{Granted: granted, Leader: hint}
+		}
+	}
+	return err
+}
+
 // Ingest implements Shard.
 func (h *HTTPShard) Ingest(r transport.Report) (string, error) {
 	body, err := json.Marshal(r)
 	if err != nil {
 		return "", fmt.Errorf("fleet: marshal report: %w", err)
 	}
-	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/observations", body, h.retry)
+	payload, err := h.postWrite("/api/v1/observations", body)
 	if err != nil {
 		return "", err
 	}
@@ -67,7 +109,7 @@ func (h *HTTPShard) IngestBatch(reports []transport.Report) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: marshal batch: %w", err)
 	}
-	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/observations:batch", body, h.retry)
+	payload, err := h.postWrite("/api/v1/observations:batch", body)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +218,7 @@ func (h *HTTPShard) EvictDevice(device string) (bms.DeviceState, bool, error) {
 	if err != nil {
 		return bms.DeviceState{}, false, fmt.Errorf("fleet: marshal evict: %w", err)
 	}
-	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/devices:evict", body, h.retry)
+	payload, err := h.postWrite("/api/v1/devices:evict", body)
 	if err != nil {
 		if code, ok := transport.StatusCode(err); ok && code == http.StatusNotFound {
 			return bms.DeviceState{}, false, nil
@@ -198,7 +240,7 @@ func (h *HTTPShard) InstallDevice(st bms.DeviceState) error {
 	if err != nil {
 		return fmt.Errorf("fleet: marshal device state: %w", err)
 	}
-	_, err = transport.PostJSON(h.client, h.base+"/api/v1/devices:install", body, h.retry)
+	_, err = h.postWrite("/api/v1/devices:install", body)
 	return err
 }
 
@@ -208,7 +250,7 @@ func (h *HTTPShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: marshal expire: %w", err)
 	}
-	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/devices:expire", body, h.retry)
+	payload, err := h.postWrite("/api/v1/devices:expire", body)
 	if err != nil {
 		return nil, err
 	}
@@ -244,6 +286,32 @@ func (h *HTTPShard) Health() error {
 	return err
 }
 
+// Claim implements Shard via POST /api/v1/lease:claim. A 409 — the
+// epoch was outbid — returns the winning grant alongside the typed
+// stale-leader error, matching the in-process arbiter.
+func (h *HTTPShard) Claim(epoch uint64, leader string) (uint64, string, error) {
+	body, err := json.Marshal(map[string]any{"epoch": epoch, "leader": leader})
+	if err != nil {
+		return 0, "", fmt.Errorf("fleet: marshal lease claim: %w", err)
+	}
+	payload, err := transport.PostJSON(h.client, h.base+"/api/v1/lease:claim", body, h.retry)
+	if err != nil {
+		if stale := staleLeaderFrom(err); stale != err {
+			se := stale.(*bms.StaleLeaderError)
+			return se.Granted, se.Leader, se
+		}
+		return 0, "", err
+	}
+	var resp struct {
+		Granted uint64 `json:"granted"`
+		Holder  string `json:"holder"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return 0, "", fmt.Errorf("%w: decode lease grant: %v", ErrShardMisbehaved, err)
+	}
+	return resp.Granted, resp.Holder, nil
+}
+
 // HandlerOptions tunes the gateway's HTTP face.
 type HandlerOptions struct {
 	// Trainer, when set, serves the training endpoints: fingerprints
@@ -251,6 +319,12 @@ type HandlerOptions struct {
 	// model there and distributes the snapshot to every shard. Without
 	// it the gateway is ingest/query only and those endpoints 404.
 	Trainer *bms.Server
+	// Lease, when set, gates the write path on gateway leadership: a
+	// standby (or deposed) gateway answers ingest with 409 plus an
+	// X-Leader-Hint naming where leadership lives, instead of routing
+	// writes its shards would fence anyway. Reads stay open on a
+	// standby — they are merge-only and harmless.
+	Lease *LeaseController
 }
 
 // Handler exposes the gateway over HTTP with the same API shape as one
@@ -295,8 +369,15 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 			return
 		}
+		if opts.Lease != nil && !opts.Lease.Active() {
+			fleetStandbyError(w, opts.Lease)
+			return
+		}
 		room, err := g.Ingest(rep)
 		if err != nil {
+			if opts.Lease != nil {
+				opts.Lease.ObserveStale(err)
+			}
 			fleetIngestError(w, err)
 			return
 		}
@@ -308,8 +389,15 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 			return
 		}
+		if opts.Lease != nil && !opts.Lease.Active() {
+			fleetStandbyError(w, opts.Lease)
+			return
+		}
 		rooms, err := g.IngestBatch(reports)
 		if err != nil {
+			if opts.Lease != nil {
+				opts.Lease.ObserveStale(err)
+			}
 			fleetIngestError(w, err)
 			return
 		}
@@ -432,6 +520,12 @@ func ingestStatus(err error) int {
 	if _, ok := overload.IsOverload(err); ok {
 		return http.StatusTooManyRequests
 	}
+	// Ordered before the generic HTTP mapping: a shard's stale-leader
+	// rejection must surface as 409 (with the leader hint attached by
+	// fleetIngestError), not collapse into the 4xx→400 bucket.
+	if errors.Is(err, bms.ErrStaleLeader) {
+		return http.StatusConflict
+	}
 	if errors.Is(err, ErrNoHealthyShards) || errors.Is(err, ErrShardTripped) {
 		return http.StatusServiceUnavailable
 	}
@@ -475,7 +569,26 @@ func fleetIngestError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
+	if code == http.StatusConflict {
+		var stale *bms.StaleLeaderError
+		if errors.As(err, &stale) {
+			w.Header().Set(transport.HeaderLeaderEpoch, strconv.FormatUint(stale.Granted, 10))
+			if stale.Leader != "" {
+				w.Header().Set(transport.HeaderLeaderHint, stale.Leader)
+			}
+		}
+	}
 	fleetError(w, code, err)
+}
+
+// fleetStandbyError answers a write sent to a non-leading gateway: 409
+// plus an X-Leader-Hint at wherever this gateway believes leadership
+// lives, so a FailoverUplink redirects without burning retry budget.
+func fleetStandbyError(w http.ResponseWriter, lease *LeaseController) {
+	if hint := lease.LeaderHint(); hint != "" {
+		w.Header().Set(transport.HeaderLeaderHint, hint)
+	}
+	fleetError(w, http.StatusConflict, fmt.Errorf("gateway is standby, not leading"))
 }
 
 func fleetJSON(w http.ResponseWriter, code int, v any) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"occusim/internal/bms"
@@ -51,6 +52,20 @@ type Shard interface {
 	Devices() ([]string, error)
 	// Health reports whether the shard can take traffic.
 	Health() error
+	// Claim asks the shard — the lease arbiter — to grant gateway
+	// leadership at epoch to the gateway advertised at leader. It
+	// returns the shard's current grant (epoch and holder); err is a
+	// *bms.StaleLeaderError (errors.Is bms.ErrStaleLeader) when the
+	// epoch was outbid. A gateway leads once a majority of shards
+	// grant the same epoch; see LeaseController.
+	Claim(epoch uint64, leader string) (granted uint64, holder string, err error)
+	// StampEpoch sets the gateway leadership epoch this client stamps
+	// onto every subsequent write (ingest, migration, expiry). Zero —
+	// the default — sends unfenced writes; a nonzero stamp below a
+	// shard's grant is rejected with bms.ErrStaleLeader. Each gateway
+	// must own its shard clients: the stamp is the client's identity
+	// in the fencing protocol, not shared routing state.
+	StampEpoch(epoch uint64)
 }
 
 // LocalShard adapts an in-process bms.Server to the Shard interface —
@@ -58,6 +73,10 @@ type Shard interface {
 type LocalShard struct {
 	name string
 	srv  *bms.Server
+
+	// epoch is the gateway leadership stamp on this client's writes;
+	// see Shard.StampEpoch.
+	epoch atomic.Uint64
 }
 
 // NewLocalShard wraps srv under the given ring name.
@@ -75,11 +94,13 @@ func (l *LocalShard) Server() *bms.Server { return l.srv }
 func (l *LocalShard) Name() string { return l.name }
 
 // Ingest implements Shard.
-func (l *LocalShard) Ingest(r transport.Report) (string, error) { return l.srv.Ingest(r) }
+func (l *LocalShard) Ingest(r transport.Report) (string, error) {
+	return l.srv.IngestFenced(l.epoch.Load(), r)
+}
 
 // IngestBatch implements Shard.
 func (l *LocalShard) IngestBatch(reports []transport.Report) ([]string, error) {
-	return l.srv.IngestBatch(reports)
+	return l.srv.IngestBatchFenced(l.epoch.Load(), reports)
 }
 
 // InstallModel implements Shard.
@@ -101,18 +122,17 @@ func (l *LocalShard) DwellTotals() (map[string]time.Duration, error) {
 
 // EvictDevice implements Shard.
 func (l *LocalShard) EvictDevice(device string) (bms.DeviceState, bool, error) {
-	st, ok := l.srv.EvictDevice(device)
-	return st, ok, nil
+	return l.srv.EvictDeviceFenced(l.epoch.Load(), device)
 }
 
 // InstallDevice implements Shard.
 func (l *LocalShard) InstallDevice(st bms.DeviceState) error {
-	return l.srv.InstallDevice(st)
+	return l.srv.InstallDeviceFenced(l.epoch.Load(), st)
 }
 
 // ExpireBefore implements Shard.
 func (l *LocalShard) ExpireBefore(cutoff time.Duration) ([]string, error) {
-	return l.srv.ExpireBefore(cutoff), nil
+	return l.srv.ExpireBeforeFenced(l.epoch.Load(), cutoff)
 }
 
 // Devices implements Shard.
@@ -122,6 +142,14 @@ func (l *LocalShard) Devices() ([]string, error) {
 
 // Health implements Shard: an in-process server is always reachable.
 func (l *LocalShard) Health() error { return nil }
+
+// Claim implements Shard against the in-process lease arbiter.
+func (l *LocalShard) Claim(epoch uint64, leader string) (uint64, string, error) {
+	return l.srv.GrantLease(epoch, leader)
+}
+
+// StampEpoch implements Shard.
+func (l *LocalShard) StampEpoch(epoch uint64) { l.epoch.Store(epoch) }
 
 // LocalPool is a set of in-process shards with their backing layers
 // exposed for training and persistence wiring: Shards[i] wraps

@@ -397,6 +397,32 @@ func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
 	if err != nil {
 		return fmt.Errorf("store: wal replay %s: %w", wf.path, err)
 	}
+	off, err := scanFrames(data, barrier, apply)
+	if err != nil {
+		return fmt.Errorf("store: wal %s: %w", wf.path, err)
+	}
+	if off < len(data) {
+		// Discard the torn tail so future appends continue from a clean
+		// frame boundary.
+		if err := wf.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("store: wal %s: truncate torn tail: %w", wf.path, err)
+		}
+		if _, err := wf.f.Seek(int64(off), io.SeekStart); err != nil {
+			return fmt.Errorf("store: wal %s: %w", wf.path, err)
+		}
+	}
+	return nil
+}
+
+// scanFrames walks the frame sequence in data, invoking apply with the
+// payload of every live frame (generation at or above barrier), and
+// returns the byte length of the valid prefix. It is a pure function
+// over the in-memory image — the fuzzable core of recovery. A returned
+// valid below len(data) means the remainder is a torn tail the caller
+// should truncate away; an error means corruption INSIDE committed
+// history (a bad frame with real data after it), which recovery must
+// refuse to skip. An apply error aborts the scan.
+func scanFrames(data []byte, barrier uint64, apply func([]byte) error) (valid int, err error) {
 	off := 0
 	for off < len(data) {
 		rest := data[off:]
@@ -410,7 +436,7 @@ func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
 			if looksLikeTail(rest[frameHeaderLen:]) {
 				break
 			}
-			return fmt.Errorf("store: wal %s: corrupt frame length %d at offset %d", wf.path, n, off)
+			return off, fmt.Errorf("corrupt frame length %d at offset %d", n, off)
 		}
 		if len(rest) < frameHeaderLen+n {
 			break // truncated payload: torn tail
@@ -427,27 +453,17 @@ func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
 			if looksLikeTail(rest[frameHeaderLen+n:]) && !anyNonZero(body) {
 				break
 			}
-			return fmt.Errorf("store: wal %s: checksum mismatch at offset %d (committed history is damaged; refusing to recover past it)", wf.path, off)
+			return off, fmt.Errorf("checksum mismatch at offset %d (committed history is damaged; refusing to recover past it)", off)
 		}
 		gen := binary.LittleEndian.Uint64(rest[8:16])
 		if gen >= barrier {
 			if err := apply(rest[16 : frameHeaderLen+n]); err != nil {
-				return fmt.Errorf("store: wal %s: apply record at offset %d: %w", wf.path, off, err)
+				return off, fmt.Errorf("apply record at offset %d: %w", off, err)
 			}
 		}
 		off += frameHeaderLen + n
 	}
-	if off < len(data) {
-		// Discard the torn tail so future appends continue from a clean
-		// frame boundary.
-		if err := wf.f.Truncate(int64(off)); err != nil {
-			return fmt.Errorf("store: wal %s: truncate torn tail: %w", wf.path, err)
-		}
-		if _, err := wf.f.Seek(int64(off), io.SeekStart); err != nil {
-			return fmt.Errorf("store: wal %s: %w", wf.path, err)
-		}
-	}
-	return nil
+	return off, nil
 }
 
 // looksLikeTail reports whether the bytes after a bad frame are all

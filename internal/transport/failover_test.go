@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// leaderSim is a gateway stand-in whose leadership is a test knob:
+// while deposed it answers 409 with (optionally) a leader hint, while
+// leading it 200s and counts deliveries.
+type leaderSim struct {
+	mu       sync.Mutex
+	leading  bool
+	hint     string
+	accepted int
+	hits     int
+}
+
+func (g *leaderSim) handler(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hits++
+	if !g.leading {
+		if g.hint != "" {
+			w.Header().Set(HeaderLeaderHint, g.hint)
+			w.Header().Set(HeaderLeaderEpoch, "2")
+		}
+		http.Error(w, `{"error":"standby"}`, http.StatusConflict)
+		return
+	}
+	g.accepted++
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(`{"room":"kitchen"}`))
+}
+
+func (g *leaderSim) stats() (accepted, hits int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.accepted, g.hits
+}
+
+// TestDoJSON409FailsImmediately pins the retry-policy satellite: a 409
+// is permanent for THIS target — one attempt, zero backoff sleeps, so a
+// redirect can happen with the whole retry budget intact.
+func TestDoJSON409FailsImmediately(t *testing.T) {
+	deposed := &leaderSim{hint: "http://example.invalid"}
+	ts := httptest.NewServer(http.HandlerFunc(deposed.handler))
+	defer ts.Close()
+
+	rec := &sleepRecorder{}
+	_, err := PostJSON(nil, ts.URL+"/api/v1/observations", []byte(`{}`), retryPolicy(rec, 5))
+	if err == nil {
+		t.Fatal("409 should fail the call")
+	}
+	if code, ok := StatusCode(err); !ok || code != http.StatusConflict {
+		t.Fatalf("status = %v (%v)", code, err)
+	}
+	if _, hits := deposed.stats(); hits != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (409 must not burn the retry budget)", hits)
+	}
+	if len(rec.delays) != 0 {
+		t.Fatalf("unexpected backoff before 409 failure: %v", rec.delays)
+	}
+	if hint, ok := LeaderHint(err); !ok || hint != "http://example.invalid" {
+		t.Fatalf("leader hint = %q, %v", hint, ok)
+	}
+	if epoch, ok := LeaderEpoch(err); !ok || epoch != 2 {
+		t.Fatalf("leader epoch = %d, %v", epoch, ok)
+	}
+}
+
+// TestFailoverUplinkFollowsLeaderHint: the first target is deposed and
+// names the leader; the uplink redirects immediately and sticks there.
+func TestFailoverUplinkFollowsLeaderHint(t *testing.T) {
+	leader := &leaderSim{leading: true}
+	leaderTS := httptest.NewServer(http.HandlerFunc(leader.handler))
+	defer leaderTS.Close()
+
+	deposed := &leaderSim{hint: leaderTS.URL}
+	deposedTS := httptest.NewServer(http.HandlerFunc(deposed.handler))
+	defer deposedTS.Close()
+
+	rec := &sleepRecorder{}
+	u, err := NewFailoverUplink([]string{deposedTS.URL, leaderTS.URL}, nil, retryPolicy(rec, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err != nil {
+		t.Fatalf("send through failover: %v", err)
+	}
+	if accepted, _ := leader.stats(); accepted != 1 {
+		t.Fatalf("leader accepted %d, want 1", accepted)
+	}
+	if len(rec.delays) != 0 {
+		t.Fatalf("hint redirect slept %v, want no backoff at all", rec.delays)
+	}
+	redirects, rotations := u.Stats()
+	if redirects != 1 || rotations != 0 {
+		t.Fatalf("redirects=%d rotations=%d, want 1/0", redirects, rotations)
+	}
+	// Sticky: the next send goes straight to the leader.
+	if err := u.Send(Report{Device: "p", AtSeconds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, hits := deposed.stats(); hits != 1 {
+		t.Fatalf("deposed target saw %d hits, want 1 (second send must go to the leader)", hits)
+	}
+	if u.Target() != leaderTS.URL {
+		t.Fatalf("sticky target = %q", u.Target())
+	}
+}
+
+// TestFailoverUplinkLearnsUnlistedLeader: the hint points outside the
+// configured target list (the leader moved to a respawned process on a
+// new port); the uplink must follow and adopt it.
+func TestFailoverUplinkLearnsUnlistedLeader(t *testing.T) {
+	leader := &leaderSim{leading: true}
+	leaderTS := httptest.NewServer(http.HandlerFunc(leader.handler))
+	defer leaderTS.Close()
+
+	deposed := &leaderSim{hint: leaderTS.URL}
+	deposedTS := httptest.NewServer(http.HandlerFunc(deposed.handler))
+	defer deposedTS.Close()
+
+	u, err := NewFailoverUplink([]string{deposedTS.URL}, nil, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err != nil {
+		t.Fatalf("send to unlisted leader: %v", err)
+	}
+	if u.Target() != leaderTS.URL {
+		t.Fatalf("uplink did not adopt the hinted leader: %q", u.Target())
+	}
+}
+
+// TestFailoverUplinkRotatesOnRefusedTarget: a dead first target (port
+// refused) rotates to the second without a leader hint.
+func TestFailoverUplinkRotatesOnRefusedTarget(t *testing.T) {
+	leader := &leaderSim{leading: true}
+	leaderTS := httptest.NewServer(http.HandlerFunc(leader.handler))
+	defer leaderTS.Close()
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+
+	u, err := NewFailoverUplink([]string{deadURL, leaderTS.URL}, nil, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SendBatch([]Report{{Device: "p", AtSeconds: 1}}); err != nil {
+		t.Fatalf("batch through dead-then-live: %v", err)
+	}
+	if accepted, _ := leader.stats(); accepted != 1 {
+		t.Fatalf("leader accepted %d, want 1", accepted)
+	}
+	if _, rotations := u.Stats(); rotations != 1 {
+		t.Fatalf("rotations = %d, want 1", rotations)
+	}
+}
+
+// TestFailoverUplinkBoundedWhenAllDeposed: a deposed pair hinting at
+// each other must terminate with an error, not loop.
+func TestFailoverUplinkBoundedWhenAllDeposed(t *testing.T) {
+	a := &leaderSim{}
+	b := &leaderSim{}
+	tsA := httptest.NewServer(http.HandlerFunc(a.handler))
+	defer tsA.Close()
+	tsB := httptest.NewServer(http.HandlerFunc(b.handler))
+	defer tsB.Close()
+	a.hint = tsB.URL
+	b.hint = tsA.URL
+
+	u, err := NewFailoverUplink([]string{tsA.URL, tsB.URL}, nil, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := u.Send(Report{Device: "p", AtSeconds: 1}); err == nil {
+		t.Fatal("all-deposed pair should fail the send")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded hop budget took %v", elapsed)
+	}
+	_, hitsA := a.stats()
+	_, hitsB := b.stats()
+	if total := hitsA + hitsB; total > 8 {
+		t.Fatalf("hop budget leaked: %d total hits", total)
+	}
+}

@@ -263,6 +263,23 @@ func (p RetryPolicy) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
+// Leadership-fencing headers, shared by every layer that speaks them:
+// the fleet's shard client stamps writes with HeaderGatewayEpoch, the
+// BMS lease arbiter answers stale writes with 409 plus
+// HeaderLeaderEpoch/HeaderLeaderHint, and FailoverUplink follows the
+// hint. Defined here so producer and consumer cannot drift apart.
+const (
+	// HeaderGatewayEpoch stamps a write with the sending gateway's
+	// leadership epoch; absent or zero means unfenced.
+	HeaderGatewayEpoch = "X-Gateway-Epoch"
+	// HeaderLeaderEpoch is the highest epoch the answering shard has
+	// granted, on a 409 stale-leader rejection.
+	HeaderLeaderEpoch = "X-Leader-Epoch"
+	// HeaderLeaderHint is the advertised URL of the current
+	// leaseholder, on a 409 when the shard knows it.
+	HeaderLeaderHint = "X-Leader-Hint"
+)
+
 // statusError is a non-2xx response; its code decides retryability and
 // its body snippet tells the operator why the server refused.
 type statusError struct {
@@ -273,6 +290,12 @@ type statusError struct {
 	// hasRetryAfter distinguishes "no header" from "Retry-After: 0".
 	retryAfter    time.Duration
 	hasRetryAfter bool
+	// leaderHint and leaderEpoch carry a 409 stale-leader rejection's
+	// redirect: the current leaseholder's URL (may be empty) and the
+	// granted epoch that outbid the sender.
+	leaderHint     string
+	leaderEpoch    uint64
+	hasLeaderEpoch bool
 }
 
 func (e *statusError) Error() string {
@@ -290,6 +313,20 @@ func (e *statusError) Error() string {
 // HTTP shard client shares this path with HTTPUplink, so both see
 // identical retry and error semantics.
 func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPolicy) ([]byte, error) {
+	return DoJSONHeaders(client, method, url, body, nil, policy)
+}
+
+// DoJSONHeaders is DoJSON with extra request headers on every attempt —
+// the fleet's shard client uses it to stamp writes with the gateway
+// leadership epoch.
+//
+// A 409 stale-leader rejection is permanent for THIS target but
+// immediately redirectable: like every non-429 4xx it fails on the
+// first answer without sleeping or spending retry budget, and the
+// error carries the shard's leader hint (LeaderHint/LeaderEpoch) so a
+// FailoverUplink can switch to the real leader at once instead of
+// burning backoff against a deposed gateway.
+func DoJSONHeaders(client *http.Client, method, url string, body []byte, hdr map[string]string, policy RetryPolicy) ([]byte, error) {
 	var attemptTimeout time.Duration
 	if client == nil {
 		client = &http.Client{}
@@ -314,7 +351,7 @@ func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPo
 			spent += d
 			policy.sleep(d)
 		}
-		payload, err := doOnce(client, method, url, body, attemptTimeout)
+		payload, err := doOnce(client, method, url, body, hdr, attemptTimeout)
 		if err == nil {
 			return payload, nil
 		}
@@ -334,7 +371,7 @@ var nilClientAttemptTimeout = 5 * time.Second
 
 // doOnce is a single exchange attempt; timeout > 0 bounds just this
 // attempt via the request context.
-func doOnce(client *http.Client, method, url string, body []byte, timeout time.Duration) ([]byte, error) {
+func doOnce(client *http.Client, method, url string, body []byte, hdr map[string]string, timeout time.Duration) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -350,6 +387,9 @@ func doOnce(client *http.Client, method, url string, body []byte, timeout time.D
 		return nil, fmt.Errorf("transport: request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %s: %w", strings.ToLower(method), err)
@@ -367,6 +407,13 @@ func doOnce(client *http.Client, method, url string, body []byte, timeout time.D
 			if secs, perr := strconv.ParseFloat(ra, 64); perr == nil && secs >= 0 {
 				se.retryAfter = time.Duration(secs * float64(time.Second))
 				se.hasRetryAfter = true
+			}
+		}
+		se.leaderHint = strings.TrimSpace(resp.Header.Get(HeaderLeaderHint))
+		if le := strings.TrimSpace(resp.Header.Get(HeaderLeaderEpoch)); le != "" {
+			if epoch, perr := strconv.ParseUint(le, 10, 64); perr == nil {
+				se.leaderEpoch = epoch
+				se.hasLeaderEpoch = true
 			}
 		}
 		return nil, se
@@ -397,6 +444,26 @@ func RetryAfter(err error) (time.Duration, bool) {
 	var se *statusError
 	if errors.As(err, &se) && se.hasRetryAfter {
 		return se.retryAfter, true
+	}
+	return 0, false
+}
+
+// LeaderHint extracts the leaseholder URL from a 409 stale-leader
+// rejection. ok is false when the response named no leader.
+func LeaderHint(err error) (string, bool) {
+	var se *statusError
+	if errors.As(err, &se) && se.leaderHint != "" {
+		return se.leaderHint, true
+	}
+	return "", false
+}
+
+// LeaderEpoch extracts the granted leadership epoch from a 409
+// stale-leader rejection — the epoch a losing claimant must outbid.
+func LeaderEpoch(err error) (uint64, bool) {
+	var se *statusError
+	if errors.As(err, &se) && se.hasLeaderEpoch {
+		return se.leaderEpoch, true
 	}
 	return 0, false
 }
