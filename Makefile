@@ -2,7 +2,7 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 8
+PR ?= 9
 # DIFF_BASE is the previous snapshot bench-diff compares against.
 DIFF_BASE ?= BENCH_PR7.json
 
@@ -50,13 +50,18 @@ bench-diff:
 # devices with clocks hours wrong (re-anchored, set-equivalent); and
 # diurnal runs the campus arrive/dwell/depart wave (departures swept by
 # TTL to exactly the reference's expired state). Every run exits
-# nonzero on oracle divergence or a vacuous drill.
+# nonzero on oracle divergence or a vacuous drill. The final run drives
+# live bmsd subprocesses with no faults and curls each shard's
+# /metrics, failing on any malformed exposition line — the scrape
+# check.
 loadtest:
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 -flaky 0.2
 	$(GO) run ./cmd/loadgen -scenario storm -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -scenario skew -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -scenario diurnal -shards 2 -devices 12 -reports 60 -seed 7
+	$(GO) build -o bin/bmsd ./cmd/bmsd
+	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7 -bmsd bin/bmsd -fsync batch
 
 # crashtest is the durability pin, two drills over real bmsd
 # subprocesses with write-ahead logs. First the shard drill: two shards
@@ -70,6 +75,11 @@ loadtest:
 # Both runs exit nonzero unless the final fleet occupancy/events/dwell
 # are byte-identical to a clean single server fed the same streams
 # once, so kill -9 of any layer loses nothing and lands nothing twice.
+# The gateway drill additionally asserts the failover story from the
+# shards' own telemetry (/api/v1/telemetry): every kill produced
+# exactly one successful lease claim on every shard, and the
+# stale-admit tripwire — a deposed gateway's write admitted past the
+# fence — stayed at zero.
 crashtest:
 	$(GO) build -o bin/bmsd ./cmd/bmsd
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \

@@ -325,6 +325,23 @@ func BenchmarkCrowdIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkCrowdIngestMetrics is the same crowd with the telemetry
+// registry attached — every batch timed into the latency histogram,
+// every report counted, the lease fence checked. rep_per_s against
+// BenchmarkCrowdIngest's is the observability tax the PR pins at ≤2%
+// (see PERF.md).
+func BenchmarkCrowdIngestMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdIngestInstrumented(32, uint64(i)+11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "rep_per_s")
+		b.ReportMetric(float64(res.Reports), "reports")
+		b.ReportMetric(100*res.PlacementAccuracy, "placement_pct")
+	}
+}
+
 // BenchmarkCrowdIngestWAL is the same crowd with the per-stripe
 // write-ahead log in the loop at the batch fsync policy: every
 // observation batch is framed, checksummed and synced before the

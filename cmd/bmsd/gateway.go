@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"occusim/internal/fleet"
+	"occusim/internal/obs"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
@@ -85,6 +86,9 @@ func runGatewayHA(cfg gatewayHAConfig) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	met := obs.New()
+	transport.Instrument(met)
+	gateway.Instrument(met)
 	lease, err := fleet.NewLeaseController(gateway, fleet.LeaseConfig{
 		Self: cfg.self,
 		Peer: cfg.peer,

@@ -27,6 +27,11 @@
 //	GET  /api/v1/devices/{id}   latest report and room (single-server)
 //	GET  /api/v1/rollup         federated occupancy rollup (fleet)
 //	GET  /api/v1/shards         shard health and routing (fleet)
+//	GET  /metrics               Prometheus text exposition
+//	GET  /api/v1/telemetry      JSON metrics + flight-recorder events
+//
+// With -debug-addr, a second listener serves net/http/pprof — kept off
+// the API port so profiling is strictly opt-in.
 //
 // On SIGINT/SIGTERM the server drains: the listener closes first so
 // loadgen runs see connection-refused rather than mid-flight resets,
@@ -65,6 +70,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only via -debug-addr
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -73,9 +79,28 @@ import (
 
 	"occusim/internal/building"
 	"occusim/internal/fleet"
+	"occusim/internal/obs"
 	"occusim/internal/overload"
 	"occusim/internal/store"
+	"occusim/internal/transport"
 )
+
+// startDebugServer serves net/http/pprof on its own listener when addr
+// is set. Deliberately opt-in and separate from the API listener: the
+// profiler must never be reachable on the service port.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("bmsd: pprof debug server on %s", addr)
+		// DefaultServeMux carries only the pprof registrations above —
+		// every API route lives on the explicit muxes below.
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("bmsd: debug server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -99,7 +124,10 @@ func main() {
 	peerURL := flag.String("peer", "", "gateway-HA mode: the partner gateway's URL (probed by a standby)")
 	standby := flag.Bool("standby", false, "gateway-HA mode: start as warm standby instead of claiming leadership")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "gateway-HA mode: leadership lease TTL (renew and probe at TTL/3)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address serving net/http/pprof (empty: no debug server)")
 	flag.Parse()
+
+	startDebugServer(*debugAddr)
 
 	if *shardURLs != "" {
 		runGatewayHA(gatewayHAConfig{
@@ -169,12 +197,21 @@ func main() {
 		RetryAfter:  *retryAfter,
 	}
 
+	// One process-wide registry feeds GET /metrics and
+	// GET /api/v1/telemetry. In fleet mode every in-process shard
+	// registers into it: identical series share handles, so the scrape
+	// shows pool-wide aggregates (per-shard breakdowns belong to the
+	// per-process shard deployments the crash drills run).
+	met := obs.New()
+	transport.Instrument(met)
+
 	var handler http.Handler
 	var gateway *fleet.Gateway
 	if *shards == 1 {
 		// Single server: the admission gate sits directly on the BMS
 		// ingest path; shed requests answer 429 + Retry-After.
 		trainer.SetAdmission(admission)
+		trainer.Instrument(met)
 		handler = trainer.Handler()
 	} else {
 		// ProbeInterval keeps external health polling from fanning a
@@ -192,6 +229,10 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		gateway.Instrument(met)
+		for _, srv := range pool.Servers {
+			srv.Instrument(met)
 		}
 		// A durable fleet's gateway persists nothing: after the shards
 		// recover, repopulate the migration registry from their device

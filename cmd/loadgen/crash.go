@@ -79,6 +79,10 @@ type crashFleet struct {
 	clock   float64
 
 	kills atomic.Int64
+
+	// onKill, when set, closes a dashboard phase after each recovered
+	// kill (see dashboard.go).
+	onKill func(label string)
 }
 
 // startCrashFleet spawns one single-shard durable bmsd per shard,
@@ -273,6 +277,9 @@ func (c *crashFleet) runKiller(schedule []float64, restartGateway bool, done <-c
 				fmt.Printf("crash: gateway restarted, registry rebuilt from shards (%d devices)\n", n)
 			}
 			c.gw.Store(gw)
+		}
+		if c.onKill != nil {
+			c.onKill(fmt.Sprintf("after shard kill %d", n+1))
 		}
 	}
 }

@@ -51,6 +51,10 @@ type gatewayDrill struct {
 	gws       [2]*gatewayProc
 	shardURLs string
 	kills     atomic.Int64
+
+	// onKill, when set, closes a dashboard phase after each completed
+	// takeover (see dashboard.go).
+	onKill func(label string)
 }
 
 // startGatewayDrill brings up shards, trains and distributes the crowd
@@ -201,7 +205,7 @@ func (d *gatewayDrill) killActive() error {
 
 // runKiller fires the gateway-kill schedule against the trace clock.
 func (d *gatewayDrill) runKiller(schedule []float64, done <-chan struct{}, errs chan<- error) {
-	for _, t := range schedule {
+	for n, t := range schedule {
 		for d.fleet.now() < t {
 			select {
 			case <-done:
@@ -213,6 +217,9 @@ func (d *gatewayDrill) runKiller(schedule []float64, done <-chan struct{}, errs 
 		if err := d.killActive(); err != nil {
 			errs <- err
 			return
+		}
+		if d.onKill != nil {
+			d.onKill(fmt.Sprintf("after gateway kill %d", n+1))
 		}
 	}
 }

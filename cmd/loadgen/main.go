@@ -36,6 +36,17 @@
 // gateway from the shards' recovered device sets, and the run ends
 // with the same byte-identical ground-truth assertion — the crashtest
 // that proves kill -9 loses nothing (see make crashtest).
+//
+// Every run ends with a telemetry dashboard scraped from the fleet's
+// own /api/v1/telemetry faces (or read straight from the in-process
+// registry): per-phase goodput and shed rate, cumulative p99 by
+// pipeline stage, lease transitions, and the flight recorder's tail.
+// Live targets additionally have their /metrics exposition validated —
+// one malformed line fails the run. -bmsd WITHOUT a kill schedule runs
+// that check against real subprocess shards with no faults injected
+// (the CI loadtest mode), and -kill-gateway runs assert from shard
+// telemetry that every kill produced exactly one successful lease
+// claim and that no stale-epoch write was ever admitted.
 package main
 
 import (
@@ -55,6 +66,7 @@ import (
 	"occusim/internal/filter"
 	"occusim/internal/fleet"
 	"occusim/internal/fleet/fleettest"
+	"occusim/internal/obs"
 	"occusim/internal/scenario"
 	"occusim/internal/stats"
 	"occusim/internal/trace"
@@ -76,7 +88,7 @@ func main() {
 	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports")
 	kill := flag.String("kill", "", "crash schedule \"t1,t2,...\" (trace seconds): SIGKILL a shard subprocess at each time, restart it, and assert the final state against ground truth")
 	killGateway := flag.String("kill-gateway", "", "gateway-failover schedule \"t1,t2,...\" (trace seconds): SIGKILL the ACTIVE HA-gateway subprocess at each time, let the standby claim the lease and take over, and assert the final state against ground truth")
-	bmsdPath := flag.String("bmsd", "", "path to a built bmsd binary (required with -kill)")
+	bmsdPath := flag.String("bmsd", "", "path to a built bmsd binary (required with -kill/-kill-gateway; alone: live subprocess shards, no faults — the CI loadtest mode)")
 	dataRoot := flag.String("data-root", "", "root directory for the crash shards' WALs (with -kill; empty: a temp dir)")
 	fsync := flag.String("fsync", "batch", "WAL sync policy for the crash shards: batch, interval, off")
 	restartGateway := flag.Bool("restart-gateway", false, "with -kill: also discard and rebuild the gateway at each crash, proving a gateway restart is invisible")
@@ -214,6 +226,19 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	} else if target != "" {
 		sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry()}
 		fmt.Printf("loadgen: %d devices, %d reports → %s\n", devices, total, target)
+	} else if crash.BmsdPath != "" {
+		// -bmsd with no kill schedule: live subprocess shards and no
+		// faults — the CI loadtest face. The run drives the real binary
+		// end to end, scrapes its telemetry for the dashboard, and
+		// fails if any shard's /metrics exposition is malformed.
+		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		if err != nil {
+			return err
+		}
+		defer crashPool.stop()
+		sink = crashUplink{c: crashPool}
+		fmt.Printf("loadgen: %d devices, %d reports → %d live bmsd subprocess shard(s), no faults (fsync=%s)\n",
+			devices, total, shards, crash.Fsync)
 	} else {
 		gw, flakies, err = inProcessFleet(b, shards, seed, flaky)
 		if err != nil {
@@ -227,6 +252,44 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 			fmt.Printf("loadgen: %d devices, %d reports → in-process %d-shard fleet\n", devices, total, shards)
 		}
 	}
+	// Telemetry plumbing: instrument the client-side transport, pick the
+	// scrape targets for the dashboard and the exposition check, and set
+	// up the per-phase dashboard (marked again after every kill).
+	clientMet := obs.New()
+	transport.Instrument(clientMet)
+	scrapeTargets := map[string]string{}
+	sources := []snapshotSource{registrySource(clientMet)}
+	switch {
+	case drill != nil:
+		for _, p := range drill.fleet.procs {
+			scrapeTargets[p.name] = "http://" + p.addr
+			sources = append(sources, httpSource("http://"+p.addr))
+		}
+		// The gateway pair is format-validated but not merged into the
+		// dashboard: a killed gateway restarts with a fresh registry,
+		// which would make cross-phase deltas jump.
+		for _, g := range drill.gws {
+			scrapeTargets[g.name] = g.self
+		}
+	case crashPool != nil:
+		for _, p := range crashPool.procs {
+			scrapeTargets[p.name] = "http://" + p.addr
+			sources = append(sources, httpSource("http://"+p.addr))
+		}
+	case target != "":
+		scrapeTargets["target"] = target
+		sources = append(sources, httpSource(target))
+	case gw != nil:
+		sources = append(sources, registrySource(gw.Metrics()))
+	}
+	dash := newDashboard(multiSource(sources...))
+	if crashPool != nil {
+		crashPool.onKill = dash.mark
+	}
+	if drill != nil {
+		drill.onKill = dash.mark
+	}
+
 	rec := &latencyRecorder{next: sink}
 	var funnel transport.Uplink = rec
 	if flaky > 0 {
@@ -236,7 +299,7 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	}
 	var killerDone chan struct{}
 	killerErrs := make(chan error, len(killSchedule)+len(gwSchedule)+1)
-	if crashPool != nil || drill != nil {
+	if drill != nil || (crashPool != nil && len(killSchedule) > 0) {
 		// A killed shard or gateway is down for its whole restart
 		// (recovery/takeover + rebind), so retransmission needs a real
 		// gap and a deep budget — every attempt is still measured as its
@@ -279,6 +342,7 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	if rate > 0 {
 		perDeviceGap = time.Duration(float64(devices) / rate * float64(time.Second))
 	}
+	dash.mark("start")
 	start := time.Now()
 	errs := make([]error, devices)
 	var wg sync.WaitGroup
@@ -337,6 +401,14 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		if redirects+rotations == 0 {
 			return fmt.Errorf("the uplink never failed over — the drill was vacuous")
 		}
+		dash.mark("end of run")
+		dash.print()
+		if err := validateLiveMetrics(scrapeTargets); err != nil {
+			return err
+		}
+		if err := assertDrillTelemetry(drill, len(gwSchedule)); err != nil {
+			return err
+		}
 		epoch, holder, err := drill.leaseView()
 		if err != nil {
 			return err
@@ -361,27 +433,49 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		// The last kill can fire after the final batch it disturbs is
 		// retransmitted elsewhere; wait for the restart to finish before
 		// reading the recovered state.
-		select {
-		case <-killerDone:
-		case <-time.After(60 * time.Second):
-			return fmt.Errorf("crash schedule never completed — a killed shard failed to restart")
+		if killerDone != nil {
+			select {
+			case <-killerDone:
+			case <-time.After(60 * time.Second):
+				return fmt.Errorf("crash schedule never completed — a killed shard failed to restart")
+			}
+			select {
+			case err := <-killerErrs:
+				return err
+			default:
+			}
+			if got := crashPool.kills.Load(); got != int64(len(killSchedule)) {
+				return fmt.Errorf("crash drill fired %d of %d scheduled kills — the drill was vacuous", got, len(killSchedule))
+			}
 		}
-		select {
-		case err := <-killerErrs:
+		dash.mark("end of run")
+		dash.print()
+		if err := validateLiveMetrics(scrapeTargets); err != nil {
 			return err
-		default:
-		}
-		if got := crashPool.kills.Load(); got != int64(len(killSchedule)) {
-			return fmt.Errorf("crash drill fired %d of %d scheduled kills — the drill was vacuous", got, len(killSchedule))
 		}
 		cgw := crashPool.gw.Load()
 		printRollup(cgw)
 		if err := verifyGroundTruth(b, cgw, streams, seed); err != nil {
 			return err
 		}
-		fmt.Printf("crash-recovery verified: %d kill -9 restart(s), recovered fleet state is byte-identical to the clean ground truth\n",
-			crashPool.kills.Load())
+		if len(killSchedule) > 0 {
+			fmt.Printf("crash-recovery verified: %d kill -9 restart(s), recovered fleet state is byte-identical to the clean ground truth\n",
+				crashPool.kills.Load())
+		} else {
+			fmt.Println("live-shard run verified: state byte-identical to the clean ground truth, /metrics valid on every shard")
+		}
 		return nil
+	}
+	dash.mark("end of run")
+	dash.print()
+	if len(scrapeTargets) > 0 {
+		if err := validateLiveMetrics(scrapeTargets); err != nil {
+			return err
+		}
+	} else if gw != nil {
+		if err := validateRegistry(gw.Metrics()); err != nil {
+			return err
+		}
 	}
 	if gw != nil {
 		printRollup(gw)
@@ -430,6 +524,13 @@ func inProcessFleet(b *building.Building, shards int, seed uint64, flaky float64
 	gw, err := fleet.New(ring, fleet.Config{})
 	if err != nil {
 		return nil, nil, err
+	}
+	// One shared registry for the gateway and every shard: identical
+	// series share handles, so the dashboard reads pool-wide aggregates.
+	met := obs.New()
+	gw.Instrument(met)
+	for _, srv := range pool.Servers {
+		srv.Instrument(met)
 	}
 	if len(b.Rooms) < 2 {
 		// The scene-analysis SVM needs at least two classes; plans with

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"occusim/internal/obs"
 	"occusim/internal/transport"
 )
 
@@ -82,25 +83,50 @@ func (s *Server) GrantLease(epoch uint64, holder string) (uint64, string, error)
 	if epoch == 0 {
 		return 0, "", fmt.Errorf("bms: lease claim at epoch 0 (epoch 0 means unfenced)")
 	}
+	sm := s.met
 	s.lease.mu.Lock()
 	defer s.lease.mu.Unlock()
 	switch {
 	case epoch < s.lease.epoch:
+		if sm != nil {
+			sm.leaseRejects.Inc()
+			sm.rec.Record(obs.EventLeaseReject, map[string]any{
+				"epoch": epoch, "claimant": holder, "granted": s.lease.epoch, "holder": s.lease.holder,
+			})
+		}
 		return s.lease.epoch, s.lease.holder, &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
 	case epoch == s.lease.epoch:
 		if s.lease.holder != "" && s.lease.holder != holder {
+			if sm != nil {
+				sm.leaseRejects.Inc()
+				sm.rec.Record(obs.EventLeaseReject, map[string]any{
+					"epoch": epoch, "claimant": holder, "granted": s.lease.epoch, "holder": s.lease.holder,
+				})
+			}
 			return s.lease.epoch, s.lease.holder, &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
 		}
 		// A renewal (or a holder filling in the hint a write-implied
 		// advance left empty). The epoch itself is already durable.
+		// Renewals are counted but NOT recorded: a TTL/3 heartbeat per
+		// holder would wash every interesting event out of the ring.
 		s.lease.holder = holder
+		if sm != nil {
+			sm.leaseRenewals.Inc()
+		}
 		return s.lease.epoch, s.lease.holder, nil
 	default:
 		if err := s.logLease(epoch, holder); err != nil {
 			return s.lease.epoch, s.lease.holder, err
 		}
+		prev := s.lease.epoch
 		s.lease.epoch = epoch
 		s.lease.holder = holder
+		if sm != nil {
+			sm.leaseClaims.Inc()
+			sm.rec.Record(obs.EventLeaseClaim, map[string]any{
+				"epoch": epoch, "holder": holder, "deposed": prev,
+			})
+		}
 		return epoch, holder, nil
 	}
 }
@@ -124,17 +150,35 @@ func (s *Server) admitEpoch(epoch uint64) error {
 	if epoch == 0 {
 		return nil
 	}
+	sm := s.met
 	s.lease.mu.Lock()
 	defer s.lease.mu.Unlock()
 	if epoch < s.lease.epoch {
+		if sm != nil {
+			sm.fencedWrites.Inc()
+			sm.rec.Record(obs.EventFencedWrite, map[string]any{
+				"epoch": epoch, "granted": s.lease.epoch, "holder": s.lease.holder,
+			})
+		}
 		return &StaleLeaderError{Granted: s.lease.epoch, Leader: s.lease.holder}
 	}
 	if epoch > s.lease.epoch {
 		if err := s.logLease(epoch, ""); err != nil {
 			return err
 		}
+		if sm != nil {
+			sm.rec.Record(obs.EventLeaseAdvance, map[string]any{
+				"from": s.lease.epoch, "to": epoch,
+			})
+		}
 		s.lease.epoch = epoch
 		s.lease.holder = ""
+	}
+	// Tripwire, compared independently of the fence above: if a write
+	// stamped below the grant is about to be admitted, the fence has a
+	// bug. Crash drills assert this counter stays zero.
+	if sm != nil && epoch < s.lease.epoch {
+		sm.staleAdmits.Inc()
 	}
 	return nil
 }

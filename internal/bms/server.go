@@ -65,6 +65,11 @@ type Server struct {
 	// exactly like an HTTP one. See SetAdmission.
 	gate *overload.Gate
 
+	// met is the telemetry handle bundle (nil until Instrument): ingest
+	// timing, lease transition counters, and the flight recorder. See
+	// telemetry.go.
+	met *serverMetrics
+
 	// lease is the gateway-leadership grant this shard arbitrates:
 	// the highest epoch ever granted (durable on durable servers) and
 	// its holder. Writes stamped with a lower epoch are fenced; see
@@ -178,6 +183,11 @@ func (s *Server) buildObservation(r transport.Report, dists map[ibeacon.BeaconID
 // original delivery — but neither store nor tracker advance, which is
 // what makes retrying transports exactly-once.
 func (s *Server) Ingest(r transport.Report) (string, error) {
+	sm := s.met
+	var start time.Time
+	if sm != nil {
+		start = time.Now()
+	}
 	release, err := s.gate.Acquire()
 	if err != nil {
 		return "", err
@@ -205,6 +215,13 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 	if fresh {
 		s.tracker.Observe(obs.At, r.Device, room)
 	}
+	if sm != nil {
+		sm.reports.Inc()
+		if !fresh {
+			sm.dedupDrops.Inc()
+		}
+		sm.ingestLatency.Since(start)
+	}
 	return room, nil
 }
 
@@ -224,6 +241,11 @@ func (s *Server) Ingest(r transport.Report) (string, error) {
 func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 	if len(reports) == 0 {
 		return nil, nil
+	}
+	sm := s.met
+	var start time.Time
+	if sm != nil {
+		start = time.Now()
 	}
 	release, err := s.gate.Acquire()
 	if err != nil {
@@ -274,6 +296,12 @@ func (s *Server) IngestBatch(reports []transport.Report) ([]string, error) {
 		}
 	}
 	s.tracker.ObserveBatch(live)
+	if sm != nil {
+		sm.reports.Add(uint64(len(reports)))
+		sm.batchSize.Observe(int64(len(reports)))
+		sm.dedupDrops.Add(uint64(len(reports) - len(live)))
+		sm.ingestLatency.Since(start)
+	}
 	return rooms, nil
 }
 
@@ -688,6 +716,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/rooms", s.handleRooms)
 	mux.HandleFunc("GET /api/v1/energy", s.handleEnergy)
+	// Telemetry faces. Metrics() is nil before Instrument, and the obs
+	// handlers are nil-safe: an uninstrumented server serves an empty
+	// exposition and an empty snapshot rather than a 404, so scrapers
+	// need no special case.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.Metrics().ExpositionHandler()(w, r)
+	})
+	mux.HandleFunc("GET /api/v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		s.Metrics().TelemetryHandler()(w, r)
+	})
 	return mux
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"occusim/internal/bms"
+	"occusim/internal/obs"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
 )
@@ -82,19 +83,24 @@ func (b *breaker) allow() bool {
 
 // success records a delivery the shard answered (including answers that
 // are not infrastructure failures — a 4xx rejection or a 429 shed both
-// prove the shard is alive) and closes the circuit.
-func (b *breaker) success() {
+// prove the shard is alive) and closes the circuit. closed reports a
+// genuine transition (the circuit was open or half-open), so callers
+// can record the recovery without logging every healthy delivery.
+func (b *breaker) success() (closed bool) {
 	b.mu.Lock()
+	closed = b.state != breakerClosed
 	b.state = breakerClosed
 	b.failures = 0
 	b.probing = false
 	b.mu.Unlock()
+	return closed
 }
 
 // failure records an infrastructure failure: it re-opens a half-open
 // circuit immediately, and trips a closed one once the consecutive
-// count reaches the threshold.
-func (b *breaker) failure() {
+// count reaches the threshold. tripped reports that THIS failure opened
+// the circuit.
+func (b *breaker) failure() (tripped bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -103,15 +109,18 @@ func (b *breaker) failure() {
 		b.openedAt = b.now()
 		b.probing = false
 		b.trips++
+		return true
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = b.now()
 			b.trips++
+			return true
 		}
 	default: // already open (a straggler delivery admitted before the trip)
 	}
+	return false
 }
 
 // snapshot returns (state, trips) for status reporting.
@@ -161,14 +170,24 @@ func (g *Gateway) breakerAllow(idx int) error {
 }
 
 // breakerObserve feeds a delivery outcome back into the shard's
-// circuit.
+// circuit, recording genuine state transitions (trip, re-close) in the
+// flight recorder — steady-state deliveries record nothing.
 func (g *Gateway) breakerObserve(idx int, err error) {
 	if g.breakers == nil {
 		return
 	}
+	gm := g.met
 	if breakerFailure(err) {
-		g.breakers[idx].failure()
+		if g.breakers[idx].failure() && gm != nil {
+			gm.rec.Record(obs.EventBreakerTrip, map[string]any{
+				"shard": g.shards[idx].Name(), "cause": err.Error(),
+			})
+		}
 	} else {
-		g.breakers[idx].success()
+		if g.breakers[idx].success() && gm != nil {
+			gm.rec.Record(obs.EventBreakerClose, map[string]any{
+				"shard": g.shards[idx].Name(),
+			})
+		}
 	}
 }

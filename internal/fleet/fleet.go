@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"occusim/internal/bms"
+	"occusim/internal/obs"
 	"occusim/internal/occupancy"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
@@ -170,6 +171,10 @@ type Gateway struct {
 	// gwEpoch is the leadership epoch stamped on every shard write; see
 	// SetEpoch. Zero (the default) writes unfenced.
 	gwEpoch atomic.Uint64
+
+	// met is the telemetry handle bundle (nil until Instrument); see
+	// telemetry.go.
+	met *gatewayMetrics
 }
 
 // SetEpoch stamps the gateway's leadership epoch onto every shard
@@ -391,7 +396,15 @@ func (g *Gateway) Ingest(r transport.Report) (string, error) {
 	if err := g.breakerAllow(idx); err != nil {
 		return "", err
 	}
+	gm := g.met
+	var sendStart time.Time
+	if gm != nil {
+		sendStart = time.Now()
+	}
 	room, err := g.shards[idx].Ingest(batch[0])
+	if gm != nil {
+		gm.sendLatency[idx].Since(sendStart)
+	}
 	g.breakerObserve(idx, err)
 	if err != nil {
 		return "", fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
@@ -416,6 +429,12 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		return nil, err
 	}
 	defer admit()
+	gm := g.met
+	var splitStart time.Time
+	if gm != nil {
+		splitStart = time.Now()
+		gm.batchSize.Observe(int64(len(reports)))
+	}
 	reports = g.skew.correct(reports)
 	shardOf, release, err := g.acquire(reports)
 	if err != nil {
@@ -429,6 +448,9 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		posOf[i] = int32(len(perShard[idx]))
 		perShard[idx] = append(perShard[idx], reports[i])
 	}
+	if gm != nil {
+		gm.splitTime.Since(splitStart)
+	}
 
 	rooms := make([][]string, len(g.shards))
 	errs := make([]error, len(g.shards))
@@ -441,7 +463,14 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 			errs[idx] = err
 			return
 		}
+		var sendStart time.Time
+		if gm != nil {
+			sendStart = time.Now()
+		}
 		out, err := g.shards[idx].IngestBatch(sub)
+		if gm != nil {
+			gm.sendLatency[idx].Since(sendStart)
+		}
 		g.breakerObserve(idx, err)
 		if err != nil {
 			errs[idx] = fmt.Errorf("fleet: shard %s: %w", g.shards[idx].Name(), err)
@@ -482,9 +511,16 @@ func (g *Gateway) IngestBatch(reports []transport.Report) ([]string, error) {
 		}
 	}
 
+	var asmStart time.Time
+	if gm != nil {
+		asmStart = time.Now()
+	}
 	out := make([]string, len(reports))
 	for i := range reports {
 		out[i] = rooms[shardOf[i]][posOf[i]]
+	}
+	if gm != nil {
+		gm.reassembly.Since(asmStart)
 	}
 	return out, nil
 }
@@ -995,12 +1031,34 @@ func (g *Gateway) applyRoutingChange(change func()) []bool {
 		g.fenced[dev] = &fence{done: make(chan struct{})}
 	}
 	g.mu.Unlock()
+	gm := g.met
+	if gm != nil {
+		for i := range oldDown {
+			if oldDown[i] == newDown[i] {
+				continue
+			}
+			kind := obs.EventShardUp
+			if newDown[i] {
+				kind = obs.EventShardDown
+			}
+			gm.rec.Record(kind, map[string]any{"shard": g.shards[i].Name()})
+		}
+	}
 	if len(moves) == 0 {
 		return newDown
+	}
+	var migStart time.Time
+	if gm != nil {
+		migStart = time.Now()
 	}
 	g.drainMoves(moves)
 	g.migrate(moves)
 	g.resume(moves)
+	if gm != nil {
+		gm.migrations.Add(uint64(len(moves)))
+		gm.migrateTime.Since(migStart)
+		gm.rec.Record(obs.EventMigration, map[string]any{"devices": len(moves)})
+	}
 	return newDown
 }
 

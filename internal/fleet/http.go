@@ -342,8 +342,19 @@ type HandlerOptions struct {
 //	PUT  /api/v1/model              distribute a model snapshot
 //	POST /api/v1/fingerprints       (with Trainer) collect samples
 //	POST /api/v1/train              (with Trainer) train + distribute
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /api/v1/telemetry          JSON metrics + flight-recorder events
 func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
+	// Telemetry faces mirror the bms.Server routes: the obs handlers are
+	// nil-safe, so an uninstrumented gateway serves an empty exposition
+	// and snapshot rather than a 404.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		g.Metrics().ExpositionHandler()(w, r)
+	})
+	mux.HandleFunc("GET /api/v1/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		g.Metrics().TelemetryHandler()(w, r)
+	})
 	mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, r *http.Request) {
 		statuses := g.CheckHealth()
 		downCount := 0

@@ -1,0 +1,84 @@
+// Gateway telemetry: per-shard send latency, batch split/reassembly
+// timing, migration and breaker activity, and the leadership epoch —
+// the fleet-side half of the flight-recorder story (the shards record
+// their own grants and fences in internal/bms). Routed counts, breaker
+// trips and gate occupancy are func-backed: the gateway already keeps
+// them, so scrapes read them and the dispatch path stays untouched.
+package fleet
+
+import (
+	"occusim/internal/obs"
+)
+
+// gatewayMetrics bundles the gateway's telemetry handles; nil (the
+// default) keeps every instrumented site at one predictable branch.
+type gatewayMetrics struct {
+	reg *obs.Metrics
+
+	sendLatency []*obs.Histogram // per shard: one sub-batch delivery
+	splitTime   *obs.Histogram   // routing + per-shard split of one batch
+	reassembly  *obs.Histogram   // room reassembly into input order
+	batchSize   *obs.Histogram   // reports per gateway batch
+	migrations  *obs.Counter     // devices migrated across routing changes
+	migrateTime *obs.Histogram   // one fenced handover, drain to resume
+
+	rec *obs.Recorder
+}
+
+// Instrument registers the gateway's telemetry on m and starts feeding
+// it. Call at process wiring, before serving traffic; also instruments
+// the admission gate ("fleet_gate"). A nil m is a no-op.
+func (g *Gateway) Instrument(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	gm := &gatewayMetrics{
+		reg:         m,
+		splitTime:   m.Timing("fleet_split_seconds", "batch routing and per-shard split time"),
+		reassembly:  m.Timing("fleet_reassembly_seconds", "room reassembly into input order"),
+		batchSize:   m.Sizes("fleet_ingest_batch_size", "reports per gateway batch"),
+		migrations:  m.Counter("fleet_migrations_total", "devices migrated across routing changes"),
+		migrateTime: m.Timing("fleet_migration_seconds", "fenced handover duration, drain to resume"),
+		rec:         m.Recorder(),
+	}
+	gm.sendLatency = make([]*obs.Histogram, len(g.shards))
+	for i, s := range g.shards {
+		i, name := i, s.Name()
+		gm.sendLatency[i] = m.Timing("fleet_send_seconds", "one sub-batch delivery to the shard", obs.L("shard", name))
+		m.CounterFunc("fleet_routed_total", "reports delivered to the shard", func() float64 {
+			g.routedMu.Lock()
+			defer g.routedMu.Unlock()
+			return float64(g.routed[i])
+		}, obs.L("shard", name))
+		if g.breakers != nil {
+			m.CounterFunc("fleet_breaker_trips_total", "times the shard's circuit opened", func() float64 {
+				_, trips := g.breakers[i].snapshot()
+				return float64(trips)
+			}, obs.L("shard", name))
+			m.GaugeFunc("fleet_breaker_state", "shard circuit state: 0 closed, 1 half-open, 2 open", func() float64 {
+				state, _ := g.breakers[i].snapshot()
+				switch state {
+				case breakerOpen:
+					return 2
+				case breakerHalfOpen:
+					return 1
+				default:
+					return 0
+				}
+			}, obs.L("shard", name))
+		}
+	}
+	m.GaugeFunc("fleet_epoch", "gateway leadership epoch stamped on shard writes (0 = unfenced)", func() float64 {
+		return float64(g.Epoch())
+	})
+	g.gate.Instrument(m, "fleet_gate")
+	g.met = gm
+}
+
+// Metrics returns the registry Instrument installed (nil before).
+func (g *Gateway) Metrics() *obs.Metrics {
+	if g.met == nil {
+		return nil
+	}
+	return g.met.reg
+}

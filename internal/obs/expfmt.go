@@ -1,0 +1,304 @@
+// Prometheus text exposition and the JSON telemetry snapshot — the two
+// read faces of a Metrics registry — plus a tiny exposition-format
+// validator so CI can fail on malformed lines without pulling in a
+// client library.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition renders the registry in Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE block per metric family in
+// registration order, histograms as cumulative le buckets plus _sum and
+// _count. A nil registry writes nothing, which is itself valid
+// exposition.
+func (m *Metrics) WriteExposition(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	all := m.collect()
+	for _, s := range all {
+		if seen[s.name] {
+			continue
+		}
+		seen[s.name] = true
+		if s.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", s.name, escapeHelp(s.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind)
+		for _, member := range all {
+			if member.name != s.name {
+				continue
+			}
+			writeSeries(bw, member)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, s *series) {
+	if s.hist == nil {
+		fmt.Fprintf(w, "%s%s %s\n", s.name, renderLabels(s.labels, "", 0), formatFloat(s.scalar()))
+		return
+	}
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += snap.Buckets[i]
+		bound := float64(BucketBound(i)) / s.scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabels(s.labels, "le", bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, renderLabelsInf(s.labels), snap.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", s.name, renderLabels(s.labels, "", 0), formatFloat(float64(snap.Sum)/s.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", s.name, renderLabels(s.labels, "", 0), snap.Count)
+}
+
+// renderLabels renders {k="v",...}, appending an le label when leKey is
+// non-empty. Empty label sets render as nothing.
+func renderLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sortedLabels(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", leKey, formatFloat(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func renderLabelsInf(labels []Label) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range sortedLabels(labels) {
+		fmt.Fprintf(&b, "%s=%q,", l.Key, l.Value)
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+// formatFloat renders values the way Prometheus expects: integers
+// without an exponent where possible, shortest round-trip otherwise.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ExpositionHandler serves GET /metrics. Nil-safe: an uninstrumented
+// server answers an empty (valid) exposition.
+func (m *Metrics) ExpositionHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WriteExposition(w)
+	}
+}
+
+// --- JSON snapshot ----------------------------------------------------
+
+// HistogramJSON is a histogram in the telemetry snapshot: count, sum
+// and the standard quantile ladder, all in the histogram's raw units
+// (nanoseconds for timings).
+type HistogramJSON struct {
+	Count uint64 `json:"count"`
+	Sum   int64  `json:"sum"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+	P999  int64  `json:"p999"`
+	Max   int64  `json:"max"`
+}
+
+// Snapshot is the JSON telemetry view: every scalar series keyed by
+// name{labels}, every histogram with its quantile ladder, and the
+// recent flight-recorder events.
+type Snapshot struct {
+	Counters   map[string]float64       `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]HistogramJSON `json:"histograms"`
+	Events     []Event                  `json:"events"`
+	EventTotal uint64                   `json:"eventTotal"`
+}
+
+// TakeSnapshot collects the registry into its JSON form. Nil registries
+// return an empty (but non-nil-mapped) snapshot so consumers never
+// branch on presence.
+func (m *Metrics) TakeSnapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramJSON{},
+		Events:     []Event{},
+	}
+	for _, s := range m.collect() {
+		key := s.name + renderLabels(s.labels, "", 0)
+		switch {
+		case s.hist != nil:
+			hs := s.hist.Snapshot()
+			snap.Histograms[key] = HistogramJSON{
+				Count: hs.Count,
+				Sum:   hs.Sum,
+				P50:   hs.Quantile(0.50),
+				P90:   hs.Quantile(0.90),
+				P99:   hs.Quantile(0.99),
+				P999:  hs.Quantile(0.999),
+				Max:   hs.Quantile(1),
+			}
+		case s.kind == kindCounter:
+			snap.Counters[key] = s.scalar()
+		default:
+			snap.Gauges[key] = s.scalar()
+		}
+	}
+	if rec := m.Recorder(); rec != nil {
+		snap.Events = rec.Snapshot()
+		snap.EventTotal = rec.Total()
+	}
+	return snap
+}
+
+// TelemetryHandler serves GET /api/v1/telemetry: the JSON snapshot,
+// flight-recorder events included. Nil-safe.
+func (m *Metrics) TelemetryHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		payload, err := json.Marshal(m.TakeSnapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(payload)
+	}
+}
+
+// --- exposition validator ---------------------------------------------
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelPairRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// ValidateExposition checks a /metrics payload line by line: HELP/TYPE
+// comments must be well-formed, every sample line must parse as
+// name{labels} value, and sample names must belong to their family's
+// declared TYPE (histogram samples may carry the _bucket/_sum/_count
+// suffixes). It is the tiny stand-in for a scrape parser that lets CI
+// fail a malformed exposition without an external dependency.
+func ValidateExposition(payload []byte) error {
+	types := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(payload))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("exposition line %d: malformed comment %q", lineNo, line)
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return fmt.Errorf("exposition line %d: bad metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("exposition line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("exposition line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("exposition line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		match := sampleRe.FindStringSubmatch(line)
+		if match == nil {
+			return fmt.Errorf("exposition line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, value := match[1], match[3], match[4]
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("exposition line %d: bad value %q", lineNo, value)
+			}
+		}
+		if labels != "" {
+			for _, pair := range splitLabelPairs(labels) {
+				if !labelPairRe.MatchString(pair) {
+					return fmt.Errorf("exposition line %d: bad label pair %q", lineNo, pair)
+				}
+			}
+		}
+		if family, typ := histFamily(name, types); typ == "histogram" && name == family {
+			return fmt.Errorf("exposition line %d: histogram %q sampled without _bucket/_sum/_count", lineNo, name)
+		}
+	}
+	return sc.Err()
+}
+
+// histFamily resolves a sample name to its declared family, stripping
+// histogram suffixes when the base name is a declared histogram.
+func histFamily(name string, types map[string]string) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := types[base]; ok && t == "histogram" {
+				return base, t
+			}
+		}
+	}
+	return name, types[name]
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"occusim/internal/obs"
 )
 
 // Config bounds an admission gate; the zero value disables gating.
@@ -150,4 +152,31 @@ func (g *Gate) Stats() (admitted, shed uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.admitted, g.shed
+}
+
+// Instrument registers the gate's occupancy gauges and lifetime
+// counters on m under the given subsystem prefix (e.g. "bms_gate").
+// The gate already keeps these numbers for Load/Stats, so the series
+// are func-backed: the admission hot path is untouched and each scrape
+// pays the mutexed read. No-op on a nil gate or registry.
+func (g *Gate) Instrument(m *obs.Metrics, subsystem string) {
+	if g == nil || m == nil {
+		return
+	}
+	m.GaugeFunc(subsystem+"_inflight", "admitted ingest calls currently running", func() float64 {
+		inflight, _ := g.Load()
+		return float64(inflight)
+	})
+	m.GaugeFunc(subsystem+"_queue_depth", "ingest calls waiting for an inflight slot", func() float64 {
+		_, queued := g.Load()
+		return float64(queued)
+	})
+	m.CounterFunc(subsystem+"_admitted_total", "lifetime admitted ingest calls", func() float64 {
+		admitted, _ := g.Stats()
+		return float64(admitted)
+	})
+	m.CounterFunc(subsystem+"_shed_total", "lifetime admissions shed with a retry hint", func() float64 {
+		_, shed := g.Stats()
+		return float64(shed)
+	})
 }

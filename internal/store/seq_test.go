@@ -8,7 +8,7 @@ import (
 
 // seqObs builds a sequenced observation.
 func seqObs(device string, at time.Duration, epoch, seq uint64) Observation {
-	o := obs(device, at, idA)
+	o := mkObs(device, at, idA)
 	o.Epoch, o.Seq = epoch, seq
 	return o
 }

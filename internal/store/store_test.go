@@ -15,7 +15,7 @@ var (
 	idB = ibeacon.BeaconID{UUID: ibeacon.MustUUID("C0FFEE00-BEEF-4A11-8000-000000000001"), Major: 1, Minor: 2}
 )
 
-func obs(device string, at time.Duration, ids ...ibeacon.BeaconID) Observation {
+func mkObs(device string, at time.Duration, ids ...ibeacon.BeaconID) Observation {
 	o := Observation{Device: device, At: at}
 	for _, id := range ids {
 		o.Beacons = append(o.Beacons, BeaconDistance{ID: id, Distance: 2, RSSI: -65})
@@ -31,10 +31,10 @@ func TestNewValidation(t *testing.T) {
 
 func TestAddAndLatest(t *testing.T) {
 	s, _ := New(10)
-	if _, err := s.AddObservation(obs("p", time.Second, idA)); err != nil {
+	if _, err := s.AddObservation(mkObs("p", time.Second, idA)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddObservation(obs("p", 2*time.Second, idB)); err != nil {
+	if _, err := s.AddObservation(mkObs("p", 2*time.Second, idB)); err != nil {
 		t.Fatal(err)
 	}
 	latest, ok := s.Latest("p")
@@ -52,7 +52,7 @@ func TestAddAndLatest(t *testing.T) {
 func TestRetentionEvictsOldest(t *testing.T) {
 	s, _ := New(3)
 	for i := 1; i <= 5; i++ {
-		_, _ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+		_, _ = s.AddObservation(mkObs("p", time.Duration(i)*time.Second))
 	}
 	h := s.History("p")
 	if len(h) != 3 {
@@ -65,8 +65,8 @@ func TestRetentionEvictsOldest(t *testing.T) {
 
 func TestDevices(t *testing.T) {
 	s, _ := New(5)
-	_, _ = s.AddObservation(obs("zed", time.Second))
-	_, _ = s.AddObservation(obs("amy", time.Second))
+	_, _ = s.AddObservation(mkObs("zed", time.Second))
+	_, _ = s.AddObservation(mkObs("amy", time.Second))
 	d := s.Devices()
 	if len(d) != 2 || d[0] != "amy" || d[1] != "zed" {
 		t.Fatalf("devices = %v", d)
@@ -100,8 +100,8 @@ func TestFingerprints(t *testing.T) {
 
 func TestBeaconOrderIsFirstSeen(t *testing.T) {
 	s, _ := New(5)
-	_, _ = s.AddObservation(obs("p", time.Second, idB))
-	_, _ = s.AddObservation(obs("p", 2*time.Second, idA, idB))
+	_, _ = s.AddObservation(mkObs("p", time.Second, idB))
+	_, _ = s.AddObservation(mkObs("p", 2*time.Second, idA, idB))
 	bs := s.Beacons()
 	if len(bs) != 2 || bs[0] != idB || bs[1] != idA {
 		t.Fatalf("beacon order = %v", bs)
@@ -133,9 +133,9 @@ func TestModelVersioning(t *testing.T) {
 func TestPruneBefore(t *testing.T) {
 	s, _ := New(10)
 	for i := 1; i <= 5; i++ {
-		_, _ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+		_, _ = s.AddObservation(mkObs("p", time.Duration(i)*time.Second))
 	}
-	_, _ = s.AddObservation(obs("old", time.Second))
+	_, _ = s.AddObservation(mkObs("old", time.Second))
 	removed := s.PruneBefore(3 * time.Second)
 	if removed != 3 { // p@1s, p@2s, old@1s
 		t.Fatalf("removed = %d", removed)
@@ -157,7 +157,7 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			dev := string(rune('a' + g))
 			for i := 0; i < 100; i++ {
-				_, _ = s.AddObservation(obs(dev, time.Duration(i)*time.Millisecond, idA))
+				_, _ = s.AddObservation(mkObs(dev, time.Duration(i)*time.Millisecond, idA))
 				s.Latest(dev)
 				s.Devices()
 				s.FingerprintDataset()
@@ -179,7 +179,7 @@ func TestQuickRetentionBound(t *testing.T) {
 			return false
 		}
 		for i := 0; i < int(n); i++ {
-			_, _ = s.AddObservation(obs("p", time.Duration(i)*time.Second))
+			_, _ = s.AddObservation(mkObs("p", time.Duration(i)*time.Second))
 		}
 		return len(s.History("p")) <= c
 	}

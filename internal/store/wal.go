@@ -45,8 +45,44 @@ import (
 	"sync/atomic"
 	"time"
 
+	"occusim/internal/obs"
 	"occusim/internal/stripe"
 )
+
+// walMetrics bundles the WAL's instrumentation handles. The WAL holds
+// it behind an atomic pointer so Instrument can be called after the
+// log is already appending; a nil load means telemetry is off and the
+// hot path pays one predictable branch.
+type walMetrics struct {
+	appendLatency  *obs.Histogram // frame framed-to-durable, per policy
+	fsyncLatency   *obs.Histogram // the fsync syscall alone
+	groupCommit    *obs.Histogram // frames committed per leader fsync
+	compactions    *obs.Counter
+	compactLatency *obs.Histogram
+	tornRepairs    *obs.Counter
+	rec            *obs.Recorder
+}
+
+// Instrument registers the WAL's series on m and starts feeding them.
+// Torn-tail repairs found during a later Replay also land in m's
+// flight recorder. Safe to call while appends are in flight.
+func (w *WAL) Instrument(m *obs.Metrics) {
+	if w == nil || m == nil {
+		return
+	}
+	w.met.Store(&walMetrics{
+		appendLatency:  m.Timing("wal_append_seconds", "WAL frame append latency, including the fsync under the batch policy"),
+		fsyncLatency:   m.Timing("wal_fsync_seconds", "WAL fsync syscall latency"),
+		groupCommit:    m.Sizes("wal_group_commit_frames", "frames committed per leader fsync under the batch policy"),
+		compactions:    m.Counter("wal_compactions_total", "snapshot-and-truncate compactions completed"),
+		compactLatency: m.Timing("wal_compact_seconds", "snapshot-and-truncate compaction duration"),
+		tornRepairs:    m.Counter("wal_torn_tail_repairs_total", "torn or truncated final frames discarded during replay"),
+		rec:            m.Recorder(),
+	})
+	m.GaugeFunc("wal_size_bytes", "frame bytes appended since the last compaction", func() float64 {
+		return float64(w.Size())
+	})
+}
 
 // FsyncPolicy selects how eagerly WAL appends reach stable storage.
 type FsyncPolicy int
@@ -134,20 +170,29 @@ type walFile struct {
 // either finds it already covered, or becomes the next leader: it reads
 // the current write frontier, fsyncs, and publishes the frontier so the
 // followers queued on syncMu return without syncing.
-func (wf *walFile) syncUpTo(seq uint64) error {
+func (wf *walFile) syncUpTo(seq uint64, wm *walMetrics) error {
 	if wf.synced.Load() >= seq {
 		return nil
 	}
 	wf.syncMu.Lock()
 	defer wf.syncMu.Unlock()
-	if wf.synced.Load() >= seq {
+	prev := wf.synced.Load()
+	if prev >= seq {
 		return nil
 	}
 	wf.mu.Lock()
 	covered := wf.writeSeq
 	wf.mu.Unlock()
+	var start time.Time
+	if wm != nil {
+		start = time.Now()
+	}
 	if err := syncFile(wf.f); err != nil {
 		return err
+	}
+	if wm != nil {
+		wm.fsyncLatency.Since(start)
+		wm.groupCommit.Observe(int64(covered - prev))
 	}
 	wf.synced.Store(covered)
 	wf.mu.Lock()
@@ -184,6 +229,10 @@ type WAL struct {
 	// compaction — the owner's compaction trigger.
 	sizeMu sync.Mutex
 	size   int64
+
+	// met holds the telemetry handles once Instrument ran; a nil load
+	// keeps the append path at one branch.
+	met atomic.Pointer[walMetrics]
 
 	// interval-policy syncer.
 	stop chan struct{}
@@ -328,6 +377,11 @@ func (w *WAL) AppendMeta(payload []byte) error {
 }
 
 func (w *WAL) append(wf *walFile, payload []byte) error {
+	wm := w.met.Load()
+	var start time.Time
+	if wm != nil {
+		start = time.Now()
+	}
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(frame[8:16], w.gen)
@@ -344,10 +398,13 @@ func (w *WAL) append(wf *walFile, payload []byte) error {
 	}
 	wf.mu.Unlock()
 	if err == nil && w.policy == FsyncBatch {
-		err = wf.syncUpTo(seq)
+		err = wf.syncUpTo(seq, wm)
 	}
 	if err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if wm != nil {
+		wm.appendLatency.Since(start)
 	}
 	w.sizeMu.Lock()
 	w.size += int64(len(frame))
@@ -376,12 +433,13 @@ func (w *WAL) Replay(meta func(payload []byte) error, strip func(idx int, payloa
 	w.appendMu.Lock()
 	defer w.appendMu.Unlock()
 	barrier := w.gen
-	if err := replayFile(&w.meta, barrier, meta); err != nil {
+	wm := w.met.Load()
+	if err := replayFile(&w.meta, barrier, meta, wm); err != nil {
 		return err
 	}
 	for i := range w.stripes {
 		cb := func(p []byte) error { return strip(i, p) }
-		if err := replayFile(&w.stripes[i], barrier, cb); err != nil {
+		if err := replayFile(&w.stripes[i], barrier, cb, wm); err != nil {
 			return err
 		}
 	}
@@ -390,7 +448,7 @@ func (w *WAL) Replay(meta func(payload []byte) error, strip func(idx int, payloa
 
 // replayFile scans one log, invoking apply per live frame, and repairs
 // a torn tail by truncating to the valid prefix.
-func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
+func replayFile(wf *walFile, barrier uint64, apply func([]byte) error, wm *walMetrics) error {
 	wf.mu.Lock()
 	defer wf.mu.Unlock()
 	data, err := os.ReadFile(wf.path)
@@ -409,6 +467,13 @@ func replayFile(wf *walFile, barrier uint64, apply func([]byte) error) error {
 		}
 		if _, err := wf.f.Seek(int64(off), io.SeekStart); err != nil {
 			return fmt.Errorf("store: wal %s: %w", wf.path, err)
+		}
+		if wm != nil {
+			wm.tornRepairs.Inc()
+			wm.rec.Record(obs.EventWALRepair, map[string]any{
+				"file":          filepath.Base(wf.path),
+				"dropped_bytes": len(data) - off,
+			})
 		}
 	}
 	return nil
@@ -492,6 +557,13 @@ func anyNonZero(b []byte) bool {
 func (w *WAL) Compact(writeSnapshot func(io.Writer) error) error {
 	w.appendMu.Lock()
 	defer w.appendMu.Unlock()
+	if wm := w.met.Load(); wm != nil {
+		start := time.Now()
+		defer func() {
+			wm.compactions.Inc()
+			wm.compactLatency.Since(start)
+		}()
+	}
 	next := w.gen + 1
 	path := filepath.Join(w.dir, snapshotName(next))
 	if err := WriteFileAtomic(path, writeSnapshot); err != nil {
@@ -534,14 +606,22 @@ func (w *WAL) Compact(writeSnapshot func(io.Writer) error) error {
 // Sync flushes every log file to stable storage.
 func (w *WAL) Sync() error {
 	var first error
+	wm := w.met.Load()
 	sync := func(wf *walFile) {
 		wf.mu.Lock()
 		defer wf.mu.Unlock()
 		if !wf.dirty {
 			return
 		}
+		var start time.Time
+		if wm != nil {
+			start = time.Now()
+		}
 		if err := syncFile(wf.f); err != nil && first == nil {
 			first = err
+		}
+		if wm != nil {
+			wm.fsyncLatency.Since(start)
 		}
 		wf.dirty = false
 	}

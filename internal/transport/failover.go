@@ -110,6 +110,9 @@ func (u *FailoverUplink) post(path string, body []byte) error {
 				u.mu.Lock()
 				u.redirects++
 				u.mu.Unlock()
+				if tm := pkgMet.Load(); tm != nil {
+					tm.redirects.Inc()
+				}
 				base = hint
 				continue
 			}
@@ -138,6 +141,9 @@ func (u *FailoverUplink) commit(base string) {
 // failed (falling back to round-robin from the sticky index when the
 // failure was at a hinted, unlisted URL).
 func (u *FailoverUplink) rotate(failed string) string {
+	if tm := pkgMet.Load(); tm != nil {
+		tm.rotations.Inc()
+	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.rotations++

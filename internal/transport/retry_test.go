@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"net/http"
 	"net/http/httptest"
+	"occusim/internal/obs"
 	"strings"
 	"sync"
 	"testing"
@@ -201,5 +202,55 @@ func TestHTTPUplinkBatchOrderSurvivesRetry(t *testing.T) {
 	ib := strings.Index(bodies[0], `"device":"b"`)
 	if ia < 0 || ib < 0 || ib < ia {
 		t.Fatalf("batch order not preserved in payload: %s", bodies[0])
+	}
+}
+
+// TestBudgetExhaustionSurfacesCumulativeWait pins the satellite fix:
+// backoff waits used to vanish without a trace, so a batch abandoned on
+// its budget said nothing about how long the caller had already stalled.
+// The error must now carry the cumulative wait, and the instrumented
+// registry must show the same waits as observations.
+func TestBudgetExhaustionSurfacesCumulativeWait(t *testing.T) {
+	fs := &flakyServer{failures: 100, mode: "503"}
+	ts := httptest.NewServer(http.HandlerFunc(fs.handler))
+	defer ts.Close()
+
+	m := obs.New()
+	Instrument(m)
+	defer pkgMet.Store(nil)
+
+	rec := &sleepRecorder{}
+	policy := retryPolicy(rec, 10)
+	// 10 ms then 20 ms fits; the third wait (40 ms) would blow 35 ms.
+	policy.Budget = 35 * time.Millisecond
+	u := &HTTPUplink{BaseURL: ts.URL, Retry: policy}
+	err := u.SendBatch([]Report{{Device: "p", AtSeconds: 1}})
+	if err == nil {
+		t.Fatal("persistent 503 must exhaust the retry budget")
+	}
+
+	var want time.Duration
+	for _, d := range rec.delays {
+		want += d
+	}
+	if want != 30*time.Millisecond {
+		t.Fatalf("recorded waits sum to %v, want 30ms (10+20)", want)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "retry budget") || !strings.Contains(msg, "waited "+want.String()) {
+		t.Fatalf("budget error hides the cumulative wait: %q", msg)
+	}
+
+	// The same waits must land in the telemetry registry.
+	snap := m.TakeSnapshot()
+	hj, ok := snap.Histograms["transport_backoff_seconds"]
+	if !ok || hj.Count != uint64(len(rec.delays)) {
+		t.Fatalf("backoff histogram = %+v, want %d observations", hj, len(rec.delays))
+	}
+	if snap.Counters["transport_retries_total"] != float64(len(rec.delays)) {
+		t.Fatalf("retries counter = %v", snap.Counters["transport_retries_total"])
+	}
+	if snap.Counters["transport_retry_budget_exhausted_total"] != 1 {
+		t.Fatalf("budget-exhausted counter = %v", snap.Counters["transport_retry_budget_exhausted_total"])
 	}
 }

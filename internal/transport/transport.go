@@ -23,10 +23,45 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"occusim/internal/obs"
 	"occusim/internal/rng"
 )
+
+// transportMetrics is the package's telemetry: retry counts, the
+// backoff waits those retries sleep through (previously invisible and
+// untimed), budget exhaustions, and the failover uplink's leader-hint
+// redirects and target rotations. The transport layer is free
+// functions over a value RetryPolicy, so the handles live at package
+// level, installed once by Instrument; until then the pointer is nil
+// and every hot-path use is one atomic load + branch.
+type transportMetrics struct {
+	retries         *obs.Counter
+	backoffWait     *obs.Histogram
+	budgetExhausted *obs.Counter
+	redirects       *obs.Counter
+	rotations       *obs.Counter
+}
+
+var pkgMet atomic.Pointer[transportMetrics]
+
+// Instrument registers the transport layer's series on m. Call once at
+// process wiring (bmsd, loadgen); later calls re-point the handles at
+// the new registry.
+func Instrument(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	pkgMet.Store(&transportMetrics{
+		retries:         m.Counter("transport_retries_total", "retransmission attempts after failed exchanges"),
+		backoffWait:     m.Timing("transport_backoff_seconds", "backoff waits slept before retransmissions"),
+		budgetExhausted: m.Counter("transport_retry_budget_exhausted_total", "sends abandoned with their retry budget spent"),
+		redirects:       m.Counter("transport_leader_redirects_total", "409 stale-leader answers followed to the hinted leader"),
+		rotations:       m.Counter("transport_target_rotations_total", "failover rotations to the next configured gateway"),
+	})
+}
 
 // BeaconReport is one ranged beacon inside a report.
 type BeaconReport struct {
@@ -346,9 +381,20 @@ func DoJSONHeaders(client *http.Client, method, url string, body []byte, hdr map
 				d = policy.shedDelay(hint)
 			}
 			if policy.Budget > 0 && spent+d > policy.Budget {
-				return nil, fmt.Errorf("transport: retry budget %v exhausted after %d attempts: %w", policy.Budget, attempt, lastErr)
+				if tm := pkgMet.Load(); tm != nil {
+					tm.budgetExhausted.Inc()
+				}
+				// The cumulative wait is part of the diagnosis: a budget
+				// blown in 2 attempts of long sheds reads differently from
+				// one nibbled away by many short 5xx retries.
+				return nil, fmt.Errorf("transport: retry budget %v exhausted after %d attempts (waited %v): %w",
+					policy.Budget, attempt, spent, lastErr)
 			}
 			spent += d
+			if tm := pkgMet.Load(); tm != nil {
+				tm.retries.Inc()
+				tm.backoffWait.ObserveDuration(d)
+			}
 			policy.sleep(d)
 		}
 		payload, err := doOnce(client, method, url, body, hdr, attemptTimeout)
