@@ -2,9 +2,9 @@
 # targets just name the common invocations (CI runs the same ones).
 
 GO ?= go
-PR ?= 9
+PR ?= 10
 # DIFF_BASE is the previous snapshot bench-diff compares against.
-DIFF_BASE ?= BENCH_PR7.json
+DIFF_BASE ?= BENCH_PR9.json
 
 .PHONY: all build vet test test-short test-race bench bench-smoke bench-diff loadtest crashtest
 
@@ -50,10 +50,11 @@ bench-diff:
 # devices with clocks hours wrong (re-anchored, set-equivalent); and
 # diurnal runs the campus arrive/dwell/depart wave (departures swept by
 # TTL to exactly the reference's expired state). Every run exits
-# nonzero on oracle divergence or a vacuous drill. The final run drives
-# live bmsd subprocesses with no faults and curls each shard's
-# /metrics, failing on any malformed exposition line — the scrape
-# check.
+# nonzero on oracle divergence or a vacuous drill. The two final runs
+# drive live bmsd subprocesses with no faults — once per wire codec —
+# and curl each shard's /metrics, failing on any malformed exposition
+# line; the binary run proves the framed codec and device-side
+# pre-split land byte-identical state through real processes.
 loadtest:
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 -flaky 0.2
@@ -62,6 +63,7 @@ loadtest:
 	$(GO) run ./cmd/loadgen -scenario diurnal -shards 2 -devices 12 -reports 60 -seed 7
 	$(GO) build -o bin/bmsd ./cmd/bmsd
 	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7 -bmsd bin/bmsd -fsync batch
+	$(GO) run ./cmd/loadgen -shards 2 -devices 12 -reports 60 -seed 7 -bmsd bin/bmsd -fsync batch -wire binary
 
 # crashtest is the durability pin, two drills over real bmsd
 # subprocesses with write-ahead logs. First the shard drill: two shards
@@ -79,10 +81,12 @@ loadtest:
 # shards' own telemetry (/api/v1/telemetry): every kill produced
 # exactly one successful lease claim on every shard, and the
 # stale-admit tripwire — a deposed gateway's write admitted past the
-# fence — stayed at zero.
+# fence — stayed at zero. The gateway drill runs in -wire binary so the
+# failover happens under the framed codec: in-flight binary batches and
+# gateway-to-shard wire traffic must survive the kill the same as JSON.
 crashtest:
 	$(GO) build -o bin/bmsd ./cmd/bmsd
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \
 		-kill 40,80 -restart-gateway -bmsd bin/bmsd -fsync batch
 	$(GO) run ./cmd/loadgen -shards 3 -devices 12 -reports 60 -seed 7 \
-		-kill-gateway 40,80 -bmsd bin/bmsd -fsync batch
+		-kill-gateway 40,80 -bmsd bin/bmsd -fsync batch -wire binary

@@ -14,6 +14,7 @@ import (
 
 	"occusim/internal/experiments"
 	"occusim/internal/store"
+	"occusim/internal/transport"
 )
 
 // BenchmarkFig04ScanPeriod2s regenerates Figure 4: raw per-cycle
@@ -308,6 +309,39 @@ func BenchmarkCrowdFleetStormShed(b *testing.B) { benchCrowdFleetStorm(b, true) 
 // BenchmarkCrowdFleetStormNoShed: the same storm with admission
 // unbounded; every duplicate queues on the shard locks.
 func BenchmarkCrowdFleetStormNoShed(b *testing.B) { benchCrowdFleetStorm(b, false) }
+
+// benchCrowdFleetHTTP is the shared body of the wire-codec pair: the
+// 64-device crowd through the full networked stack — device uplinks
+// over real loopback HTTP into a fleet.Handler gateway, the gateway
+// over HTTPShard clients into 4 bms shard servers — in one codec.
+// rep_per_s is the end-to-end throughput (best observation across the
+// iterations, min-time benchmarking as in benchCrowdFleet); the
+// binary/JSON ratio is the wire protocol's price, pinned ≥1.3× in
+// PERF.md. presplit_fwd counts batches the gateway forwarded without
+// decoding (binary runs must forward; JSON runs report 0).
+func benchCrowdFleetHTTP(b *testing.B, codec transport.Codec) {
+	var best, forwarded float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrowdFleetHTTP(64, 4, uint64(i)+11, codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = max(best, res.Throughput)
+		forwarded = max(forwarded, res.PresplitForwarded)
+	}
+	b.ReportMetric(best, "rep_per_s")
+	b.ReportMetric(forwarded, "presplit_fwd")
+}
+
+// BenchmarkCrowdFleetHTTPWireJSON is the compatibility baseline: every
+// batch marshalled to JSON, split by the gateway, re-marshalled per
+// shard.
+func BenchmarkCrowdFleetHTTPWireJSON(b *testing.B) { benchCrowdFleetHTTP(b, transport.CodecJSON) }
+
+// BenchmarkCrowdFleetHTTPWireBinary is the PR 10 path: pooled binary
+// frames pre-split on the device, forwarded by digest, decoded once at
+// the shard straight into ingest.
+func BenchmarkCrowdFleetHTTPWireBinary(b *testing.B) { benchCrowdFleetHTTP(b, transport.CodecBinary) }
 
 // BenchmarkCrowdIngest measures the server-side scale axis: 32 devices
 // streaming coalesced report batches into one BMS concurrently (striped

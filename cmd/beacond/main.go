@@ -33,7 +33,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	batch := flag.Float64("batch", 10, "coalesce each phone's reports for this many seconds before posting to the batch endpoint (0 posts per report)")
 	epoch := flag.Uint64("epoch", 1, "device epoch stamped on sequenced reports (bump after a counter-losing restart)")
+	wireCodec := flag.String("wire", "json", "batch encoding: json, or binary (wire frames; pre-splits per shard against a gateway's published ring, falls back to JSON on 415)")
 	flag.Parse()
+	codec, err := transport.ParseCodec(*wireCodec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	b := building.PaperHouse()
 	scn, err := core.NewScenario(core.ScenarioConfig{Building: b, Seed: *seed})
@@ -43,7 +48,15 @@ func main() {
 	// Retransmit transient failures: with every report sequenced, the
 	// server dedupes a delivery whose response was lost, so the retry
 	// policy cannot double-count occupants.
-	httpUplink := &transport.HTTPUplink{BaseURL: *serverURL, Retry: transport.DefaultRetry()}
+	var httpUplink transport.Uplink = &transport.HTTPUplink{
+		BaseURL: *serverURL, Retry: transport.DefaultRetry(), Codec: codec,
+	}
+	if codec == transport.CodecBinary {
+		// Binary mode pre-splits against the server's published ring when
+		// it has one (a fleet gateway); a single bms box just gets plain
+		// frames, and a JSON-only server downgrades us via 415.
+		httpUplink = &transport.ShardSplitter{BaseURL: *serverURL, Retry: transport.DefaultRetry()}
+	}
 	sequencer := transport.NewSequencer(*epoch)
 
 	src := rng.New(*seed)

@@ -125,7 +125,14 @@ func main() {
 	standby := flag.Bool("standby", false, "gateway-HA mode: start as warm standby instead of claiming leadership")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "gateway-HA mode: leadership lease TTL (renew and probe at TTL/3)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address serving net/http/pprof (empty: no debug server)")
+	wireCodec := flag.String("wire", "json", "gateway-HA mode: batch encoding toward the remote shards, json or binary (shards that answer 415 downgrade stickily)")
 	flag.Parse()
+
+	codec, err := transport.ParseCodec(*wireCodec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmsd:", err)
+		os.Exit(2)
+	}
 
 	startDebugServer(*debugAddr)
 
@@ -149,6 +156,7 @@ func main() {
 			skewWindow:      *skewWindow,
 			breakerTrips:    *breakerTrips,
 			breakerCooldown: *breakerCooldown,
+			wireCodec:       codec,
 		})
 		return
 	}

@@ -69,6 +69,7 @@ type crashFleet struct {
 	plan     string
 	fsync    string
 	bmsdPath string
+	codec    transport.Codec
 	procs    []*shardProc
 	gw       atomic.Pointer[fleet.Gateway]
 
@@ -88,7 +89,7 @@ type crashFleet struct {
 // startCrashFleet spawns one single-shard durable bmsd per shard,
 // waits for each to answer health, fronts them with a gateway of
 // HTTPShards, and trains + distributes the crowd model.
-func startCrashFleet(b *building.Building, plan string, shards int, bmsdPath, dataRoot, fsync string, seed uint64) (*crashFleet, error) {
+func startCrashFleet(b *building.Building, plan string, shards int, bmsdPath, dataRoot, fsync string, seed uint64, codec transport.Codec) (*crashFleet, error) {
 	if bmsdPath == "" {
 		return nil, fmt.Errorf("-kill needs -bmsd pointing at a built bmsd binary (make crashtest builds one)")
 	}
@@ -99,7 +100,7 @@ func startCrashFleet(b *building.Building, plan string, shards int, bmsdPath, da
 		}
 		dataRoot = dir
 	}
-	c := &crashFleet{plan: plan, fsync: fsync, bmsdPath: bmsdPath}
+	c := &crashFleet{plan: plan, fsync: fsync, bmsdPath: bmsdPath, codec: codec}
 	for i := 0; i < shards; i++ {
 		port, err := freePort()
 		if err != nil {
@@ -150,6 +151,7 @@ func (c *crashFleet) newGateway() (*fleet.Gateway, error) {
 		if err != nil {
 			return nil, err
 		}
+		hs.SetCodec(c.codec)
 		ring[i] = hs
 	}
 	return fleet.New(ring, fleet.Config{})

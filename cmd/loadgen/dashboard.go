@@ -253,6 +253,12 @@ func (d *dashboard) print() {
 			{"wal_torn_tail_repairs_total", "WAL repairs"},
 			{"transport_retries_total", "client retries"},
 			{"transport_leader_redirects_total", "leader redirects"},
+			{`transport_wire_batches_total{codec="json"}`, "json batches"},
+			{`transport_wire_batches_total{codec="binary"}`, "binary batches"},
+			{`transport_wire_batches_total{codec="presplit"}`, "presplit batches"},
+			{"transport_wire_downgrades_total", "415 downgrades"},
+			{"fleet_presplit_forwarded_total", "presplit forwards"},
+			{"fleet_presplit_digest_miss_total", "presplit re-splits"},
 		} {
 			if delta := counterDelta(prev.snap, cur.snap, c.name); delta > 0 {
 				line += fmt.Sprintf(", %s +%.0f", c.label, delta)

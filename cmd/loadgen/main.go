@@ -94,7 +94,13 @@ func main() {
 	restartGateway := flag.Bool("restart-gateway", false, "with -kill: also discard and rebuild the gateway at each crash, proving a gateway restart is invisible")
 	scenarioName := flag.String("scenario", "", "run a named adversarial scenario from internal/scenario against its ground-truth oracle (see -scenario list)")
 	storm := flag.Int("storm", 0, "shorthand for -scenario storm with each batch retransmitted k times")
+	wireFlag := flag.String("wire", "json", "batch encoding for HTTP sinks: json, or binary (wire frames with device-side pre-split against the gateway ring; JSON-only servers downgrade us via 415)")
 	flag.Parse()
+	codec, err := transport.ParseCodec(*wireFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
 
 	if *scenarioName != "" || *storm > 0 {
 		if err := runScenario(*scenarioName, *storm, *shards, *devices, *reports, *seed, *epoch); err != nil {
@@ -112,7 +118,7 @@ func main() {
 		Fsync:           *fsync,
 		RestartGateway:  *restartGateway,
 	}
-	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch, crash); err != nil {
+	if err := run(*target, *shards, *plan, *devices, *reports, *rate, *batch, *flush, *tracePath, *seed, *flaky, *epoch, codec, crash); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -129,7 +135,7 @@ type crashOpts struct {
 	RestartGateway  bool
 }
 
-func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64, crash crashOpts) error {
+func run(target string, shards int, plan string, devices, reports int, rate float64, batch int, flush float64, tracePath string, seed uint64, flaky float64, epoch uint64, codec transport.Codec, crash crashOpts) error {
 	if devices < 1 {
 		return fmt.Errorf("need at least 1 device")
 	}
@@ -201,7 +207,7 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 	var drill *gatewayDrill
 	var failover *transport.FailoverUplink
 	if len(gwSchedule) > 0 {
-		drill, err = startGatewayDrill(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		drill, err = startGatewayDrill(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed, codec)
 		if err != nil {
 			return err
 		}
@@ -211,34 +217,42 @@ func run(target string, shards int, plan string, devices, reports int, rate floa
 		if err != nil {
 			return err
 		}
+		failover.Codec = codec
 		sink = drillUplink{d: drill, next: failover}
-		fmt.Printf("loadgen: %d devices, %d reports → active/standby HA gateway pair over %d bmsd shard(s), SIGKILL the active at trace t=%v (fsync=%s)\n",
-			devices, total, shards, gwSchedule, crash.Fsync)
+		fmt.Printf("loadgen: %d devices, %d reports → active/standby HA gateway pair over %d bmsd shard(s), SIGKILL the active at trace t=%v (fsync=%s, wire=%s)\n",
+			devices, total, shards, gwSchedule, crash.Fsync, codec)
 	} else if len(killSchedule) > 0 {
-		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed, codec)
 		if err != nil {
 			return err
 		}
 		defer crashPool.stop()
 		sink = crashUplink{c: crashPool}
-		fmt.Printf("loadgen: %d devices, %d reports → %d bmsd subprocess shard(s), SIGKILL at trace t=%v (fsync=%s)\n",
-			devices, total, shards, killSchedule, crash.Fsync)
+		fmt.Printf("loadgen: %d devices, %d reports → %d bmsd subprocess shard(s), SIGKILL at trace t=%v (fsync=%s, wire=%s)\n",
+			devices, total, shards, killSchedule, crash.Fsync, codec)
 	} else if target != "" {
-		sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry()}
-		fmt.Printf("loadgen: %d devices, %d reports → %s\n", devices, total, target)
+		if codec == transport.CodecBinary {
+			// Binary mode pre-splits against the target's published ring
+			// when it has one (a fleet gateway); a single bms box gets
+			// plain frames, and a JSON-only server downgrades us via 415.
+			sink = &transport.ShardSplitter{BaseURL: target, Retry: transport.DefaultRetry()}
+		} else {
+			sink = &transport.HTTPUplink{BaseURL: target, Retry: transport.DefaultRetry(), Codec: codec}
+		}
+		fmt.Printf("loadgen: %d devices, %d reports → %s (wire=%s)\n", devices, total, target, codec)
 	} else if crash.BmsdPath != "" {
 		// -bmsd with no kill schedule: live subprocess shards and no
 		// faults — the CI loadtest face. The run drives the real binary
 		// end to end, scrapes its telemetry for the dashboard, and
 		// fails if any shard's /metrics exposition is malformed.
-		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed)
+		crashPool, err = startCrashFleet(b, plan, shards, crash.BmsdPath, crash.DataRoot, crash.Fsync, seed, codec)
 		if err != nil {
 			return err
 		}
 		defer crashPool.stop()
 		sink = crashUplink{c: crashPool}
-		fmt.Printf("loadgen: %d devices, %d reports → %d live bmsd subprocess shard(s), no faults (fsync=%s)\n",
-			devices, total, shards, crash.Fsync)
+		fmt.Printf("loadgen: %d devices, %d reports → %d live bmsd subprocess shard(s), no faults (fsync=%s, wire=%s)\n",
+			devices, total, shards, crash.Fsync, codec)
 	} else {
 		gw, flakies, err = inProcessFleet(b, shards, seed, flaky)
 		if err != nil {

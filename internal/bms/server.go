@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"occusim/internal/store"
 	"occusim/internal/svm"
 	"occusim/internal/transport"
+	"occusim/internal/wire"
 )
 
 // Server is the BMS application. Create with NewServer; serve via
@@ -838,9 +840,16 @@ func writeIngestError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, err)
 }
 
-// handleObservationBatch ingests a JSON array of reports in one pass and
-// returns the predicted room per report, in order.
+// handleObservationBatch ingests a batch of reports in one pass and
+// returns the predicted room per report, in order. JSON is the
+// compatibility encoding; a body under the wire content type takes the
+// binary zero-intermediate path (see wire.go).
 func (s *Server) handleObservationBatch(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct == wire.ContentType ||
+		strings.HasPrefix(ct, wire.ContentType+";") {
+		s.handleWireObservationBatch(w, r)
+		return
+	}
 	var reports []transport.Report
 	if err := decodeJSON(r.Body, &reports); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))

@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +28,7 @@ import (
 	"occusim/internal/obs"
 	"occusim/internal/occupancy"
 	"occusim/internal/overload"
+	"occusim/internal/ring"
 	"occusim/internal/transport"
 )
 
@@ -100,31 +100,28 @@ var ErrNoHealthyShards = errors.New("fleet: no healthy shards")
 // 502 so upstream retry policies treat them as transient.
 var ErrShardMisbehaved = errors.New("fleet: shard protocol error")
 
-// ringEntry is one virtual node: a point on the hash circle owned by a
-// shard.
-type ringEntry struct {
-	hash  uint64
-	shard int
-}
-
 // Gateway fronts a pool of shards. It is safe for concurrent use.
 type Gateway struct {
 	shards   []Shard
-	ring     []ringEntry // sorted by hash
+	ring     *ring.Ring // shared routing function; see internal/ring
+	byName   map[string]int
 	serial   bool
 	replicas int
 
-	// mu guards down, pinned and fenced; routing takes it shared on
-	// every report. pinned marks shards an operator drained with
+	// mu guards down, pinned, fenced and digest; routing takes it shared
+	// on every report. pinned marks shards an operator drained with
 	// MarkDown: health probes must not resurrect them. fenced maps each
 	// mid-migration device to its ingest fence — fences are raised under
 	// the same exclusive hold that flips the routing table, so no report
 	// can resolve an owner under the new table before its device's fence
-	// is up (see applyRoutingChange).
+	// is up (see applyRoutingChange). digest is the cached ring
+	// fingerprint of (names, replicas, down) — the pre-split contract
+	// token — recomputed under the exclusive hold whenever down changes.
 	mu     sync.RWMutex
 	down   []bool
 	pinned []bool
 	fenced map[string]*fence
+	digest string
 
 	// routed counts reports delivered per shard (batch + single).
 	routedMu sync.Mutex
@@ -200,17 +197,14 @@ func New(shards []Shard, cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("fleet: gateway needs at least one shard")
 	}
 	if cfg.Replicas <= 0 {
-		cfg.Replicas = 64
+		cfg.Replicas = ring.DefaultReplicas
 	}
-	seen := map[string]bool{}
-	for _, s := range shards {
+	names := make([]string, len(shards))
+	for i, s := range shards {
 		if s == nil || s.Name() == "" {
 			return nil, fmt.Errorf("fleet: nil or unnamed shard")
 		}
-		if seen[s.Name()] {
-			return nil, fmt.Errorf("fleet: duplicate shard name %q", s.Name())
-		}
-		seen[s.Name()] = true
+		names[i] = s.Name()
 	}
 	g := &Gateway{
 		shards:     shards,
@@ -236,38 +230,24 @@ func New(shards []Shard, cfg Config) (*Gateway, error) {
 			g.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 		}
 	}
-	g.ring = make([]ringEntry, 0, len(shards)*cfg.Replicas)
-	for i, s := range shards {
-		for r := 0; r < cfg.Replicas; r++ {
-			g.ring = append(g.ring, ringEntry{
-				hash:  hash64(s.Name() + "#" + strconv.Itoa(r)),
-				shard: i,
-			})
-		}
+	r, err := ring.New(names, cfg.Replicas)
+	if err != nil {
+		// ring.New only rejects duplicate/empty names; keep the fleet-
+		// flavoured error the callers and tests expect.
+		return nil, fmt.Errorf("fleet: %w", err)
 	}
-	sort.Slice(g.ring, func(i, j int) bool { return g.ring[i].hash < g.ring[j].hash })
+	g.ring = r
+	g.digest = r.Digest(g.down)
+	g.byName = make(map[string]int, len(shards))
+	for i, n := range names {
+		g.byName[n] = i
+	}
 	return g, nil
 }
 
-// hash64 is 64-bit FNV-1a finished with the MurmurHash3 avalanche.
-// Plain FNV concentrates the difference between short, similar keys
-// ("shard-1#7", "crowd-042") in the low bits, which clusters a ring
-// sorted on the full value badly enough that one shard's arc can
-// swallow every key; the finalizer spreads those bits over the whole
-// word, giving the near-uniform arcs consistent hashing assumes.
-func hash64(key string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
-}
+// hash64 is the shared routing hash (see ring.Hash64, a frozen wire
+// contract: pre-split devices must compute identical values).
+func hash64(key string) uint64 { return ring.Hash64(key) }
 
 // Shards returns the pool size.
 func (g *Gateway) Shards() int { return len(g.shards) }
@@ -290,15 +270,43 @@ func (g *Gateway) ownerLocked(h uint64) (int, error) {
 // rebalance migration uses to diff ownership before and after a
 // routing change.
 func (g *Gateway) ownerWith(down []bool, h uint64) (int, error) {
-	n := len(g.ring)
-	i := sort.Search(n, func(i int) bool { return g.ring[i].hash >= h })
-	for k := 0; k < n; k++ {
-		e := g.ring[(i+k)%n]
-		if !down[e.shard] {
-			return e.shard, nil
-		}
+	idx, err := g.ring.OwnerHash(h, down)
+	if err != nil {
+		return -1, ErrNoHealthyShards
 	}
-	return -1, ErrNoHealthyShards
+	return idx, nil
+}
+
+// RingInfo is the routing table a pre-splitting device needs: the
+// inputs of the ring function plus their canonical digest. Served on
+// GET /api/v1/ring (see http.go); a device that splits against this
+// view stamps the digest on its upload and the gateway forwards the
+// pre-split sections only while the digest still matches its own.
+type RingInfo struct {
+	Digest   string   `json:"digest"`
+	Replicas int      `json:"replicas"`
+	Shards   []string `json:"shards"`
+	Down     []bool   `json:"down"`
+}
+
+// RingInfo snapshots the current routing inputs and digest.
+func (g *Gateway) RingInfo() RingInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return RingInfo{
+		Digest:   g.digest,
+		Replicas: g.ring.Replicas(),
+		Shards:   g.ring.Names(),
+		Down:     append([]bool(nil), g.down...),
+	}
+}
+
+// RingDigest returns the cached fingerprint of the current routing
+// inputs.
+func (g *Gateway) RingDigest() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.digest
 }
 
 // fence pauses ingest for one device while its state migrates between
@@ -1010,6 +1018,11 @@ func (g *Gateway) applyRoutingChange(change func()) []bool {
 		g.mu.Unlock()
 		return newDown
 	}
+	// The routing inputs changed, so the pre-split contract token must
+	// change with them — under the same exclusive hold, so no pre-split
+	// upload can match the new digest against the old table or vice
+	// versa.
+	g.digest = g.ring.Digest(newDown)
 	// Registry snapshot under the exclusive routing hold: complete
 	// w.r.t. every report ever routed under the old table.
 	g.devMu.Lock()

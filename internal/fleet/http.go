@@ -15,6 +15,7 @@ import (
 	"occusim/internal/occupancy"
 	"occusim/internal/overload"
 	"occusim/internal/transport"
+	"occusim/internal/wire"
 )
 
 // HTTPShard drives one remote bms.Server over its REST API — the shard
@@ -27,6 +28,12 @@ type HTTPShard struct {
 	base   string
 	client *http.Client
 	retry  transport.RetryPolicy
+
+	// codec picks the batch encoding toward the shard (SetCodec);
+	// jsonOnly latches after a 415 — the shard does not speak binary
+	// and never will mid-run, so the client downgrades once, stickily.
+	codec    transport.Codec
+	jsonOnly atomic.Bool
 
 	// epoch is the gateway leadership stamp this client attaches to
 	// every write (X-Gateway-Epoch); see Shard.StampEpoch.
@@ -45,6 +52,10 @@ func NewHTTPShard(baseURL string, client *http.Client, retry transport.RetryPoli
 
 // Name implements Shard: the base URL is the stable ring identity.
 func (h *HTTPShard) Name() string { return h.base }
+
+// SetCodec selects the batch encoding toward the shard. Call at wiring
+// time, before traffic.
+func (h *HTTPShard) SetCodec(c transport.Codec) { h.codec = c }
 
 // StampEpoch implements Shard.
 func (h *HTTPShard) StampEpoch(epoch uint64) { h.epoch.Store(epoch) }
@@ -103,8 +114,25 @@ func (h *HTTPShard) Ingest(r transport.Report) (string, error) {
 }
 
 // IngestBatch implements Shard. Retries retransmit the identical
-// payload, so the shard never sees a reordered batch.
+// payload, so the shard never sees a reordered batch. Under the binary
+// codec the batch goes as one wire frame; a 415 answer downgrades this
+// shard client to JSON stickily and resends the same batch.
 func (h *HTTPShard) IngestBatch(reports []transport.Report) ([]string, error) {
+	if h.codec == transport.CodecBinary && !h.jsonOnly.Load() {
+		rooms, err, encoded := h.ingestBatchBinary(reports)
+		if encoded {
+			if err == nil {
+				return rooms, nil
+			}
+			if code, ok := transport.StatusCode(err); ok && code == http.StatusUnsupportedMediaType {
+				h.jsonOnly.Store(true) // fall through to JSON below
+			} else {
+				return nil, err
+			}
+		}
+		// encode failure (a non-canonical beacon identity): JSON carries
+		// anything, without latching the downgrade.
+	}
 	body, err := json.Marshal(reports)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: marshal batch: %w", err)
@@ -113,6 +141,50 @@ func (h *HTTPShard) IngestBatch(reports []transport.Report) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeRooms(payload)
+}
+
+// ingestBatchBinary posts the batch as one wire frame. encoded is
+// false when the reports could not be rendered binary at all (the
+// caller then sends JSON without treating it as a negotiation miss).
+func (h *HTTPShard) ingestBatchBinary(reports []transport.Report) (rooms []string, err error, encoded bool) {
+	b := wire.GetBatch()
+	defer wire.PutBatch(b)
+	if err := transport.EncodeReports(b, reports); err != nil {
+		return nil, err, false
+	}
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	*buf = wire.AppendFrame(*buf, b)
+	payload, err := h.postFrame(*buf)
+	if err != nil {
+		return nil, err, true
+	}
+	rooms, err = decodeRooms(payload)
+	return rooms, err, true
+}
+
+// postFrame posts one wire body (frame or pre-split sections) to the
+// batch endpoint under the leadership stamp, with extra headers merged.
+func (h *HTTPShard) postFrame(body []byte, extra ...map[string]string) ([]byte, error) {
+	hdr := map[string]string{"Content-Type": wire.ContentType}
+	for k, v := range h.stamp() {
+		hdr[k] = v
+	}
+	for _, m := range extra {
+		for k, v := range m {
+			hdr[k] = v
+		}
+	}
+	payload, err := transport.DoJSONHeaders(h.client, http.MethodPost, h.base+"/api/v1/observations:batch", body, hdr, h.retry)
+	if err != nil {
+		return nil, staleLeaderFrom(err)
+	}
+	return payload, nil
+}
+
+// decodeRooms parses the batch response shared by both codecs.
+func decodeRooms(payload []byte) ([]string, error) {
 	var resp struct {
 		Rooms []string `json:"rooms"`
 	}
@@ -120,6 +192,31 @@ func (h *HTTPShard) IngestBatch(reports []transport.Report) ([]string, error) {
 		return nil, fmt.Errorf("%w: decode batch response: %v", ErrShardMisbehaved, err)
 	}
 	return resp.Rooms, nil
+}
+
+// IngestFrame implements FrameIngester: the pre-split forward path
+// relays the device's frame to the shard verbatim — no decode, no
+// re-encode. A shard that answers 415 downgrades this client stickily;
+// the frame is then decoded once and delivered as JSON, so a mixed
+// fleet (one old shard) stays correct at the cost of that shard's
+// fast path.
+func (h *HTTPShard) IngestFrame(frame []byte, reports int) ([]string, error) {
+	if !h.jsonOnly.Load() {
+		payload, err := h.postFrame(frame)
+		if err == nil {
+			return decodeRooms(payload)
+		}
+		if code, ok := transport.StatusCode(err); !ok || code != http.StatusUnsupportedMediaType {
+			return nil, err
+		}
+		h.jsonOnly.Store(true)
+	}
+	b := wire.GetBatch()
+	defer wire.PutBatch(b)
+	if err := wire.DecodeFrame(frame, b); err != nil {
+		return nil, err
+	}
+	return h.IngestBatch(transport.DecodeReports(b, nil))
 }
 
 // InstallModel implements Shard via PUT /api/v1/model.
@@ -339,6 +436,7 @@ type HandlerOptions struct {
 //	GET  /api/v1/dwell              federated dwell rollup
 //	GET  /api/v1/rollup             per-room occupancy rollup
 //	GET  /api/v1/shards             routing and health per shard
+//	GET  /api/v1/ring               routing table for pre-split devices
 //	PUT  /api/v1/model              distribute a model snapshot
 //	POST /api/v1/fingerprints       (with Trainer) collect samples
 //	POST /api/v1/train              (with Trainer) train + distribute
@@ -395,6 +493,10 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 		fleetJSON(w, http.StatusOK, map[string]string{"room": room})
 	})
 	mux.HandleFunc("POST /api/v1/observations:batch", func(w http.ResponseWriter, r *http.Request) {
+		if isWireContent(r) {
+			handleWireBatch(g, opts, w, r)
+			return
+		}
 		var reports []transport.Report
 		if err := json.NewDecoder(r.Body).Decode(&reports); err != nil {
 			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
@@ -404,18 +506,10 @@ func Handler(g *Gateway, opts HandlerOptions) http.Handler {
 			fleetStandbyError(w, opts.Lease)
 			return
 		}
-		rooms, err := g.IngestBatch(reports)
-		if err != nil {
-			if opts.Lease != nil {
-				opts.Lease.ObserveStale(err)
-			}
-			fleetIngestError(w, err)
-			return
-		}
-		if rooms == nil {
-			rooms = []string{}
-		}
-		fleetJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+		serveIngestBatch(g, opts, w, reports)
+	})
+	mux.HandleFunc("GET /api/v1/ring", func(w http.ResponseWriter, r *http.Request) {
+		fleetJSON(w, http.StatusOK, g.RingInfo())
 	})
 	mux.HandleFunc("GET /api/v1/occupancy", func(w http.ResponseWriter, r *http.Request) {
 		snap, err := g.Occupancy()

@@ -1,0 +1,142 @@
+// Binary HTTP face of the gateway: the wire-codec branch of the batch
+// ingest route and the published routing table (GET /api/v1/ring) that
+// devices pre-split against. JSON stays the compatibility face — a
+// request without the wire content type takes the historical path
+// untouched.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"occusim/internal/transport"
+	"occusim/internal/wire"
+)
+
+// isWireContent reports whether the request body is a wire frame (or
+// pre-split sections of them).
+func isWireContent(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == wire.ContentType || strings.HasPrefix(ct, wire.ContentType+";")
+}
+
+// readBody drains the request body into the pooled buffer.
+func readBody(r io.Reader, dst *[]byte) ([]byte, error) {
+	b := (*dst)[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			*dst = b
+			return b, nil
+		}
+		if err != nil {
+			*dst = b
+			return nil, err
+		}
+	}
+}
+
+// notePresplitMiss counts a pre-split upload re-split server-side.
+func (g *Gateway) notePresplitMiss() {
+	if gm := g.met; gm != nil {
+		gm.presplitDigestMiss.Inc()
+	}
+}
+
+// handleWireBatch serves POST /api/v1/observations:batch for the
+// binary codec: a plain frame decodes and takes the ordinary batch
+// path; sections under a matching ring digest forward verbatim, and
+// under a stale one decode in section order and re-split server-side —
+// the response is the same rooms array either way, so the device never
+// learns (or cares) which path ran.
+func handleWireBatch(g *Gateway, opts HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	body, err := readBody(r.Body, buf)
+	if err != nil {
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if opts.Lease != nil && !opts.Lease.Active() {
+		fleetStandbyError(w, opts.Lease)
+		return
+	}
+	digest := r.Header.Get(wire.HeaderRingDigest)
+	if digest == "" {
+		// One plain frame: decode and split server-side, the gateway's
+		// historical job, minus the JSON parse.
+		b := wire.GetBatch()
+		defer wire.PutBatch(b)
+		if err := wire.DecodeFrame(body, b); err != nil {
+			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode frame: %w", err))
+			return
+		}
+		serveIngestBatch(g, opts, w, transport.DecodeReports(b, nil))
+		return
+	}
+	var secs []PresplitSection
+	if err := wire.ScanSections(body, func(shard, frame, payload []byte) error {
+		secs = append(secs, PresplitSection{Shard: string(shard), Frame: frame, Payload: payload})
+		return nil
+	}); err != nil {
+		fleetError(w, http.StatusBadRequest, fmt.Errorf("decode sections: %w", err))
+		return
+	}
+	rooms, err := g.IngestPresplit(digest, secs)
+	if err == nil {
+		out := []string{}
+		for _, sub := range rooms {
+			out = append(out, sub...)
+		}
+		fleetJSON(w, http.StatusOK, map[string]any{"rooms": out})
+		return
+	}
+	if !errors.Is(err, ErrPresplitMismatch) {
+		if opts.Lease != nil {
+			opts.Lease.ObserveStale(err)
+		}
+		fleetIngestError(w, err)
+		return
+	}
+	// Stale digest (or a shard that cannot take frames): re-split
+	// server-side from the decoded sections. Report order is section
+	// order, which is how the device assembled the upload, so the rooms
+	// array still answers report-for-report.
+	g.notePresplitMiss()
+	b := wire.GetBatch()
+	defer wire.PutBatch(b)
+	var reports []transport.Report
+	for k := range secs {
+		b.Reset()
+		if err := wire.DecodePayload(secs[k].Payload, b); err != nil {
+			fleetError(w, http.StatusBadRequest, fmt.Errorf("decode section %q: %w", secs[k].Shard, err))
+			return
+		}
+		reports = transport.DecodeReports(b, reports)
+	}
+	serveIngestBatch(g, opts, w, reports)
+}
+
+// serveIngestBatch runs the decoded batch path and writes the answer —
+// shared by the JSON route and every wire fallback.
+func serveIngestBatch(g *Gateway, opts HandlerOptions, w http.ResponseWriter, reports []transport.Report) {
+	rooms, err := g.IngestBatch(reports)
+	if err != nil {
+		if opts.Lease != nil {
+			opts.Lease.ObserveStale(err)
+		}
+		fleetIngestError(w, err)
+		return
+	}
+	if rooms == nil {
+		rooms = []string{}
+	}
+	fleetJSON(w, http.StatusOK, map[string]any{"rooms": rooms})
+}

@@ -22,6 +22,9 @@ type gatewayMetrics struct {
 	migrations  *obs.Counter     // devices migrated across routing changes
 	migrateTime *obs.Histogram   // one fenced handover, drain to resume
 
+	presplitForwarded *obs.Counter // device-split uploads forwarded verbatim
+	presplitDigestMiss *obs.Counter // pre-split uploads re-split server-side
+
 	rec *obs.Recorder
 }
 
@@ -39,7 +42,11 @@ func (g *Gateway) Instrument(m *obs.Metrics) {
 		batchSize:   m.Sizes("fleet_ingest_batch_size", "reports per gateway batch"),
 		migrations:  m.Counter("fleet_migrations_total", "devices migrated across routing changes"),
 		migrateTime: m.Timing("fleet_migration_seconds", "fenced handover duration, drain to resume"),
-		rec:         m.Recorder(),
+		presplitForwarded: m.Counter("fleet_presplit_forwarded_total",
+			"device-split uploads forwarded frame-verbatim to their shards"),
+		presplitDigestMiss: m.Counter("fleet_presplit_digest_miss_total",
+			"pre-split uploads whose ring digest was stale, re-split server-side"),
+		rec: m.Recorder(),
 	}
 	gm.sendLatency = make([]*obs.Histogram, len(g.shards))
 	for i, s := range g.shards {

@@ -1,0 +1,250 @@
+package fleet_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"occusim/internal/building"
+	"occusim/internal/fleet"
+	"occusim/internal/obs"
+	"occusim/internal/transport"
+
+	"net/http/httptest"
+)
+
+// wireStack is a fleet served over its real HTTP face: an in-process
+// pool behind a gateway behind fleet.Handler, with the gateway's
+// registry exposed so tests can assert which ingest path ran.
+type wireStack struct {
+	gw  *fleet.Gateway
+	met *obs.Metrics
+	ts  *httptest.Server
+}
+
+func newWireStack(t *testing.T, b *building.Building, shards int, snapSeed uint64) *wireStack {
+	t.Helper()
+	pool, err := fleet.NewLocalPool(b, shards, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := fleet.New(pool.Shards, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.New()
+	gw.Instrument(met)
+	if err := gw.DistributeModel(trainSnapshot(t, b, snapSeed)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fleet.Handler(gw, fleet.HandlerOptions{}))
+	t.Cleanup(ts.Close)
+	return &wireStack{gw: gw, met: met, ts: ts}
+}
+
+func (s *wireStack) counter(name string) float64 {
+	return s.met.TakeSnapshot().Counters[name]
+}
+
+// sendChunks drives a stamped stream through an uplink in fixed-size
+// batches, as a device's batching uplink would.
+func sendChunks(t *testing.T, up transport.BatchSender, stream []transport.Report, chunk int) {
+	t.Helper()
+	for i := 0; i < len(stream); i += chunk {
+		j := min(i+chunk, len(stream))
+		if err := up.SendBatch(stream[i:j]); err != nil {
+			t.Fatalf("SendBatch[%d:%d]: %v", i, j, err)
+		}
+	}
+}
+
+// TestFleetWireHTTPByteIdentity drives the same stamped stream into a
+// fleet over its real HTTP face in JSON, binary (device pre-split) and
+// mixed modes, and requires the federated occupancy, events and dwell
+// to be byte-identical to a clean single server in every mode — the
+// codec must be invisible in the state it produces.
+func TestFleetWireHTTPByteIdentity(t *testing.T) {
+	b := building.PaperHouse()
+	const chunk = 48
+
+	modes := []struct {
+		name   string
+		uplink func(s *wireStack) transport.BatchSender
+		verify func(t *testing.T, s *wireStack)
+	}{
+		{
+			name: "json",
+			uplink: func(s *wireStack) transport.BatchSender {
+				return &transport.HTTPUplink{BaseURL: s.ts.URL, Retry: transport.DefaultRetry()}
+			},
+			verify: func(t *testing.T, s *wireStack) {},
+		},
+		{
+			name: "binary-presplit",
+			uplink: func(s *wireStack) transport.BatchSender {
+				return &transport.ShardSplitter{BaseURL: s.ts.URL, Retry: transport.DefaultRetry()}
+			},
+			verify: func(t *testing.T, s *wireStack) {
+				if fwd := s.counter("fleet_presplit_forwarded_total"); fwd == 0 {
+					t.Fatal("no pre-split batch was forwarded — the fast path never ran")
+				}
+				if miss := s.counter("fleet_presplit_digest_miss_total"); miss != 0 {
+					t.Fatalf("%v digest misses with a stable ring", miss)
+				}
+			},
+		},
+	}
+
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			single := newServer(t, b)
+			if _, err := single.InstallModel(trainSnapshot(t, b, 42)); err != nil {
+				t.Fatal(err)
+			}
+			s := newWireStack(t, b, 4, 42)
+
+			stream := synthStream(b, 16, 60, 9)
+			stampStream(stream, 1)
+			for i := 0; i < len(stream); i += chunk {
+				j := min(i+chunk, len(stream))
+				if _, err := single.IngestBatch(stream[i:j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sendChunks(t, mode.uplink(s), stream, chunk)
+			mode.verify(t, s)
+
+			occ, events, dwell := fleetViews(t, s.gw)
+			if want := mustJSON(t, single.Occupancy()); !bytes.Equal(occ, want) {
+				t.Fatalf("occupancy over %s differs:\n%s\nvs single:\n%s", mode.name, occ, want)
+			}
+			if want := mustJSON(t, single.Events()); !bytes.Equal(events, want) {
+				t.Fatalf("events over %s differ:\n%s\nvs single:\n%s", mode.name, events, want)
+			}
+			if want := mustJSON(t, single.DwellTotals()); !bytes.Equal(dwell, want) {
+				t.Fatalf("dwell over %s differs:\n%s\nvs single:\n%s", mode.name, dwell, want)
+			}
+		})
+	}
+}
+
+// TestFleetWireMixedModeByteIdentity interleaves JSON uplinks and
+// pre-splitting binary uplinks against ONE fleet — half the crowd
+// upgraded, half legacy — and requires the merged state to match a
+// single server fed everything once. Batches from the two populations
+// land through different ingest paths but the same dedup and debounce.
+func TestFleetWireMixedModeByteIdentity(t *testing.T) {
+	b := building.PaperHouse()
+	single := newServer(t, b)
+	if _, err := single.InstallModel(trainSnapshot(t, b, 42)); err != nil {
+		t.Fatal(err)
+	}
+	s := newWireStack(t, b, 4, 42)
+	jsonUp := &transport.HTTPUplink{BaseURL: s.ts.URL, Retry: transport.DefaultRetry()}
+	binUp := &transport.ShardSplitter{BaseURL: s.ts.URL, Retry: transport.DefaultRetry()}
+
+	stream := synthStream(b, 16, 60, 9)
+	stampStream(stream, 1)
+	const chunk = 48
+	for n, i := 0, 0; i < len(stream); n, i = n+1, i+chunk {
+		j := min(i+chunk, len(stream))
+		if _, err := single.IngestBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		up := transport.BatchSender(jsonUp)
+		if n%2 == 1 {
+			up = binUp
+		}
+		if err := up.SendBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fwd := s.counter("fleet_presplit_forwarded_total"); fwd == 0 {
+		t.Fatal("mixed mode never exercised the pre-split forward path")
+	}
+
+	occ, events, dwell := fleetViews(t, s.gw)
+	if want := mustJSON(t, single.Occupancy()); !bytes.Equal(occ, want) {
+		t.Fatalf("mixed-mode occupancy differs:\n%s\nvs single:\n%s", occ, want)
+	}
+	if want := mustJSON(t, single.Events()); !bytes.Equal(events, want) {
+		t.Fatalf("mixed-mode events differ:\n%s\nvs single:\n%s", events, want)
+	}
+	if want := mustJSON(t, single.DwellTotals()); !bytes.Equal(dwell, want) {
+		t.Fatalf("mixed-mode dwell differs:\n%s\nvs single:\n%s", dwell, want)
+	}
+}
+
+// TestFleetPresplitStaleRingFallback is the ring-staleness drill: a
+// device pre-splits against a ring view fetched BEFORE the gateway
+// marked a shard down. The gateway must detect the digest mismatch,
+// re-split the sections server-side against its live table (counted,
+// not erred), and a full retransmission of the same batch must be
+// absorbed by (Epoch, Seq) dedup — ending byte-identical to a single
+// server fed the stream exactly once.
+func TestFleetPresplitStaleRingFallback(t *testing.T) {
+	b := building.PaperHouse()
+	single := newServer(t, b)
+	if _, err := single.InstallModel(trainSnapshot(t, b, 42)); err != nil {
+		t.Fatal(err)
+	}
+	s := newWireStack(t, b, 4, 42)
+	// A refresh window far longer than the test: the splitter keeps
+	// pre-splitting against whatever ring it fetched first.
+	up := &transport.ShardSplitter{BaseURL: s.ts.URL, Retry: transport.DefaultRetry(), Refresh: time.Hour}
+
+	stream := synthStream(b, 16, 60, 9)
+	stampStream(stream, 1)
+	half := len(stream) / 2
+	const chunk = 48
+
+	for i := 0; i < half; i += chunk {
+		j := min(i+chunk, half)
+		if _, err := single.IngestBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		if err := up.SendBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fwd := s.counter("fleet_presplit_forwarded_total"); fwd == 0 {
+		t.Fatal("setup: the fresh-ring phase never forwarded a pre-split batch")
+	}
+
+	// Routing changes under the device: a shard goes down, devices
+	// migrate, the digest moves. The splitter's cached view is now
+	// stale for the rest of the run.
+	s.gw.MarkDown(2)
+
+	for i := half; i < len(stream); i += chunk {
+		j := min(i+chunk, len(stream))
+		if _, err := single.IngestBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		if err := up.SendBatch(stream[i:j]); err != nil {
+			t.Fatalf("stale pre-split upload must succeed via server-side re-split: %v", err)
+		}
+		// The lost-ACK case: the device retransmits the whole batch.
+		// Dedup must absorb every report of the duplicate.
+		if err := up.SendBatch(stream[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if miss := s.counter("fleet_presplit_digest_miss_total"); miss == 0 {
+		t.Fatal("no digest miss was counted — the stale pre-splits were never detected")
+	}
+
+	// Restore the shard before reading: a down shard's committed events
+	// are excluded from the federated view until it rejoins.
+	s.gw.MarkUp(2)
+	occ, events, dwell := fleetViews(t, s.gw)
+	if want := mustJSON(t, single.Occupancy()); !bytes.Equal(occ, want) {
+		t.Fatalf("occupancy after stale pre-splits differs:\n%s\nvs single:\n%s", occ, want)
+	}
+	if want := mustJSON(t, single.Events()); !bytes.Equal(events, want) {
+		t.Fatalf("events after stale pre-splits differ:\n%s\nvs single:\n%s", events, want)
+	}
+	if want := mustJSON(t, single.DwellTotals()); !bytes.Equal(dwell, want) {
+		t.Fatalf("dwell after stale pre-splits differs:\n%s\nvs single:\n%s", dwell, want)
+	}
+}

@@ -1,0 +1,177 @@
+// Package ring is the consistent-hash routing function shared by the
+// fleet gateway and the device-side shard splitter. It was extracted
+// from internal/fleet so that a device can reproduce the gateway's
+// routing decision exactly — same hash, same virtual-node layout, same
+// down-set skip — and pre-split its batches per shard before upload.
+//
+// The ring is a pure function of (member names, replicas, down set):
+// two parties that agree on those three inputs resolve every key to
+// the same member. Digest canonically fingerprints the inputs, so the
+// gateway can verify in O(1) that a device split against the routing
+// table it is actually running, and fall back to a server-side
+// re-split when it did not (see fleet's pre-split forward path).
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per member both the
+// gateway and the splitter default to.
+const DefaultReplicas = 64
+
+// entry is one virtual node: a point on the hash circle owned by a
+// member.
+type entry struct {
+	hash   uint64
+	member int
+}
+
+// Ring maps string keys onto member indices by consistent hashing.
+// A Ring is immutable after New; the down set is a per-call argument
+// so one Ring can serve concurrent lookups against different health
+// views without locking.
+type Ring struct {
+	names    []string
+	replicas int
+	entries  []entry // sorted by hash
+}
+
+// New builds a ring over the member names. Names must be non-empty and
+// distinct — a duplicate would silently merge two members' arcs.
+// replicas <= 0 takes DefaultReplicas.
+func New(names []string, replicas int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ring: needs at least one member")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("ring: duplicate member name %q", n)
+		}
+		seen[n] = true
+	}
+	r := &Ring{
+		names:    append([]string(nil), names...),
+		replicas: replicas,
+		entries:  make([]entry, 0, len(names)*replicas),
+	}
+	for i, n := range names {
+		for v := 0; v < replicas; v++ {
+			r.entries = append(r.entries, entry{
+				hash:   Hash64(n + "#" + strconv.Itoa(v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].hash < r.entries[j].hash })
+	return r, nil
+}
+
+// Members returns the member count.
+func (r *Ring) Members() int { return len(r.names) }
+
+// Replicas returns the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Names returns the member names in ring order (a copy).
+func (r *Ring) Names() []string { return append([]string(nil), r.names...) }
+
+// ErrNoMembers is returned when every member is down.
+var ErrNoMembers = fmt.Errorf("ring: no live members")
+
+// Owner resolves a key against the down set: the first virtual node
+// clockwise from the key's hash whose member is not down. A nil down
+// set means everyone is up. down, when non-nil, must have one entry
+// per member.
+func (r *Ring) Owner(key string, down []bool) (int, error) {
+	return r.OwnerHash(Hash64(key), down)
+}
+
+// OwnerHash is Owner for a pre-computed key hash — the split loops
+// hash each device once and resolve against several views.
+func (r *Ring) OwnerHash(h uint64, down []bool) (int, error) {
+	n := len(r.entries)
+	i := sort.Search(n, func(i int) bool { return r.entries[i].hash >= h })
+	for k := 0; k < n; k++ {
+		e := r.entries[(i+k)%n]
+		if down == nil || !down[e.member] {
+			return e.member, nil
+		}
+	}
+	return -1, ErrNoMembers
+}
+
+// Digest canonically fingerprints the routing inputs — member names in
+// order, replicas, and the down set — as a hex string. Two parties
+// whose digests match resolve every key identically, which is the
+// entire pre-split contract: the gateway forwards a device-split batch
+// only when the device's digest equals its own. Any routing change
+// (member marked down or up, different membership, different replica
+// count) changes the digest.
+func Digest(names []string, replicas int, down []bool) string {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i, n := range names {
+		for j := 0; j < len(n); j++ {
+			mix(n[j])
+		}
+		mix(0) // name separator: {"ab","c"} must not collide with {"a","bc"}
+		if down != nil && down[i] {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	}
+	for v := replicas; v > 0; v >>= 8 {
+		mix(byte(v))
+	}
+	// The same avalanche finish as Hash64: digests of similar rings
+	// must differ in more than the low bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return strconv.FormatUint(h, 16)
+}
+
+// Digest fingerprints this ring against the down set.
+func (r *Ring) Digest(down []bool) string {
+	return Digest(r.names, r.replicas, down)
+}
+
+// Hash64 is 64-bit FNV-1a finished with the MurmurHash3 avalanche.
+// Plain FNV concentrates the difference between short, similar keys
+// ("shard-1#7", "crowd-042") in the low bits, which clusters a ring
+// sorted on the full value badly enough that one member's arc can
+// swallow every key; the finalizer spreads those bits over the whole
+// word, giving the near-uniform arcs consistent hashing assumes.
+//
+// This function is a wire contract: the gateway and every pre-split
+// device must compute identical values forever, or pre-split batches
+// would route to the wrong shards under a matching digest.
+func Hash64(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

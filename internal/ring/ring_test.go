@@ -1,0 +1,139 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("New accepted an empty member list")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("New accepted an empty member name")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("New accepted a duplicate member name")
+	}
+	r, err := New([]string{"a"}, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != DefaultReplicas {
+		t.Fatalf("replicas=%d, want the default %d", r.Replicas(), DefaultReplicas)
+	}
+}
+
+// TestOwnerDeterministic is the pre-split contract: two independently
+// built rings over the same inputs resolve every key identically.
+func TestOwnerDeterministic(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	a, _ := New(names, 0)
+	b, _ := New(append([]string(nil), names...), 0)
+	down := []bool{false, true, false, false}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		oa, ea := a.Owner(key, nil)
+		ob, eb := b.Owner(key, nil)
+		if ea != nil || eb != nil || oa != ob {
+			t.Fatalf("key %q: %d/%v vs %d/%v", key, oa, ea, ob, eb)
+		}
+		oa, _ = a.Owner(key, down)
+		ob, _ = b.Owner(key, down)
+		if oa != ob || oa == 1 {
+			t.Fatalf("key %q with down set: %d vs %d (member 1 is down)", key, oa, ob)
+		}
+	}
+}
+
+// TestDownSkipMinimalMovement: marking one member down moves only that
+// member's keys; everyone else's assignment is untouched — the property
+// that makes retransmit-into-recovered-WAL routing stable.
+func TestDownSkipMinimalMovement(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	r, _ := New(names, 0)
+	down := []bool{false, false, true, false}
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		before, _ := r.Owner(key, nil)
+		after, _ := r.Owner(key, down)
+		if after == 2 {
+			t.Fatalf("key %q routed to the down member", key)
+		}
+		if before == 2 {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from live member %d to %d when an unrelated member went down",
+				key, before, after)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestAllDown(t *testing.T) {
+	r, _ := New([]string{"a", "b"}, 0)
+	if _, err := r.Owner("k", []bool{true, true}); err != ErrNoMembers {
+		t.Fatalf("err=%v, want ErrNoMembers", err)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	// Rough uniformity: with the avalanche finish, no member of an
+	// 8-member ring should own a wildly outsized share.
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	r, _ := New(names, 0)
+	counts := make([]int, len(names))
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		m, _ := r.Owner(fmt.Sprintf("device-%d", i), nil)
+		counts[m]++
+	}
+	for m, c := range counts {
+		if c < keys/len(names)/4 || c > keys/len(names)*4 {
+			t.Fatalf("member %d owns %d of %d keys — ring badly unbalanced: %v", m, c, keys, counts)
+		}
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	names := []string{"shard-0", "shard-1", "shard-2"}
+	base := Digest(names, 64, nil)
+	if got := Digest(names, 64, []bool{false, false, false}); got != base {
+		t.Fatal("an all-up down set must digest like a nil one")
+	}
+	distinct := map[string]string{
+		"down member":    Digest(names, 64, []bool{false, true, false}),
+		"other member":   Digest(names, 64, []bool{true, false, false}),
+		"replica count":  Digest(names, 65, nil),
+		"renamed member": Digest([]string{"shard-0", "shard-1", "shard-9"}, 64, nil),
+		"name boundary":  Digest([]string{"shard-0shard-1", "shard-2"}, 64, nil),
+		"order":          Digest([]string{"shard-1", "shard-0", "shard-2"}, 64, nil),
+	}
+	seen := map[string]string{base: "base"}
+	for what, d := range distinct {
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("digest for %q collides with %q: %s", what, prev, d)
+		}
+		seen[d] = what
+	}
+	if r, _ := New(names, 0); r.Digest(nil) != base {
+		t.Fatal("Ring.Digest diverged from the package function")
+	}
+}
+
+func TestNamesIsACopy(t *testing.T) {
+	r, _ := New([]string{"a", "b"}, 0)
+	r.Names()[0] = "mutated"
+	if r.Names()[0] != "a" {
+		t.Fatal("Names leaked the internal slice")
+	}
+}

@@ -43,6 +43,12 @@ type transportMetrics struct {
 	budgetExhausted *obs.Counter
 	redirects       *obs.Counter
 	rotations       *obs.Counter
+	// Per-codec batch upload counts (see wire.go): the forward-vs-
+	// resplit ratio on the gateway side starts with what devices sent.
+	wireJSON       *obs.Counter
+	wireBinary     *obs.Counter
+	wirePresplit   *obs.Counter
+	wireDowngrades *obs.Counter
 }
 
 var pkgMet atomic.Pointer[transportMetrics]
@@ -60,6 +66,10 @@ func Instrument(m *obs.Metrics) {
 		budgetExhausted: m.Counter("transport_retry_budget_exhausted_total", "sends abandoned with their retry budget spent"),
 		redirects:       m.Counter("transport_leader_redirects_total", "409 stale-leader answers followed to the hinted leader"),
 		rotations:       m.Counter("transport_target_rotations_total", "failover rotations to the next configured gateway"),
+		wireJSON:        m.Counter("transport_wire_batches_total", "report batches uploaded, by codec", obs.L("codec", "json")),
+		wireBinary:      m.Counter("transport_wire_batches_total", "report batches uploaded, by codec", obs.L("codec", "binary")),
+		wirePresplit:    m.Counter("transport_wire_batches_total", "report batches uploaded, by codec", obs.L("codec", "presplit")),
+		wireDowngrades:  m.Counter("transport_wire_downgrades_total", "sticky JSON downgrades after a 415 unsupported-media answer"),
 	})
 }
 
@@ -364,7 +374,11 @@ func DoJSON(client *http.Client, method, url string, body []byte, policy RetryPo
 func DoJSONHeaders(client *http.Client, method, url string, body []byte, hdr map[string]string, policy RetryPolicy) ([]byte, error) {
 	var attemptTimeout time.Duration
 	if client == nil {
-		client = &http.Client{}
+		// The shared pooled client, not a throwaway: a fresh Client per
+		// call still shares DefaultTransport, whose 2-idle-conns-per-host
+		// cap makes a concurrent device fleet redial constantly. The 5 s
+		// deadline rides the per-attempt request context as before.
+		client = pooledClient
 		attemptTimeout = nilClientAttemptTimeout
 	}
 	// A request that cannot even be constructed (malformed URL) fails
@@ -535,13 +549,27 @@ type HTTPUplink struct {
 	Client *http.Client
 	// Retry bounds retransmission of failed exchanges.
 	Retry RetryPolicy
+	// Codec picks the batch encoding: CodecJSON (the default) or
+	// CodecBinary (internal/wire frames, negotiated down to JSON on the
+	// first 415 — see jsonOnly).
+	Codec Codec
+
+	// jsonOnly latches after a 415: the target does not speak the
+	// binary codec, and asking again on every batch would waste a
+	// round trip per flush. Sticky for the uplink's lifetime.
+	jsonOnly atomic.Bool
 }
 
 // Name implements Uplink.
 func (u *HTTPUplink) Name() string { return "wifi-http" }
 
-// Send implements Uplink.
+// Send implements Uplink. In binary mode a single report rides a
+// one-report frame through the batch endpoint — the server treats a
+// batch of one identically to a single observation POST.
 func (u *HTTPUplink) Send(r Report) error {
+	if u.Codec == CodecBinary && !u.jsonOnly.Load() {
+		return u.sendBatchBinary([]Report{r})
+	}
 	body, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("transport: marshal report: %w", err)
@@ -554,12 +582,10 @@ func (u *HTTPUplink) Send(r Report) error {
 // endpoint: one POST carries the whole slice, and a retried POST
 // carries the identical slice, so batch order survives retransmission.
 func (u *HTTPUplink) SendBatch(reports []Report) error {
-	body, err := json.Marshal(reports)
-	if err != nil {
-		return fmt.Errorf("transport: marshal batch: %w", err)
+	if u.Codec == CodecBinary && !u.jsonOnly.Load() {
+		return u.sendBatchBinary(reports)
 	}
-	_, err = PostJSON(u.Client, u.BaseURL+"/api/v1/observations:batch", body, u.Retry)
-	return err
+	return u.sendBatchJSON(reports)
 }
 
 // SendFunc adapts a function to the Uplink interface, used to wire the

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"occusim/internal/ibeacon"
+)
+
+// mkBeacon builds a distinct beacon identity from a small seed.
+func mkBeacon(n int, dist, rssi float64) Beacon {
+	var id ibeacon.BeaconID
+	for i := range id.UUID {
+		id.UUID[i] = byte(n + i)
+	}
+	id.Major = uint16(n)
+	id.Minor = uint16(n * 7)
+	return Beacon{ID: id, Distance: dist, RSSI: rssi}
+}
+
+// sampleBatch exercises every field class: multiple devices, repeated
+// devices, empty beacon lists, non-finite floats, max stamps.
+func sampleBatch() *Batch {
+	b := &Batch{}
+	b.AddReport("phone-1", 12.5, 1, 1)
+	b.AddBeacon(mkBeacon(1, 0.5, -41))
+	b.AddBeacon(mkBeacon(2, 3.25, -68.5))
+	b.AddReport("phone-2", math.Inf(1), math.MaxUint64, 0)
+	b.AddReport("phone-1", math.NaN(), 2, 9)
+	b.AddBeacon(mkBeacon(3, math.Inf(-1), math.NaN()))
+	b.AddReport("", 0, 0, 0) // empty device name is encodable; ingest rejects it
+	return b
+}
+
+// sameFloat compares floats with NaN equal to NaN, bit-level intent.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func assertBatchEqual(t *testing.T, want, got *Batch) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("decoded %d reports, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Devices[i] != want.Devices[i] {
+			t.Fatalf("report %d device %q, want %q", i, got.Devices[i], want.Devices[i])
+		}
+		if !sameFloat(got.At[i], want.At[i]) {
+			t.Fatalf("report %d at %v, want %v", i, got.At[i], want.At[i])
+		}
+		if got.Epoch[i] != want.Epoch[i] || got.Seq[i] != want.Seq[i] {
+			t.Fatalf("report %d stamps (%d,%d), want (%d,%d)",
+				i, got.Epoch[i], got.Seq[i], want.Epoch[i], want.Seq[i])
+		}
+		gb, wb := got.ReportBeacons(i), want.ReportBeacons(i)
+		if len(gb) != len(wb) {
+			t.Fatalf("report %d has %d beacons, want %d", i, len(gb), len(wb))
+		}
+		for j := range wb {
+			if gb[j].ID != wb[j].ID || !sameFloat(gb[j].Distance, wb[j].Distance) || !sameFloat(gb[j].RSSI, wb[j].RSSI) {
+				t.Fatalf("report %d beacon %d = %+v, want %+v", i, j, gb[j], wb[j])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := sampleBatch()
+	frame := AppendFrame(nil, want)
+	got := &Batch{}
+	if err := DecodeFrame(frame, got); err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	assertBatchEqual(t, want, got)
+}
+
+func TestEmptyBatchRoundTrip(t *testing.T) {
+	frame := AppendFrame(nil, &Batch{})
+	got := &Batch{}
+	if err := DecodeFrame(frame, got); err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded %d reports from an empty batch", got.Len())
+	}
+}
+
+func TestBatchReuseAcrossFrames(t *testing.T) {
+	// A pooled batch decodes frame after frame; each decode must fully
+	// replace the previous contents.
+	b := &Batch{}
+	big := sampleBatch()
+	if err := DecodeFrame(AppendFrame(nil, big), b); err != nil {
+		t.Fatal(err)
+	}
+	small := &Batch{}
+	small.AddReport("solo", 1, 1, 2)
+	small.AddBeacon(mkBeacon(9, 1.5, -50))
+	if err := DecodeFrame(AppendFrame(nil, small), b); err != nil {
+		t.Fatal(err)
+	}
+	assertBatchEqual(t, small, b)
+}
+
+func TestSteadyStateDecodeAllocs(t *testing.T) {
+	// The zero-alloc claim: once the intern table has seen the device
+	// population and the column slices have grown, decoding further
+	// frames of the same shape allocates nothing.
+	src := &Batch{}
+	for i := 0; i < 32; i++ {
+		src.AddReport("device-"+strings.Repeat("x", i%4), float64(i), 1, uint64(i))
+		src.AddBeacon(mkBeacon(i, float64(i), -float64(40+i)))
+	}
+	frame := AppendFrame(nil, src)
+	b := &Batch{}
+	if err := DecodeFrame(frame, b); err != nil { // warm the slices + intern table
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeFrame(frame, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeFrame allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestDecodeFrameRejectsTrailingBytes(t *testing.T) {
+	frame := AppendFrame(nil, sampleBatch())
+	if err := DecodeFrame(append(frame, 0x00), &Batch{}); err == nil {
+		t.Fatal("DecodeFrame accepted a frame with trailing bytes")
+	}
+}
+
+func TestDecodeFrameShort(t *testing.T) {
+	frame := AppendFrame(nil, sampleBatch())
+	for _, cut := range []int{0, 1, frameHeaderLen - 1, frameHeaderLen, len(frame) - 1} {
+		if err := DecodeFrame(frame[:cut], &Batch{}); err == nil {
+			t.Fatalf("DecodeFrame accepted a frame truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestScanWholeStream(t *testing.T) {
+	var stream []byte
+	want := 0
+	for i := 0; i < 5; i++ {
+		b := &Batch{}
+		b.AddReport("dev", float64(i), 1, uint64(i))
+		stream = AppendFrame(stream, b)
+		want++
+	}
+	seen := 0
+	valid, err := Scan(stream, func(payload []byte) error {
+		seen++
+		return DecodePayload(payload, &Batch{})
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if valid != len(stream) || seen != want {
+		t.Fatalf("Scan consumed %d/%d bytes over %d frames, want %d frames", valid, len(stream), seen, want)
+	}
+}
+
+func TestScanTornTail(t *testing.T) {
+	// WAL-scanner contract: a frame truncated mid-payload is a torn
+	// tail — the valid prefix stands and no error is reported.
+	whole := AppendFrame(nil, sampleBatch())
+	stream := append(append([]byte(nil), whole...), whole[:len(whole)-3]...)
+	frames := 0
+	valid, err := Scan(stream, func([]byte) error { frames++; return nil })
+	if err != nil {
+		t.Fatalf("torn tail must not error, got %v", err)
+	}
+	if valid != len(whole) || frames != 1 {
+		t.Fatalf("valid=%d frames=%d, want valid=%d frames=1", valid, frames, len(whole))
+	}
+}
+
+func TestScanCorruption(t *testing.T) {
+	whole := AppendFrame(nil, sampleBatch())
+	cases := map[string]func([]byte) []byte{
+		"bad version": func(s []byte) []byte { s[len(whole)] ^= 0xFF; return s },
+		"bad crc":     func(s []byte) []byte { s[len(s)-1] ^= 0x01; return s },
+		"oversized length": func(s []byte) []byte {
+			s[len(whole)+1] = 0xFF
+			s[len(whole)+2] = 0xFF
+			s[len(whole)+3] = 0xFF
+			s[len(whole)+4] = 0xFF
+			return s
+		},
+	}
+	for name, corrupt := range cases {
+		stream := append(append([]byte(nil), whole...), whole...)
+		stream = corrupt(stream)
+		frames := 0
+		valid, err := Scan(stream, func([]byte) error { frames++; return nil })
+		if err == nil {
+			t.Fatalf("%s: corruption must error", name)
+		}
+		if valid != len(whole) || frames != 1 {
+			t.Fatalf("%s: valid=%d frames=%d, want the clean prefix (%d bytes, 1 frame)",
+				name, valid, frames, len(whole))
+		}
+	}
+}
+
+func TestScanReportsMatchesDecode(t *testing.T) {
+	want := sampleBatch()
+	payload := AppendPayload(nil, want)
+	i := 0
+	n, err := ScanReports(payload, func(device []byte, at float64, epoch, seq uint64) error {
+		if string(device) != want.Devices[i] || !sameFloat(at, want.At[i]) ||
+			epoch != want.Epoch[i] || seq != want.Seq[i] {
+			t.Fatalf("report %d meta (%q,%v,%d,%d), want (%q,%v,%d,%d)",
+				i, device, at, epoch, seq, want.Devices[i], want.At[i], want.Epoch[i], want.Seq[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanReports: %v", err)
+	}
+	if n != want.Len() || i != want.Len() {
+		t.Fatalf("ScanReports visited %d/%d reports, want %d", i, n, want.Len())
+	}
+}
+
+func TestSectionsRoundTrip(t *testing.T) {
+	shards := []string{"shard-0", "shard-1", "shard-2"}
+	batches := make([]*Batch, len(shards))
+	var body []byte
+	for i, name := range shards {
+		b := &Batch{}
+		b.AddReport("dev-"+name, float64(i), 1, uint64(i+1))
+		b.AddBeacon(mkBeacon(i, 2, -55))
+		batches[i] = b
+		body = AppendSection(body, name)
+		body = AppendFrame(body, b)
+	}
+	i := 0
+	err := ScanSections(body, func(shard []byte, frame, payload []byte) error {
+		if string(shard) != shards[i] {
+			t.Fatalf("section %d shard %q, want %q", i, shard, shards[i])
+		}
+		got := &Batch{}
+		if err := DecodeFrame(frame, got); err != nil {
+			t.Fatalf("section %d frame: %v", i, err)
+		}
+		assertBatchEqual(t, batches[i], got)
+		fromPayload := &Batch{}
+		if err := DecodePayload(payload, fromPayload); err != nil {
+			t.Fatalf("section %d payload: %v", i, err)
+		}
+		assertBatchEqual(t, batches[i], fromPayload)
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanSections: %v", err)
+	}
+	if i != len(shards) {
+		t.Fatalf("scanned %d sections, want %d", i, len(shards))
+	}
+}
+
+func TestScanSectionsTruncated(t *testing.T) {
+	body := AppendSection(nil, "shard-0")
+	body = AppendFrame(body, sampleBatch())
+	for _, cut := range []int{len(body) - 1, len(body) - 10, 3} {
+		if err := ScanSections(body[:cut], func([]byte, []byte, []byte) error { return nil }); err == nil {
+			t.Fatalf("ScanSections accepted a body truncated to %d bytes", cut)
+		}
+	}
+}
